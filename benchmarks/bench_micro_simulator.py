@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the simulation substrate itself.
+
+These do not correspond to a paper claim; they track the cost of the building
+blocks (channel resolution, a full protocol slot loop, subroutine decisions) so
+performance regressions in the substrate are visible independently of the
+experiment-level benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary import BatchArrivals, ComposedAdversary, RandomFractionJamming
+from repro.channel import MultipleAccessChannel
+from repro.core import AlgorithmParameters, cjz_factory
+from repro.core.subroutines import HBackoff
+from repro.functions import constant_g
+from repro.protocols import WindowedBinaryExponentialBackoff, make_factory
+from repro.sim import Simulator, SimulatorConfig
+
+
+def test_channel_resolution(benchmark):
+    channel = MultipleAccessChannel()
+
+    def resolve_many():
+        for i in range(1000):
+            channel.resolve([1, 2] if i % 3 == 0 else [i], jammed=i % 7 == 0)
+
+    benchmark(resolve_many)
+
+
+def test_cjz_batch_simulation(benchmark):
+    def run():
+        return Simulator(
+            protocol_factory=cjz_factory(AlgorithmParameters.from_g(constant_g(4.0))),
+            adversary=ComposedAdversary(BatchArrivals(32), RandomFractionJamming(0.25)),
+            config=SimulatorConfig(horizon=2048),
+            seed=1,
+        ).run()
+
+    result = benchmark(run)
+    assert result.total_successes == 32
+
+
+def test_beb_batch_simulation(benchmark):
+    def run():
+        return Simulator(
+            protocol_factory=make_factory(WindowedBinaryExponentialBackoff),
+            adversary=ComposedAdversary(BatchArrivals(32), RandomFractionJamming(0.25)),
+            config=SimulatorConfig(horizon=2048),
+            seed=1,
+        ).run()
+
+    benchmark(run)
+
+
+def test_backoff_subroutine_decisions(benchmark):
+    params = AlgorithmParameters.from_g(constant_g(4.0))
+
+    def decide():
+        backoff = HBackoff(params.backoff_budget, np.random.default_rng(3))
+        return sum(1 for i in range(1, 4096) if backoff.should_send(i))
+
+    benchmark(decide)

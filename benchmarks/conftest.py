@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_eXX_*.py`` file regenerates one experiment of the per-experiment
+index in DESIGN.md (the paper is theory-only, so experiments stand in for its
+tables and figures).  The benchmark fixture measures the wall-clock cost of
+regenerating the experiment at the ``smoke`` scale (so the whole harness runs
+in minutes); the experiment's verdict and headline findings are attached to
+``benchmark.extra_info`` so the bench output doubles as a miniature
+reproduction report.  The full-scale numbers quoted in EXPERIMENTS.md are
+produced by ``python -m repro.cli report --scale full``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, run_experiment
+
+
+BENCH_CONFIG = ExperimentConfig(trials=2, seed=20210219, scale="smoke")
+
+
+def run_and_record(benchmark, experiment_id: str, trials: int = 2) -> None:
+    """Run one experiment under the benchmark timer and record its findings."""
+    config = ExperimentConfig(trials=trials, seed=BENCH_CONFIG.seed, scale="smoke")
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id, config), rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["title"] = result.title
+    benchmark.extra_info["consistent_with_paper"] = result.consistent_with_paper
+    for key, value in list(result.findings.items())[:8]:
+        benchmark.extra_info[f"finding:{key}"] = value
+
+
+@pytest.fixture
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare the paper's algorithm against classical backoff baselines.
+
+Two workloads are used:
+
+* the **lock-convoy** scenario (a large simultaneous batch with reactive
+  stalls), where constant-probability senders collapse; and
+* the **lower-bound adversary** of Lemma 4.1 (a lone node behind a jammed
+  prefix), where the classical ``1/i`` probability backoff is starved while
+  the paper's adaptive backoff recovers quickly.
+
+Together they illustrate the dilemma the paper's impossibility results
+formalize and why the adaptive ``backoff`` subroutine is necessary.
+
+Run it with::
+
+    python examples/baseline_showdown.py
+"""
+
+from repro import AlgorithmParameters, cjz_factory, constant_g
+from repro.adversary import LowerBoundAdversary
+from repro.analysis import compare_protocols
+from repro.analysis.comparison import comparison_table
+from repro.metrics import summarize_latencies
+from repro.protocols import (
+    ProbabilityBackoff,
+    SawtoothBackoff,
+    SlottedAloha,
+    WindowedBinaryExponentialBackoff,
+    make_factory,
+)
+from repro.sim import run_trials
+from repro.workloads import build_adversary_factory, get_scenario
+
+TRIALS = 3
+
+
+def contenders():
+    return {
+        "chen-jiang-zheng": cjz_factory(AlgorithmParameters.from_g(constant_g(4.0))),
+        "binary-exponential": make_factory(WindowedBinaryExponentialBackoff),
+        "probability 1/i": make_factory(ProbabilityBackoff, 1.0),
+        "sawtooth": make_factory(SawtoothBackoff),
+        "aloha(0.05)": make_factory(SlottedAloha, 0.05),
+    }
+
+
+def lock_convoy() -> None:
+    scenario = get_scenario("lock-convoy")
+    print(f"Workload 1 — {scenario.key}: {scenario.description}")
+    studies = {
+        name: run_trials(
+            protocol_factory=factory,
+            adversary_factory=build_adversary_factory(scenario.spec),
+            horizon=scenario.spec.horizon,
+            trials=TRIALS,
+            seed=5,
+            label=scenario.key,
+        )
+        for name, factory in contenders().items()
+    }
+    rows = compare_protocols(studies, workload=scenario.key)
+    print(comparison_table(rows, title="lock-convoy results").render())
+    print()
+
+
+def lower_bound_adversary() -> None:
+    horizon = 8192
+    print("Workload 2 — Lemma 4.1 adversary: lone node behind a jammed prefix")
+
+    def adversary():
+        return LowerBoundAdversary(horizon=horizon, g=constant_g(4.0), initial_nodes=1)
+
+    for name, factory in contenders().items():
+        study = run_trials(
+            protocol_factory=factory,
+            adversary_factory=adversary,
+            horizon=horizon,
+            trials=TRIALS,
+            seed=6,
+            label=name,
+        )
+        latency = summarize_latencies(list(study))
+        unfinished = study.mean(lambda r: r.unfinished_nodes)
+        latency_text = "never" if latency.count == 0 else f"{latency.mean:8.0f} slots"
+        print(f"  {name:22s} mean latency {latency_text}   unfinished/trial {unfinished:.1f}")
+    print()
+
+
+def main() -> None:
+    lock_convoy()
+    lower_bound_adversary()
+    print(
+        "Reading the results: the 1/i probability backoff is the slowest (and sometimes\n"
+        "fails outright) behind the jammed prefix, and constant-probability ALOHA pays an\n"
+        "order-of-magnitude latency penalty on the convoy, while the paper's algorithm is\n"
+        "solid on both — the robustness its worst-case guarantee is about.  On benign\n"
+        "workloads the classical baselines keep better constants; the paper does not claim\n"
+        "otherwise."
+    )
+
+
+if __name__ == "__main__":
+    main()

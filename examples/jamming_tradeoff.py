@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Explore the throughput/jamming trade-off that gives the paper its title.
+
+The script sweeps the fraction of jammed slots from 0% to 40% and, for each
+level, measures what the paper's algorithm delivers within a fixed horizon:
+messages delivered, active slots per arrival (the inverse of throughput) and
+the time the last message needed.  The per-arrival overhead degrades from
+"a few slots" towards the Θ(log t) worst-case bound as jamming approaches the
+constant-fraction regime — the trade-off of Theorems 1.2 and 1.3 in action.
+
+Run it with::
+
+    python examples/jamming_tradeoff.py
+"""
+
+from repro import AlgorithmParameters, cjz_factory, constant_g
+from repro.adversary import ComposedAdversary, NoJamming, RandomFractionJamming, UniformRandomArrivals
+from repro.analysis import Table
+from repro.sim import run_trials
+
+HORIZON = 16384
+ARRIVALS = 256
+TRIALS = 3
+
+
+def adversary_factory(jam_fraction: float):
+    def _factory():
+        jamming = RandomFractionJamming(jam_fraction) if jam_fraction else NoJamming()
+        return ComposedAdversary(
+            UniformRandomArrivals(ARRIVALS, (1, HORIZON // 2)), jamming
+        )
+
+    return _factory
+
+
+def main() -> None:
+    parameters = AlgorithmParameters.from_g(constant_g(4.0))
+    table = Table(
+        title=f"Jamming sweep: {ARRIVALS} arrivals over {HORIZON} slots ({TRIALS} trials)",
+        columns=[
+            "jammed fraction",
+            "delivered",
+            "unfinished",
+            "active slots / arrival",
+            "mean latency",
+        ],
+    )
+    for fraction in (0.0, 0.10, 0.25, 0.40):
+        study = run_trials(
+            protocol_factory=cjz_factory(parameters),
+            adversary_factory=adversary_factory(fraction),
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=7,
+            label=f"jam={fraction:.0%}",
+        )
+        table.add_row(
+            f"{fraction:.0%}",
+            study.mean(lambda r: r.total_successes),
+            study.mean(lambda r: r.unfinished_nodes),
+            study.mean(lambda r: r.total_active_slots / max(1, r.total_arrivals)),
+            study.mean(lambda r: r.mean_latency()),
+        )
+    print(table.render())
+    print()
+    print(
+        "The overhead per arrival grows as jamming intensifies but stays near the\n"
+        "Θ(log t) bound of the constant-g regime — degradation is graceful, never a collapse."
+    )
+
+
+if __name__ == "__main__":
+    main()

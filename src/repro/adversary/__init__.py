@@ -1,0 +1,60 @@
+"""Adversary framework: arrival patterns and jamming strategies.
+
+The paper's adversary ("Eve") is adaptive: in each slot she observes the same
+channel feedback as the nodes (no collision detection) and decides how many
+new nodes to inject and whether to jam the slot.  This package provides:
+
+* :class:`Adversary` — the interface the simulator drives;
+* composable :class:`ArrivalStrategy` and :class:`JammingStrategy` pieces and
+  the :class:`ComposedAdversary` glue;
+* the specific adversary strategies used in the paper's proofs (lower-bound
+  adversaries of Lemma 4.1 / Theorem 1.3 / Theorem 4.2) and in Corollary 3.6
+  (the "smooth" adversary);
+* precomputed (oblivious) schedule adversaries for reproducible workloads.
+"""
+
+from .base import Adversary, ArrivalStrategy, JammingStrategy, ComposedAdversary
+from .arrivals import (
+    NoArrivals,
+    BatchArrivals,
+    PoissonArrivals,
+    UniformRandomArrivals,
+    BurstyArrivals,
+    ScheduledArrivals,
+)
+from .jamming import (
+    NoJamming,
+    RandomFractionJamming,
+    PeriodicJamming,
+    FrontLoadedJamming,
+    BudgetedJamming,
+    ReactiveJamming,
+)
+from .adaptive import AdaptiveSuccessChaser
+from .lower_bound import LowerBoundAdversary, NonAdaptiveKillerAdversary
+from .smooth import SmoothAdversary
+from .schedules import ScheduleAdversary
+
+__all__ = [
+    "Adversary",
+    "ArrivalStrategy",
+    "JammingStrategy",
+    "ComposedAdversary",
+    "NoArrivals",
+    "BatchArrivals",
+    "PoissonArrivals",
+    "UniformRandomArrivals",
+    "BurstyArrivals",
+    "ScheduledArrivals",
+    "NoJamming",
+    "RandomFractionJamming",
+    "PeriodicJamming",
+    "FrontLoadedJamming",
+    "BudgetedJamming",
+    "ReactiveJamming",
+    "AdaptiveSuccessChaser",
+    "LowerBoundAdversary",
+    "NonAdaptiveKillerAdversary",
+    "SmoothAdversary",
+    "ScheduleAdversary",
+]

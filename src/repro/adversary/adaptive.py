@@ -1,0 +1,104 @@
+"""Fully adaptive adversaries that couple arrivals and jamming to feedback."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import AdversaryAction, Feedback, SlotObservation
+from .base import Adversary
+
+__all__ = ["AdaptiveSuccessChaser"]
+
+
+class AdaptiveSuccessChaser(Adversary):
+    """Adaptive attack that reacts to every observed success.
+
+    After each success the adversary both injects a small batch of fresh nodes
+    and jams a short burst of slots.  The intuition is to attack the paper's
+    algorithm at its synchronization points: successes are exactly the events
+    that move nodes between phases, so polluting the slots right after a
+    success is the most disruptive thing an adaptive Eve can do while staying
+    within a constant-fraction jamming budget and an arrival budget of
+    ``O(t / f(t))``.
+
+    Parameters
+    ----------
+    jam_fraction:
+        Cap on the fraction of slots jammed so far.
+    arrival_budget_per_success:
+        Number of nodes injected immediately after each observed success.
+    total_arrival_budget:
+        Hard cap on the number of injected nodes (``None`` for unlimited).
+    jam_burst:
+        Number of slots to jam after each success (budget permitting).
+    """
+
+    name = "adaptive-success-chaser"
+
+    def __init__(
+        self,
+        jam_fraction: float = 0.2,
+        arrival_budget_per_success: int = 2,
+        total_arrival_budget: Optional[int] = None,
+        jam_burst: int = 4,
+        seed_arrivals: int = 1,
+    ) -> None:
+        if not 0.0 <= jam_fraction < 1.0:
+            raise ConfigurationError("jam_fraction must be in [0, 1)")
+        if arrival_budget_per_success < 0 or jam_burst < 0 or seed_arrivals < 0:
+            raise ConfigurationError("budgets must be non-negative")
+        self._jam_fraction = jam_fraction
+        self._per_success = arrival_budget_per_success
+        self._total_budget = total_arrival_budget
+        self._jam_burst = jam_burst
+        self._seed_arrivals = seed_arrivals
+        self._pending_arrivals = 0
+        self._pending_jam = 0
+        self._injected = 0
+        self._jammed = 0
+        self._slots = 0
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        self._pending_arrivals = 0
+        self._pending_jam = 0
+        self._injected = 0
+        self._jammed = 0
+        self._slots = 0
+
+    def action_for_slot(self, slot: int) -> AdversaryAction:
+        self._slots += 1
+        arrivals = 0
+        if slot == 1 and self._seed_arrivals:
+            arrivals += self._seed_arrivals
+        if self._pending_arrivals:
+            arrivals += self._pending_arrivals
+            self._pending_arrivals = 0
+        if self._total_budget is not None:
+            remaining = max(0, self._total_budget - self._injected)
+            arrivals = min(arrivals, remaining)
+        self._injected += arrivals
+
+        jam = False
+        jam_budget = math.floor(self._jam_fraction * self._slots)
+        if self._pending_jam > 0 and self._jammed < jam_budget:
+            jam = True
+            self._pending_jam -= 1
+            self._jammed += 1
+        return AdversaryAction(arrivals=arrivals, jam=jam)
+
+    def observe(self, observation: SlotObservation) -> None:
+        if observation.feedback is Feedback.SUCCESS:
+            self._pending_arrivals += self._per_success
+            self._pending_jam = self._jam_burst
+
+    @property
+    def injected_nodes(self) -> int:
+        return self._injected
+
+    @property
+    def jammed_slots(self) -> int:
+        return self._jammed

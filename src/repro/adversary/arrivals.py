@@ -1,0 +1,177 @@
+"""Arrival strategies: when and how many nodes the adversary injects."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import SlotObservation
+from .base import ArrivalStrategy
+
+__all__ = [
+    "NoArrivals",
+    "BatchArrivals",
+    "PoissonArrivals",
+    "UniformRandomArrivals",
+    "BurstyArrivals",
+    "ScheduledArrivals",
+]
+
+
+class NoArrivals(ArrivalStrategy):
+    """No nodes ever arrive (useful when the simulator pre-seeds a batch)."""
+
+    name = "no-arrivals"
+
+    def arrivals_for_slot(self, slot: int) -> int:
+        return 0
+
+
+class BatchArrivals(ArrivalStrategy):
+    """Inject ``count`` nodes simultaneously at ``slot`` (the paper's batch setting)."""
+
+    name = "batch"
+
+    def __init__(self, count: int, slot: int = 1) -> None:
+        if count < 0:
+            raise ConfigurationError("batch count must be non-negative")
+        if slot < 1:
+            raise ConfigurationError("batch slot must be >= 1")
+        self._count = count
+        self._slot = slot
+        self.name = f"batch({count}@{slot})"
+
+    def arrivals_for_slot(self, slot: int) -> int:
+        return self._count if slot == self._slot else 0
+
+
+class PoissonArrivals(ArrivalStrategy):
+    """Independent Poisson arrivals with mean ``rate`` per slot.
+
+    Statistical arrival pattern used by the classical backoff literature
+    (Aldous 1987, Hastad et al. 1987).  Optionally stops injecting after
+    ``last_slot`` so that the tail of the run can drain.
+    """
+
+    name = "poisson"
+
+    def __init__(self, rate: float, last_slot: Optional[int] = None) -> None:
+        if rate < 0:
+            raise ConfigurationError("rate must be non-negative")
+        self._rate = rate
+        self._last_slot = last_slot
+        self._rng: Optional[np.random.Generator] = None
+        self.name = f"poisson(rate={rate:g})"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        self._rng = rng
+        if self._last_slot is None and horizon is not None:
+            self._last_slot = horizon
+
+    def arrivals_for_slot(self, slot: int) -> int:
+        if self._rng is None:
+            raise ConfigurationError("PoissonArrivals used before setup()")
+        if self._last_slot is not None and slot > self._last_slot:
+            return 0
+        return int(self._rng.poisson(self._rate))
+
+
+class UniformRandomArrivals(ArrivalStrategy):
+    """Scatter a fixed total number of arrivals uniformly at random over a window."""
+
+    name = "uniform-random"
+
+    def __init__(self, total: int, window: Tuple[int, int]) -> None:
+        low, high = window
+        if total < 0:
+            raise ConfigurationError("total must be non-negative")
+        if low < 1 or high < low:
+            raise ConfigurationError("window must satisfy 1 <= low <= high")
+        self._total = total
+        self._window = (low, high)
+        self._per_slot: Dict[int, int] = {}
+        self.name = f"uniform({total} in [{low},{high}])"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        low, high = self._window
+        slots = rng.integers(low, high + 1, size=self._total)
+        per_slot: Dict[int, int] = {}
+        for slot in slots:
+            per_slot[int(slot)] = per_slot.get(int(slot), 0) + 1
+        self._per_slot = per_slot
+
+    def arrivals_for_slot(self, slot: int) -> int:
+        return self._per_slot.get(slot, 0)
+
+
+class BurstyArrivals(ArrivalStrategy):
+    """Alternating quiet periods and bursts (Ethernet-like traffic).
+
+    Every ``period`` slots a burst of ``burst_size`` nodes arrives, optionally
+    with geometric jitter on the burst position inside the period.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        burst_size: int,
+        period: int,
+        jitter: bool = True,
+        first_burst_slot: int = 1,
+        last_slot: Optional[int] = None,
+    ) -> None:
+        if burst_size < 0:
+            raise ConfigurationError("burst_size must be non-negative")
+        if period < 1:
+            raise ConfigurationError("period must be >= 1")
+        self._burst_size = burst_size
+        self._period = period
+        self._jitter = jitter
+        self._first = first_burst_slot
+        self._last_slot = last_slot
+        self._burst_slots: Dict[int, int] = {}
+        self.name = f"bursty({burst_size}/{period})"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        end = self._last_slot or horizon or (self._first + 100 * self._period)
+        self._burst_slots = {}
+        slot = self._first
+        while slot <= end:
+            offset = int(rng.integers(0, self._period)) if self._jitter else 0
+            burst_at = min(end, slot + offset)
+            self._burst_slots[burst_at] = (
+                self._burst_slots.get(burst_at, 0) + self._burst_size
+            )
+            slot += self._period
+
+    def arrivals_for_slot(self, slot: int) -> int:
+        return self._burst_slots.get(slot, 0)
+
+
+class ScheduledArrivals(ArrivalStrategy):
+    """Replay an explicit mapping from slot index to arrival count."""
+
+    name = "scheduled"
+
+    def __init__(self, schedule: Mapping[int, int] | Iterable[Tuple[int, int]]) -> None:
+        items = schedule.items() if isinstance(schedule, Mapping) else schedule
+        self._schedule: Dict[int, int] = {}
+        for slot, count in items:
+            if slot < 1:
+                raise ConfigurationError("scheduled slots must be >= 1")
+            if count < 0:
+                raise ConfigurationError("scheduled counts must be non-negative")
+            self._schedule[int(slot)] = self._schedule.get(int(slot), 0) + int(count)
+
+    def arrivals_for_slot(self, slot: int) -> int:
+        return self._schedule.get(slot, 0)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(self._schedule.values())
+
+    def observe(self, observation: SlotObservation) -> None:  # pragma: no cover - oblivious
+        return None

@@ -1,0 +1,107 @@
+"""Adversary interface and composition glue."""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..types import AdversaryAction, SlotObservation
+
+__all__ = ["Adversary", "ArrivalStrategy", "JammingStrategy", "ComposedAdversary"]
+
+
+class Adversary(abc.ABC):
+    """Decides arrivals and jamming, slot by slot.
+
+    The simulator calls :meth:`setup` once, then alternates
+    :meth:`action_for_slot` (beginning of each slot) and :meth:`observe`
+    (end of each slot).  Adaptive adversaries may key their decisions off the
+    observation history; oblivious adversaries ignore it.  The adversary sees
+    exactly the feedback the nodes see — in particular it cannot distinguish
+    silence from collision when the channel has no collision detection.
+    """
+
+    name: str = "adversary"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        """Prepare internal state; ``horizon`` is the planned number of slots, if known."""
+
+    @abc.abstractmethod
+    def action_for_slot(self, slot: int) -> AdversaryAction:
+        """Return the arrivals/jamming decision for global slot ``slot``."""
+
+    def observe(self, observation: SlotObservation) -> None:
+        """Consume the channel feedback of the slot that just ended."""
+
+    def describe(self) -> str:
+        return self.name
+
+
+class ArrivalStrategy(abc.ABC):
+    """Produces the number of node injections for each slot."""
+
+    name: str = "arrivals"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        """Prepare internal state."""
+
+    @abc.abstractmethod
+    def arrivals_for_slot(self, slot: int) -> int:
+        """Number of nodes injected at the beginning of ``slot``."""
+
+    def observe(self, observation: SlotObservation) -> None:
+        """Optional feedback hook for adaptive arrival strategies."""
+
+
+class JammingStrategy(abc.ABC):
+    """Decides which slots are jammed."""
+
+    name: str = "jamming"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        """Prepare internal state."""
+
+    @abc.abstractmethod
+    def jam_slot(self, slot: int) -> bool:
+        """Whether to jam ``slot``."""
+
+    def observe(self, observation: SlotObservation) -> None:
+        """Optional feedback hook for adaptive jamming strategies."""
+
+
+class ComposedAdversary(Adversary):
+    """Adversary assembled from independent arrival and jamming strategies."""
+
+    def __init__(self, arrivals: ArrivalStrategy, jamming: JammingStrategy) -> None:
+        self._arrivals = arrivals
+        self._jamming = jamming
+        self.name = f"{arrivals.name}+{jamming.name}"
+
+    @property
+    def arrivals(self) -> ArrivalStrategy:
+        return self._arrivals
+
+    @property
+    def jamming(self) -> JammingStrategy:
+        return self._jamming
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        # Each strategy gets its own independent stream so that, e.g., pairing
+        # the same arrival pattern with different jamming strategies keeps the
+        # arrival randomness identical.
+        arrivals_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        jamming_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
+        self._arrivals.setup(arrivals_rng, horizon)
+        self._jamming.setup(jamming_rng, horizon)
+
+    def action_for_slot(self, slot: int) -> AdversaryAction:
+        return AdversaryAction(
+            arrivals=self._arrivals.arrivals_for_slot(slot),
+            jam=self._jamming.jam_slot(slot),
+        )
+
+    def observe(self, observation: SlotObservation) -> None:
+        self._arrivals.observe(observation)
+        self._jamming.observe(observation)

@@ -1,0 +1,181 @@
+"""Jamming strategies: which slots the adversary disrupts."""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Set
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..functions import RateFunction
+from ..types import Feedback, SlotObservation
+from .base import JammingStrategy
+
+__all__ = [
+    "NoJamming",
+    "RandomFractionJamming",
+    "PeriodicJamming",
+    "FrontLoadedJamming",
+    "BudgetedJamming",
+    "ReactiveJamming",
+]
+
+
+class NoJamming(JammingStrategy):
+    """The benign channel: no slot is ever jammed."""
+
+    name = "no-jamming"
+
+    def jam_slot(self, slot: int) -> bool:
+        return False
+
+
+class RandomFractionJamming(JammingStrategy):
+    """Jam each slot independently with probability ``fraction``.
+
+    This realizes the paper's worst-case regime (a constant fraction of all
+    slots jammed) with an oblivious adversary.
+    """
+
+    name = "random-fraction"
+
+    def __init__(self, fraction: float, last_slot: Optional[int] = None) -> None:
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError("fraction must be in [0, 1)")
+        self._fraction = fraction
+        self._last_slot = last_slot
+        self._rng: Optional[np.random.Generator] = None
+        self.name = f"random-jam({fraction:.0%})"
+
+    @property
+    def fraction(self) -> float:
+        return self._fraction
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        self._rng = rng
+
+    def jam_slot(self, slot: int) -> bool:
+        if self._fraction == 0.0:
+            return False
+        if self._rng is None:
+            raise ConfigurationError("RandomFractionJamming used before setup()")
+        if self._last_slot is not None and slot > self._last_slot:
+            return False
+        return bool(self._rng.random() < self._fraction)
+
+
+class PeriodicJamming(JammingStrategy):
+    """Jam every ``period``-th slot (deterministic constant fraction)."""
+
+    name = "periodic"
+
+    def __init__(self, period: int, offset: int = 0) -> None:
+        if period < 1:
+            raise ConfigurationError("period must be >= 1")
+        self._period = period
+        self._offset = offset % period
+        self.name = f"periodic-jam(1/{period})"
+
+    def jam_slot(self, slot: int) -> bool:
+        return slot % self._period == self._offset
+
+
+class FrontLoadedJamming(JammingStrategy):
+    """Jam the first ``count`` slots and nothing afterwards.
+
+    This is the pattern the paper's lower-bound proofs use to starve a lone
+    node running standard exponential backoff: by the time jamming stops, the
+    node's sending probability has decayed too far.
+    """
+
+    name = "front-loaded"
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        self._count = count
+        self.name = f"front-jam({count})"
+
+    def jam_slot(self, slot: int) -> bool:
+        return slot <= self._count
+
+
+class BudgetedJamming(JammingStrategy):
+    """Jam uniformly at random subject to the paper's budget ``d_t <= t / (c · g(t))``.
+
+    The strategy pre-draws, for a given horizon, a random set of jammed slots
+    whose size respects the budget implied by the jamming function ``g``.
+    """
+
+    name = "budgeted"
+
+    def __init__(self, g: RateFunction, budget_constant: float = 4.0) -> None:
+        if budget_constant <= 0:
+            raise ConfigurationError("budget_constant must be positive")
+        self._g = g
+        self._constant = budget_constant
+        self._jammed: Set[int] = set()
+        self.name = f"budgeted-jam({g.name}/{budget_constant:g})"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        if horizon is None:
+            raise ConfigurationError("BudgetedJamming requires a known horizon")
+        budget = int(horizon / (self._constant * self._g(float(horizon))))
+        budget = max(0, min(budget, horizon))
+        if budget:
+            chosen = rng.choice(np.arange(1, horizon + 1), size=budget, replace=False)
+            self._jammed = {int(s) for s in chosen}
+        else:
+            self._jammed = set()
+
+    @property
+    def jammed_slots(self) -> Set[int]:
+        return set(self._jammed)
+
+    def jam_slot(self, slot: int) -> bool:
+        return slot in self._jammed
+
+
+class ReactiveJamming(JammingStrategy):
+    """Adaptive jamming that spends its budget right after observed successes.
+
+    After hearing a success the adversary jams the next ``burst`` slots,
+    hoping to disrupt the synchronization the success provided — the natural
+    adaptive attack against the paper's algorithm, whose Phase-2/Phase-3
+    transitions are triggered by successes.  The total number of jammed slots
+    is capped at ``fraction`` of slots seen so far, so the attack stays within
+    the constant-fraction regime.
+    """
+
+    name = "reactive"
+
+    def __init__(self, fraction: float, burst: int = 8) -> None:
+        if not 0.0 <= fraction < 1.0:
+            raise ConfigurationError("fraction must be in [0, 1)")
+        if burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+        self._fraction = fraction
+        self._burst = burst
+        self._pending = 0
+        self._jammed_so_far = 0
+        self._slots_seen = 0
+        self.name = f"reactive-jam({fraction:.0%},burst={burst})"
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        self._pending = 0
+        self._jammed_so_far = 0
+        self._slots_seen = 0
+
+    def jam_slot(self, slot: int) -> bool:
+        self._slots_seen += 1
+        budget = math.floor(self._fraction * self._slots_seen)
+        if self._pending > 0 and self._jammed_so_far < budget:
+            self._pending -= 1
+            self._jammed_so_far += 1
+            return True
+        return False
+
+    def observe(self, observation: SlotObservation) -> None:
+        if observation.feedback is Feedback.SUCCESS:
+            self._pending = self._burst

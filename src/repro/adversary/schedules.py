@@ -1,0 +1,62 @@
+"""Oblivious schedule adversaries: fully precomputed arrival and jamming plans."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import AdversaryAction
+from .base import Adversary
+
+__all__ = ["ScheduleAdversary"]
+
+
+class ScheduleAdversary(Adversary):
+    """Replay explicit arrival and jamming schedules.
+
+    Useful for regression tests (fully deterministic workloads) and for
+    replaying adversary traces captured from adaptive runs.
+    """
+
+    name = "schedule"
+
+    def __init__(
+        self,
+        arrivals: Mapping[int, int] | Iterable[Tuple[int, int]] = (),
+        jammed_slots: Iterable[int] = (),
+    ) -> None:
+        items = arrivals.items() if isinstance(arrivals, Mapping) else arrivals
+        self._arrivals: Dict[int, int] = {}
+        for slot, count in items:
+            if slot < 1 or count < 0:
+                raise ConfigurationError("invalid arrival schedule entry")
+            self._arrivals[int(slot)] = self._arrivals.get(int(slot), 0) + int(count)
+        self._jammed: Set[int] = set()
+        for slot in jammed_slots:
+            if slot < 1:
+                raise ConfigurationError("jammed slots must be >= 1")
+            self._jammed.add(int(slot))
+
+    @classmethod
+    def single_batch(cls, count: int, slot: int = 1) -> "ScheduleAdversary":
+        """A pure batch workload: ``count`` nodes at ``slot``, no jamming."""
+        return cls(arrivals={slot: count})
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(self._arrivals.values())
+
+    @property
+    def jammed_slots(self) -> Set[int]:
+        return set(self._jammed)
+
+    def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
+        return None
+
+    def action_for_slot(self, slot: int) -> AdversaryAction:
+        return AdversaryAction(
+            arrivals=self._arrivals.get(slot, 0),
+            jam=slot in self._jammed,
+        )

@@ -1,0 +1,26 @@
+"""Analysis utilities: aggregation, shape fitting, comparison and tables."""
+
+from .statistics import (
+    SummaryStatistics,
+    bootstrap_confidence_interval,
+    empirical_probability,
+    summarize,
+)
+from .fitting import FitResult, fit_shape, growth_exponent, SHAPE_MODELS
+from .tables import Table, format_table
+from .comparison import ComparisonRow, compare_protocols
+
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "bootstrap_confidence_interval",
+    "empirical_probability",
+    "FitResult",
+    "fit_shape",
+    "growth_exponent",
+    "SHAPE_MODELS",
+    "Table",
+    "format_table",
+    "ComparisonRow",
+    "compare_protocols",
+]

@@ -1,0 +1,98 @@
+"""Protocol comparison helpers used by the baseline-showdown experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..errors import AnalysisError
+from ..sim.runner import TrialStudy
+from .tables import Table
+
+__all__ = ["ComparisonRow", "compare_protocols"]
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """Aggregate performance of one protocol under one workload."""
+
+    protocol: str
+    workload: str
+    trials: int
+    mean_successes: float
+    mean_unfinished: float
+    mean_latency: float
+    p95_latency: float
+    mean_broadcasts_per_node: float
+
+    def as_tuple(self) -> tuple:
+        return (
+            self.protocol,
+            self.workload,
+            self.trials,
+            self.mean_successes,
+            self.mean_unfinished,
+            self.mean_latency,
+            self.p95_latency,
+            self.mean_broadcasts_per_node,
+        )
+
+
+def _mean(values: Sequence[float]) -> float:
+    values = [v for v in values if v == v]  # drop NaN
+    return sum(values) / len(values) if values else float("nan")
+
+
+def compare_protocols(
+    studies: Dict[str, TrialStudy],
+    workload: str = "",
+) -> List[ComparisonRow]:
+    """Build one comparison row per protocol from its trial study."""
+    if not studies:
+        raise AnalysisError("no studies to compare")
+    rows: List[ComparisonRow] = []
+    for protocol, study in studies.items():
+        latencies: List[float] = []
+        broadcasts: List[float] = []
+        for result in study:
+            latencies.extend(float(v) for v in result.latencies())
+            counts = result.broadcast_counts()
+            if counts:
+                broadcasts.append(sum(counts) / len(counts))
+        latencies.sort()
+        p95 = (
+            latencies[int(0.95 * (len(latencies) - 1))] if latencies else float("nan")
+        )
+        rows.append(
+            ComparisonRow(
+                protocol=protocol,
+                workload=workload or study.label,
+                trials=study.trials,
+                mean_successes=study.mean(lambda r: r.total_successes),
+                mean_unfinished=study.mean(lambda r: r.unfinished_nodes),
+                mean_latency=_mean(latencies),
+                p95_latency=float(p95),
+                mean_broadcasts_per_node=_mean(broadcasts),
+            )
+        )
+    return rows
+
+
+def comparison_table(rows: Sequence[ComparisonRow], title: str) -> Table:
+    """Render comparison rows as a :class:`~repro.analysis.tables.Table`."""
+    table = Table(
+        title=title,
+        columns=[
+            "protocol",
+            "workload",
+            "trials",
+            "successes",
+            "unfinished",
+            "mean latency",
+            "p95 latency",
+            "broadcasts/node",
+        ],
+    )
+    for row in rows:
+        table.add_row(*row.as_tuple())
+    return table

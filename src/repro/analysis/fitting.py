@@ -1,0 +1,125 @@
+"""Shape fitting: which asymptotic law does a measured series follow?
+
+The paper's claims are asymptotic (Θ(t / log t) successes, Θ(log t) active-slot
+overhead per arrival, ω(n) completion time, ...).  To compare measured series
+against such laws we fit a small family of one-parameter models by least
+squares on the scale factor and report the relative error of each model; the
+best-fitting model is the measured "shape".
+
+Models are functions of ``x`` with a single multiplicative constant ``c``:
+
+* ``linear``        — ``c · x``
+* ``x_over_log``    — ``c · x / log₂ x``
+* ``x_log``         — ``c · x · log₂ x``
+* ``log_squared``   — ``c · log₂² x``
+* ``log``           — ``c · log₂ x``
+* ``constant``      — ``c``
+* ``sqrt``          — ``c · sqrt(x)``
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = ["FitResult", "SHAPE_MODELS", "fit_shape", "growth_exponent"]
+
+
+def _safe_log2(x: np.ndarray) -> np.ndarray:
+    return np.log2(np.maximum(x, 2.0))
+
+
+SHAPE_MODELS: Dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "linear": lambda x: x,
+    "x_over_log": lambda x: x / _safe_log2(x),
+    "x_log": lambda x: x * _safe_log2(x),
+    "log_squared": lambda x: _safe_log2(x) ** 2,
+    "log": lambda x: _safe_log2(x),
+    "constant": lambda x: np.ones_like(x),
+    "sqrt": lambda x: np.sqrt(x),
+}
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Result of fitting one shape model to a series."""
+
+    model: str
+    scale: float
+    relative_error: float
+
+    def predict(self, x: float) -> float:
+        basis = SHAPE_MODELS[self.model](np.asarray([float(x)]))
+        return float(self.scale * basis[0])
+
+
+def _fit_single(
+    xs: np.ndarray, ys: np.ndarray, basis: Callable[[np.ndarray], np.ndarray]
+) -> FitResult:
+    b = basis(xs)
+    denominator = float(np.dot(b, b))
+    if denominator == 0.0:
+        raise AnalysisError("degenerate basis in shape fit")
+    scale = float(np.dot(b, ys) / denominator)
+    prediction = scale * b
+    scale_reference = float(np.mean(np.abs(ys))) or 1.0
+    relative_error = float(np.mean(np.abs(prediction - ys)) / scale_reference)
+    return FitResult(model="", scale=scale, relative_error=relative_error)
+
+
+def fit_shape(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    models: Optional[Sequence[str]] = None,
+) -> Dict[str, FitResult]:
+    """Fit every requested model; return results keyed by model name.
+
+    The caller typically compares ``results["x_over_log"].relative_error``
+    against ``results["linear"].relative_error`` to decide which law the data
+    follows.
+    """
+    xs_arr = np.asarray(list(xs), dtype=float)
+    ys_arr = np.asarray(list(ys), dtype=float)
+    if xs_arr.size != ys_arr.size or xs_arr.size < 2:
+        raise AnalysisError("fit_shape needs at least two aligned points")
+    names = list(models) if models else list(SHAPE_MODELS)
+    results: Dict[str, FitResult] = {}
+    for name in names:
+        if name not in SHAPE_MODELS:
+            raise AnalysisError(f"unknown shape model {name!r}")
+        fit = _fit_single(xs_arr, ys_arr, SHAPE_MODELS[name])
+        results[name] = FitResult(
+            model=name, scale=fit.scale, relative_error=fit.relative_error
+        )
+    return results
+
+
+def best_fit(results: Dict[str, FitResult]) -> FitResult:
+    """The model with the smallest relative error."""
+    if not results:
+        raise AnalysisError("no fit results to choose from")
+    return min(results.values(), key=lambda r: r.relative_error)
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x (the empirical growth exponent).
+
+    An exponent near 1 indicates linear growth, near 0 constant, and values in
+    between indicate sub-linear growth; it complements :func:`fit_shape` when
+    distinguishing e.g. ``Θ(n)`` from ``Θ(n log n)`` is not required.
+    """
+    xs_arr = np.asarray(list(xs), dtype=float)
+    ys_arr = np.asarray(list(ys), dtype=float)
+    if xs_arr.size != ys_arr.size or xs_arr.size < 2:
+        raise AnalysisError("growth_exponent needs at least two aligned points")
+    if np.any(xs_arr <= 0) or np.any(ys_arr <= 0):
+        raise AnalysisError("growth_exponent requires positive data")
+    log_x = np.log(xs_arr)
+    log_y = np.log(ys_arr)
+    slope, _intercept = np.polyfit(log_x, log_y, 1)
+    return float(slope)

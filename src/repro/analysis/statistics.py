@@ -1,0 +1,92 @@
+"""Basic statistics over trial metrics: summaries, bootstrap CIs, event frequencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import AnalysisError
+
+__all__ = [
+    "SummaryStatistics",
+    "summarize",
+    "bootstrap_confidence_interval",
+    "empirical_probability",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStatistics:
+    """Mean/median/spread of a sample of scalar observations."""
+
+    count: int
+    mean: float
+    std: float
+    median: float
+    minimum: float
+    maximum: float
+    p05: float
+    p95: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p05": self.p05,
+            "p95": self.p95,
+        }
+
+
+def summarize(values: Sequence[float]) -> SummaryStatistics:
+    """Summarize a non-empty sample."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot summarize an empty sample")
+    return SummaryStatistics(
+        count=int(arr.size),
+        mean=float(np.mean(arr)),
+        std=float(np.std(arr, ddof=1)) if arr.size > 1 else 0.0,
+        median=float(np.median(arr)),
+        minimum=float(np.min(arr)),
+        maximum=float(np.max(arr)),
+        p05=float(np.quantile(arr, 0.05)),
+        p95=float(np.quantile(arr, 0.95)),
+    )
+
+
+def bootstrap_confidence_interval(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 2000,
+    seed: Optional[int] = None,
+) -> Tuple[float, float]:
+    """Percentile-bootstrap confidence interval for the sample mean."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise AnalysisError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError("confidence must be in (0, 1)")
+    if arr.size == 1:
+        return float(arr[0]), float(arr[0])
+    rng = np.random.default_rng(seed)
+    means = np.empty(resamples)
+    for i in range(resamples):
+        sample = rng.choice(arr, size=arr.size, replace=True)
+        means[i] = np.mean(sample)
+    alpha = (1.0 - confidence) / 2.0
+    return float(np.quantile(means, alpha)), float(np.quantile(means, 1.0 - alpha))
+
+
+def empirical_probability(successes: int, trials: int) -> float:
+    """Event frequency with a defensive check, used for w.h.p.-style claims."""
+    if trials <= 0:
+        raise AnalysisError("trials must be positive")
+    if successes < 0 or successes > trials:
+        raise AnalysisError("successes must be within [0, trials]")
+    return successes / trials

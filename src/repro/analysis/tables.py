@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..errors import AnalysisError
+
+__all__ = ["Table", "format_table"]
+
+
+def _format_cell(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0.0):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A small column-oriented table with a title, rendered as aligned text."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    precision: int = 3
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise AnalysisError(
+                f"row has {len(values)} cells but table has {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def add_dict_row(self, row: Dict[str, Any]) -> None:
+        self.add_row(*[row.get(column, "") for column in self.columns])
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows, self.precision)
+
+    def to_markdown(self) -> str:
+        """Markdown rendering used when writing EXPERIMENTS.md."""
+        header = "| " + " | ".join(self.columns) + " |"
+        divider = "|" + "|".join(["---"] * len(self.columns)) + "|"
+        lines = [header, divider]
+        for row in self.rows:
+            cells = [_format_cell(value, self.precision) for value in row]
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)
+
+
+def format_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    precision: int = 3,
+) -> str:
+    """Render rows as a fixed-width text table with a title line."""
+    rendered_rows = [
+        [_format_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [len(str(column)) for column in columns]
+    for row in rendered_rows:
+        if len(row) != len(columns):
+            raise AnalysisError("row width does not match column count")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    lines = [title, header, separator]
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,20 @@
+"""Multiple-access channel substrate.
+
+The channel is the shared resource of the contention-resolution problem: in
+each slot it takes the set of broadcasting nodes plus the adversary's jamming
+decision and produces a :class:`~repro.types.SlotOutcome` and the feedback that
+nodes (and the adversary) observe.
+"""
+
+from .feedback import FeedbackModel, NoCollisionDetection, WithCollisionDetection
+from .multiple_access import MultipleAccessChannel
+from .virtual import VirtualChannelView, slot_parity
+
+__all__ = [
+    "FeedbackModel",
+    "NoCollisionDetection",
+    "WithCollisionDetection",
+    "MultipleAccessChannel",
+    "VirtualChannelView",
+    "slot_parity",
+]

@@ -1,0 +1,55 @@
+"""Feedback models: how slot outcomes are reported to nodes.
+
+The paper's setting is a channel *without* collision detection: a node can only
+distinguish a successful slot (it hears the unique transmitted message) from a
+wasted slot (silence or collision look identical).  A collision-detection model
+is also provided because the reference baseline (backon/backoff in the style of
+Bender et al. 2018) needs it, and because comparing the two regimes is exactly
+the point of the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..types import Feedback, SlotOutcome
+
+__all__ = ["FeedbackModel", "NoCollisionDetection", "WithCollisionDetection"]
+
+
+class FeedbackModel(abc.ABC):
+    """Maps a physical slot outcome to the feedback heard on the channel."""
+
+    #: whether nodes can distinguish silence from collision
+    collision_detection: bool = False
+
+    @abc.abstractmethod
+    def feedback_for(self, outcome: SlotOutcome) -> Feedback:
+        """Return the feedback all listeners receive for ``outcome``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class NoCollisionDetection(FeedbackModel):
+    """The paper's model: silence and collision are indistinguishable."""
+
+    collision_detection = False
+
+    def feedback_for(self, outcome: SlotOutcome) -> Feedback:
+        if outcome is SlotOutcome.SUCCESS:
+            return Feedback.SUCCESS
+        return Feedback.NO_SUCCESS
+
+
+class WithCollisionDetection(FeedbackModel):
+    """Reference model where wasted slots reveal whether anybody broadcast."""
+
+    collision_detection = True
+
+    def feedback_for(self, outcome: SlotOutcome) -> Feedback:
+        if outcome is SlotOutcome.SUCCESS:
+            return Feedback.SUCCESS
+        if outcome is SlotOutcome.COLLISION:
+            return Feedback.COLLISION
+        return Feedback.SILENCE

@@ -1,0 +1,78 @@
+"""Virtual odd/even channels.
+
+The paper's algorithm conceptually splits the single physical channel into two
+virtual channels by slot parity: the *odd channel* consists of slots with odd
+global index and the *even channel* of slots with even index.  Nodes do not
+know the global parity of any slot; what matters to a node is the parity of a
+slot *relative to an anchor slot it has observed* (its own arrival slot or a
+success it heard).  :class:`VirtualChannelView` encapsulates that relative
+bookkeeping so protocol code never manipulates raw parities directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..types import ChannelParity
+
+__all__ = ["slot_parity", "VirtualChannelView"]
+
+
+def slot_parity(slot: int) -> ChannelParity:
+    """Global parity of a slot index (1-based)."""
+    if slot < 1:
+        raise ValueError("slot indices are 1-based")
+    return ChannelParity.of_slot(slot)
+
+
+@dataclass(frozen=True)
+class VirtualChannelView:
+    """A node's view of one virtual channel, anchored at a reference slot.
+
+    The view selects the sub-sequence of global slots that share the parity of
+    ``anchor_slot`` (if ``same_parity``) or the opposite parity.  It can answer
+    two questions protocol code needs:
+
+    * does a given global slot belong to this virtual channel?
+    * how many slots of this virtual channel have elapsed since the anchor
+      (the *local index*, 1-based)?
+    """
+
+    anchor_slot: int
+    same_parity: bool = True
+
+    def __post_init__(self) -> None:
+        if self.anchor_slot < 1:
+            raise ValueError("anchor slot must be >= 1")
+
+    @property
+    def parity(self) -> ChannelParity:
+        base = ChannelParity.of_slot(self.anchor_slot)
+        return base if self.same_parity else base.other()
+
+    def contains(self, slot: int) -> bool:
+        """Whether global ``slot`` (>= anchor) lies on this virtual channel."""
+        if slot < self.anchor_slot:
+            return False
+        return ChannelParity.of_slot(slot) == self.parity
+
+    def local_index(self, slot: int) -> int:
+        """1-based index of ``slot`` within this virtual channel, counted from the anchor.
+
+        Raises ``ValueError`` if the slot is not on the channel or precedes the
+        anchor.
+        """
+        if not self.contains(slot):
+            raise ValueError(f"slot {slot} is not on virtual channel {self!r}")
+        first = self.first_slot()
+        return (slot - first) // 2 + 1
+
+    def first_slot(self) -> int:
+        """First global slot >= anchor that lies on this virtual channel."""
+        if ChannelParity.of_slot(self.anchor_slot) == self.parity:
+            return self.anchor_slot
+        return self.anchor_slot + 1
+
+    def opposite(self) -> "VirtualChannelView":
+        """The complementary virtual channel with the same anchor."""
+        return VirtualChannelView(self.anchor_slot, not self.same_parity)

@@ -1,0 +1,127 @@
+"""Command-line interface.
+
+Examples
+--------
+
+Run a single experiment at the quick scale and print its tables::
+
+    python -m repro.cli run E3 --trials 3
+
+Run every experiment and (re)generate EXPERIMENTS.md::
+
+    python -m repro.cli report --scale full --output EXPERIMENTS.md
+
+Simulate one workload interactively::
+
+    python -m repro.cli simulate --arrivals 128 --horizon 16384 --jam 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from . import quick_run
+from .experiments import ExperimentConfig, all_experiments, get_experiment
+from .experiments.report import run_all, write_report
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-contention",
+        description=(
+            "Reproduction of 'Tight Trade-off in Contention Resolution without "
+            "Collision Detection' (PODC 2021)"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list available experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one experiment and print its report")
+    run_parser.add_argument("experiment_id", help="experiment id, e.g. E3")
+    _add_config_arguments(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    report_parser = subparsers.add_parser(
+        "report", help="run all experiments and write EXPERIMENTS.md"
+    )
+    report_parser.add_argument("--output", default="EXPERIMENTS.md")
+    report_parser.add_argument(
+        "--only", nargs="*", default=None, help="restrict to these experiment ids"
+    )
+    _add_config_arguments(report_parser)
+    report_parser.set_defaults(func=_cmd_report)
+
+    simulate_parser = subparsers.add_parser(
+        "simulate", help="run the paper's algorithm once on a simple workload"
+    )
+    simulate_parser.add_argument("--arrivals", type=int, default=64)
+    simulate_parser.add_argument("--horizon", type=int, default=8192)
+    simulate_parser.add_argument("--jam", type=float, default=0.0)
+    simulate_parser.add_argument("--seed", type=int, default=None)
+    simulate_parser.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trials", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=20210219)
+    parser.add_argument(
+        "--scale", choices=["smoke", "quick", "full"], default="quick"
+    )
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(trials=args.trials, seed=args.seed, scale=args.scale)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for experiment_id in all_experiments():
+        experiment = get_experiment(experiment_id)
+        print(f"{experiment_id}: {experiment.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    experiment = get_experiment(args.experiment_id)
+    result = experiment.run(config)
+    print(result.render_text())
+    return 0 if result.consistent_with_paper in (True, None) else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    results = run_all(config, experiment_ids=args.only)
+    path = write_report(args.output, results, config)
+    print(f"wrote {path} ({len(results)} experiments)")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    result = quick_run(
+        arrivals=args.arrivals,
+        horizon=args.horizon,
+        jam_fraction=args.jam,
+        seed=args.seed,
+    )
+    print(result.describe())
+    print(f"classical throughput at horizon: {result.classical_throughput():.3f}")
+    print(f"mean latency: {result.mean_latency():.1f} slots")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The paper's primary contribution: the Chen–Jiang–Zheng protocol.
+
+The protocol achieves (f, g)-throughput for ``f(x) = Θ(log x / log² g(x))``,
+matching the impossibility bound of Theorem 1.3.  It is assembled from two
+exponential-backoff variants (``h-backoff`` and ``h-batch``) executed over two
+virtual channels (odd and even slots) through a three-phase state machine.
+"""
+
+from .parameters import AlgorithmParameters
+from .phases import Phase
+from .protocol import ChenJiangZhengProtocol, GlobalClockVariant, cjz_factory
+from .subroutines import HBackoff, HBatch
+
+__all__ = [
+    "AlgorithmParameters",
+    "Phase",
+    "ChenJiangZhengProtocol",
+    "GlobalClockVariant",
+    "cjz_factory",
+    "HBackoff",
+    "HBatch",
+]

@@ -1,0 +1,191 @@
+"""The Chen–Jiang–Zheng three-phase contention-resolution protocol.
+
+A node runs this algorithm from arrival until its message is delivered:
+
+* **Phase 1 (SYNCHRONIZE).**  Arriving at slot ``l0``, the node runs
+  ``(f/a)``-backoff on the virtual channel with the parity of ``l0`` until it
+  hears a success in *any* slot ``l1`` (on either channel).  The node cannot
+  simply listen, because it might be alone in the system.
+
+* **Phase 2 (WAIT_CONTROL).**  Let ``α`` be the channel containing ``l1`` (the
+  node's data channel).  The node runs ``(f/a)``-backoff on the other channel
+  ``ᾱ`` starting from slot ``l1 + 1`` until it hears a success on ``ᾱ`` in
+  some slot ``l2``.  That success synchronizes every node currently in Phase 2
+  or Phase 3.
+
+* **Phase 3 (BATCH).**  With anchor ``l3`` (initially ``l2``), the node runs
+  ``h_ctrl``-batch on the channel with the parity of ``l3 + 1`` (the control
+  channel) and ``h_data``-batch on the channel with the parity of ``l3 + 2``
+  (the data channel).  When a success is heard on the control channel in slot
+  ``l3'``, the node sets ``l3 = l3'`` and restarts Phase 3 — which, because
+  the new anchor lies on the old control channel, automatically swaps the data
+  and control roles.
+
+A node halts as soon as its own message is transmitted (the simulator removes
+it), so the protocol does not need an explicit "done" state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..channel.virtual import VirtualChannelView
+from ..protocols.base import Protocol, make_factory
+from ..types import ChannelParity, Feedback
+from .parameters import AlgorithmParameters
+from .phases import Phase
+from .subroutines import HBackoff, HBatch
+
+__all__ = ["ChenJiangZhengProtocol", "GlobalClockVariant", "cjz_factory"]
+
+
+class ChenJiangZhengProtocol(Protocol):
+    """The paper's algorithm, parameterized by the jamming budget function ``g``."""
+
+    name = "chen-jiang-zheng"
+
+    def __init__(self, parameters: Optional[AlgorithmParameters] = None) -> None:
+        self._params = parameters or AlgorithmParameters.from_g()
+        self._rng: Optional[np.random.Generator] = None
+        self._phase = Phase.SYNCHRONIZE
+        # Phase 1 state
+        self._phase1_view: Optional[VirtualChannelView] = None
+        self._phase1_backoff: Optional[HBackoff] = None
+        # Phase 2 state
+        self._phase2_view: Optional[VirtualChannelView] = None
+        self._phase2_backoff: Optional[HBackoff] = None
+        # Phase 3 state
+        self._ctrl_view: Optional[VirtualChannelView] = None
+        self._data_view: Optional[VirtualChannelView] = None
+        self._ctrl_batch: Optional[HBatch] = None
+        self._data_batch: Optional[HBatch] = None
+        self._phase3_restarts = 0
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def parameters(self) -> AlgorithmParameters:
+        return self._params
+
+    @property
+    def phase(self) -> Phase:
+        return self._phase
+
+    @property
+    def phase3_restarts(self) -> int:
+        return self._phase3_restarts
+
+    @property
+    def control_parity(self) -> Optional[ChannelParity]:
+        """Parity of the node's current control channel (Phase 2 and 3 only)."""
+        if self._phase is Phase.WAIT_CONTROL and self._phase2_view is not None:
+            return self._phase2_view.parity
+        if self._phase is Phase.BATCH and self._ctrl_view is not None:
+            return self._ctrl_view.parity
+        return None
+
+    # --------------------------------------------------------------- protocol
+
+    def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._phase = Phase.SYNCHRONIZE
+        self._phase1_view = VirtualChannelView(anchor_slot=slot, same_parity=True)
+        self._phase1_backoff = HBackoff(self._params.backoff_budget, rng)
+
+    def _start_phase2(self, success_slot: int) -> None:
+        """Enter Phase 2 after hearing the first success (at ``success_slot``)."""
+        assert self._rng is not None
+        self._phase = Phase.WAIT_CONTROL
+        # The success channel (parity of success_slot) becomes the data
+        # channel; Phase 2's backoff runs on the opposite channel, which is
+        # exactly the channel containing success_slot + 1.
+        self._phase2_view = VirtualChannelView(
+            anchor_slot=success_slot + 1, same_parity=True
+        )
+        self._phase2_backoff = HBackoff(self._params.backoff_budget, self._rng)
+
+    def _start_phase3(self, anchor_slot: int) -> None:
+        """(Re)start Phase 3 with anchor ``l3 = anchor_slot``."""
+        assert self._rng is not None
+        if self._phase is Phase.BATCH:
+            self._phase3_restarts += 1
+        self._phase = Phase.BATCH
+        self._ctrl_view = VirtualChannelView(anchor_slot=anchor_slot + 1, same_parity=True)
+        self._data_view = VirtualChannelView(anchor_slot=anchor_slot + 2, same_parity=True)
+        self._ctrl_batch = HBatch(self._params.ctrl_probability, self._rng)
+        self._data_batch = HBatch(self._params.data_probability, self._rng)
+
+    def wants_to_broadcast(self, slot: int) -> bool:
+        if self._phase is Phase.SYNCHRONIZE:
+            assert self._phase1_view is not None and self._phase1_backoff is not None
+            if self._phase1_view.contains(slot):
+                return self._phase1_backoff.should_send(
+                    self._phase1_view.local_index(slot)
+                )
+            return False
+        if self._phase is Phase.WAIT_CONTROL:
+            assert self._phase2_view is not None and self._phase2_backoff is not None
+            if self._phase2_view.contains(slot):
+                return self._phase2_backoff.should_send(
+                    self._phase2_view.local_index(slot)
+                )
+            return False
+        # Phase 3: both batches run concurrently, one per virtual channel.
+        assert self._ctrl_view is not None and self._data_view is not None
+        assert self._ctrl_batch is not None and self._data_batch is not None
+        if self._ctrl_view.contains(slot):
+            return self._ctrl_batch.should_send(self._ctrl_view.local_index(slot))
+        if self._data_view.contains(slot):
+            return self._data_batch.should_send(self._data_view.local_index(slot))
+        return False
+
+    def on_feedback(
+        self, slot: int, feedback: Feedback, broadcast: bool, success_was_own: bool
+    ) -> None:
+        if success_was_own or feedback is not Feedback.SUCCESS:
+            return
+        if self._phase is Phase.SYNCHRONIZE:
+            self._start_phase2(slot)
+        elif self._phase is Phase.WAIT_CONTROL:
+            assert self._phase2_view is not None
+            if self._phase2_view.contains(slot):
+                self._start_phase3(slot)
+        else:  # Phase 3
+            assert self._ctrl_view is not None
+            if self._ctrl_view.contains(slot):
+                self._start_phase3(slot)
+
+
+class GlobalClockVariant(ChenJiangZhengProtocol):
+    """Ablation: assume a global clock so channel roles never need negotiating.
+
+    With a global clock the odd channel can simply be declared the control
+    channel and the even channel the data channel, removing the need for
+    Phase 1 (the role-agreement phase).  A node starts directly in Phase 2,
+    running backoff on the (globally known) control channel.  Comparing this
+    variant against the full protocol isolates the cost of reaching agreement
+    on channel roles without a clock.
+    """
+
+    name = "cjz-global-clock"
+
+    def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
+        super().on_arrival(slot, rng)
+        # Jump straight to Phase 2 with the odd channel (global parity) as the
+        # control channel: anchor the Phase-2 view at the next odd slot.
+        next_odd = slot if slot % 2 == 1 else slot + 1
+        self._phase = Phase.WAIT_CONTROL
+        self._phase2_view = VirtualChannelView(anchor_slot=next_odd, same_parity=True)
+        self._phase2_backoff = HBackoff(self._params.backoff_budget, rng)
+
+
+def cjz_factory(
+    parameters: Optional[AlgorithmParameters] = None,
+    global_clock: bool = False,
+):
+    """Protocol factory for the simulator (fresh instance per arriving node)."""
+    params = parameters or AlgorithmParameters.from_g()
+    cls = GlobalClockVariant if global_clock else ChenJiangZhengProtocol
+    return make_factory(cls, params)

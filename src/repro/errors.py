@@ -1,0 +1,27 @@
+"""Exception hierarchy for the reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a simulation, protocol or adversary is misconfigured."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol implementation violates the channel contract."""
+
+
+class AdversaryError(ReproError):
+    """Raised when an adversary produces an invalid action."""
+
+
+class AnalysisError(ReproError):
+    """Raised when analysis routines receive unusable data."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment cannot be run or produces no data."""

@@ -1,0 +1,40 @@
+"""Experiments reproducing the paper's theorem-level claims.
+
+Each experiment corresponds to one row of the per-experiment index in
+DESIGN.md.  Experiments register themselves with the registry in
+:mod:`repro.experiments.base`; import this package to populate it.
+"""
+
+from .base import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    register,
+    run_experiment,
+)
+from .config import ExperimentConfig
+
+# Importing the experiment modules registers them.
+from . import (  # noqa: F401  (imported for registration side effects)
+    e01_fg_throughput,
+    e02_tradeoff_curve,
+    e03_worst_case_jamming,
+    e04_no_jamming,
+    e05_batch_lower_bound,
+    e06_batch_robustness,
+    e07_nonadaptive,
+    e08_baselines,
+    e09_energy,
+    e10_smooth_clearing,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "ExperimentConfig",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+]

@@ -1,0 +1,104 @@
+"""Shared helpers for the experiment modules."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from ..adversary import (
+    Adversary,
+    BatchArrivals,
+    ComposedAdversary,
+    NoJamming,
+    RandomFractionJamming,
+    UniformRandomArrivals,
+)
+from ..core import AlgorithmParameters, cjz_factory
+from ..functions import RateFunction, constant_g
+from ..protocols.base import ProtocolFactory
+from ..sim import TrialStudy, run_trials
+
+__all__ = [
+    "batch_jam_adversary",
+    "spread_jam_adversary",
+    "cjz_study",
+    "protocol_study",
+    "log2",
+]
+
+
+def log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+def batch_jam_adversary(
+    count: int, jam_fraction: float = 0.0, slot: int = 1
+) -> Callable[[], Adversary]:
+    """Factory for a batch-arrival adversary with optional random jamming."""
+
+    def _factory() -> Adversary:
+        jamming = (
+            RandomFractionJamming(jam_fraction) if jam_fraction > 0 else NoJamming()
+        )
+        return ComposedAdversary(BatchArrivals(count, slot=slot), jamming)
+
+    return _factory
+
+
+def spread_jam_adversary(
+    total: int, horizon: int, jam_fraction: float = 0.0
+) -> Callable[[], Adversary]:
+    """Factory for uniformly spread arrivals with optional random jamming."""
+
+    def _factory() -> Adversary:
+        jamming = (
+            RandomFractionJamming(jam_fraction) if jam_fraction > 0 else NoJamming()
+        )
+        return ComposedAdversary(
+            UniformRandomArrivals(total, (1, max(1, horizon // 2))), jamming
+        )
+
+    return _factory
+
+
+def cjz_study(
+    adversary_factory: Callable[[], Adversary],
+    horizon: int,
+    trials: int,
+    seed: int,
+    g: Optional[RateFunction] = None,
+    stop_when_drained: bool = False,
+    label: str = "",
+) -> TrialStudy:
+    """Run the paper's algorithm (parameterized by ``g``) across trials."""
+    parameters = AlgorithmParameters.from_g(g or constant_g(4.0))
+    return run_trials(
+        protocol_factory=cjz_factory(parameters),
+        adversary_factory=adversary_factory,
+        horizon=horizon,
+        trials=trials,
+        seed=seed,
+        stop_when_drained=stop_when_drained,
+        label=label,
+    )
+
+
+def protocol_study(
+    protocol_factory: ProtocolFactory,
+    adversary_factory: Callable[[], Adversary],
+    horizon: int,
+    trials: int,
+    seed: int,
+    stop_when_drained: bool = False,
+    label: str = "",
+) -> TrialStudy:
+    """Run an arbitrary protocol across trials (thin wrapper for symmetry)."""
+    return run_trials(
+        protocol_factory=protocol_factory,
+        adversary_factory=adversary_factory,
+        horizon=horizon,
+        trials=trials,
+        seed=seed,
+        stop_when_drained=stop_when_drained,
+        label=label,
+    )

@@ -1,0 +1,140 @@
+"""Experiment framework: result container, base class and registry."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..analysis.tables import Table
+from ..errors import ExperimentError
+from .config import ExperimentConfig
+
+__all__ = [
+    "ExperimentResult",
+    "Experiment",
+    "register",
+    "get_experiment",
+    "all_experiments",
+    "run_experiment",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything an experiment reports back.
+
+    ``findings`` holds named scalar results (ratios, fitted exponents,
+    empirical probabilities) that tests and EXPERIMENTS.md reference;
+    ``conclusion`` is the one-paragraph comparison against the paper's claim;
+    ``consistent_with_paper`` is the experiment's own verdict.
+    """
+
+    experiment_id: str
+    title: str
+    paper_claim: str
+    tables: List[Table] = field(default_factory=list)
+    findings: Dict[str, float] = field(default_factory=dict)
+    conclusion: str = ""
+    consistent_with_paper: Optional[bool] = None
+
+    def render_text(self) -> str:
+        lines = [f"=== {self.experiment_id}: {self.title} ===", ""]
+        lines.append(f"Paper claim: {self.paper_claim}")
+        lines.append("")
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        if self.findings:
+            lines.append("Findings:")
+            for key, value in self.findings.items():
+                lines.append(f"  {key}: {value:g}" if isinstance(value, float) else f"  {key}: {value}")
+            lines.append("")
+        if self.conclusion:
+            lines.append(f"Conclusion: {self.conclusion}")
+        if self.consistent_with_paper is not None:
+            verdict = "CONSISTENT" if self.consistent_with_paper else "INCONSISTENT"
+            lines.append(f"Verdict: {verdict} with the paper")
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        lines = [f"### {self.experiment_id}: {self.title}", ""]
+        lines.append(f"**Paper claim.** {self.paper_claim}")
+        lines.append("")
+        for table in self.tables:
+            lines.append(f"**{table.title}**")
+            lines.append("")
+            lines.append(table.to_markdown())
+            lines.append("")
+        if self.findings:
+            lines.append("**Key findings.**")
+            lines.append("")
+            for key, value in self.findings.items():
+                rendered = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"- `{key}` = {rendered}")
+            lines.append("")
+        if self.conclusion:
+            lines.append(f"**Measured vs paper.** {self.conclusion}")
+            lines.append("")
+        if self.consistent_with_paper is not None:
+            verdict = "consistent" if self.consistent_with_paper else "**not** consistent"
+            lines.append(f"Verdict: {verdict} with the paper's claim.")
+            lines.append("")
+        return "\n".join(lines)
+
+
+class Experiment(abc.ABC):
+    """One reproducible experiment mapping to a claim of the paper."""
+
+    experiment_id: str = "E0"
+    title: str = "experiment"
+    paper_claim: str = ""
+
+    @abc.abstractmethod
+    def run(self, config: ExperimentConfig) -> ExperimentResult:
+        """Execute the experiment and return its result."""
+
+    def make_result(self) -> ExperimentResult:
+        return ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            paper_claim=self.paper_claim,
+        )
+
+
+_REGISTRY: Dict[str, Callable[[], Experiment]] = {}
+
+
+def register(factory: Callable[[], Experiment]) -> Callable[[], Experiment]:
+    """Class decorator registering an experiment under its ``experiment_id``."""
+    instance = factory()
+    experiment_id = instance.experiment_id
+    if experiment_id in _REGISTRY:
+        raise ExperimentError(f"duplicate experiment id {experiment_id!r}")
+    _REGISTRY[experiment_id] = factory
+    return factory
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Instantiate the experiment registered under ``experiment_id``."""
+    try:
+        factory = _REGISTRY[experiment_id]
+    except KeyError as exc:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        ) from exc
+    return factory()
+
+
+def all_experiments() -> List[str]:
+    """Sorted list of registered experiment ids."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(
+    experiment_id: str, config: Optional[ExperimentConfig] = None
+) -> ExperimentResult:
+    """Convenience: instantiate and run an experiment by id."""
+    experiment = get_experiment(experiment_id)
+    return experiment.run(config or ExperimentConfig())

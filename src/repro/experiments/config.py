@@ -1,0 +1,54 @@
+"""Experiment configuration: trial counts, scale presets and seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+__all__ = ["ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Controls how much work each experiment does.
+
+    ``scale`` selects a preset:
+
+    * ``"smoke"`` — minimal sizes; used by the test suite to exercise the
+      experiment code paths in seconds.
+    * ``"quick"`` — small sizes; used by the pytest-benchmark harness.
+    * ``"full"``  — the sizes recorded in EXPERIMENTS.md (minutes).
+
+    Experiments read :attr:`scale_factor` and the helpers below rather than
+    interpreting the preset name directly, so custom scales remain possible.
+    """
+
+    trials: int = 5
+    seed: int = 20210219  # arXiv submission date of the paper
+    scale: str = "quick"
+
+    _FACTORS = {"smoke": 0.25, "quick": 1.0, "full": 4.0}
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        if self.scale not in self._FACTORS:
+            raise ConfigurationError(
+                f"scale must be one of {sorted(self._FACTORS)}, got {self.scale!r}"
+            )
+
+    @property
+    def scale_factor(self) -> float:
+        return self._FACTORS[self.scale]
+
+    def horizon(self, base: int, minimum: int = 256) -> int:
+        """Scale a base horizon by the preset factor (power-of-two friendly)."""
+        return max(minimum, int(base * self.scale_factor))
+
+    def count(self, base: int, minimum: int = 8) -> int:
+        """Scale a node count by the preset factor."""
+        return max(minimum, int(base * self.scale_factor))
+
+    def with_scale(self, scale: str) -> "ExperimentConfig":
+        return ExperimentConfig(trials=self.trials, seed=self.seed, scale=scale)

@@ -1,0 +1,79 @@
+"""Report writer: turn experiment results into the EXPERIMENTS.md document."""
+
+from __future__ import annotations
+
+import datetime
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .base import ExperimentResult, all_experiments, get_experiment
+from .config import ExperimentConfig
+
+__all__ = ["render_report", "write_report", "run_all"]
+
+_HEADER = """# EXPERIMENTS — measured vs paper
+
+Reproduction of *Tight Trade-off in Contention Resolution without Collision
+Detection* (Chen, Jiang, Zheng — PODC 2021).
+
+The paper is theory-only (no empirical tables or figures), so each experiment
+below corresponds to one theorem-level claim; the DESIGN.md per-experiment
+index maps them to modules and benchmark targets.  Absolute constants are not
+expected to match (the paper leaves its constants unspecified); the *shape*
+of every claim — who wins, how quantities scale, where the trade-off bends —
+is what each experiment verifies.
+"""
+
+
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    experiment_ids: Optional[Sequence[str]] = None,
+) -> List[ExperimentResult]:
+    """Run the requested experiments (default: all) and return their results."""
+    config = config or ExperimentConfig()
+    ids = list(experiment_ids) if experiment_ids else all_experiments()
+    results = []
+    for experiment_id in ids:
+        experiment = get_experiment(experiment_id)
+        results.append(experiment.run(config))
+    return results
+
+
+def render_report(
+    results: Iterable[ExperimentResult],
+    config: Optional[ExperimentConfig] = None,
+) -> str:
+    """Render a full markdown report from experiment results."""
+    lines = [_HEADER]
+    if config is not None:
+        lines.append(
+            f"_Generated on {datetime.date.today().isoformat()} with scale="
+            f"'{config.scale}', trials={config.trials}, seed={config.seed}._\n"
+        )
+    results = list(results)
+    lines.append("## Summary\n")
+    lines.append("| Experiment | Claim | Verdict |")
+    lines.append("|---|---|---|")
+    for result in results:
+        verdict = (
+            "consistent"
+            if result.consistent_with_paper
+            else ("inconsistent" if result.consistent_with_paper is not None else "n/a")
+        )
+        lines.append(f"| {result.experiment_id} | {result.title} | {verdict} |")
+    lines.append("")
+    lines.append("## Per-experiment details\n")
+    for result in results:
+        lines.append(result.render_markdown())
+    return "\n".join(lines)
+
+
+def write_report(
+    path: str | Path,
+    results: Iterable[ExperimentResult],
+    config: Optional[ExperimentConfig] = None,
+) -> Path:
+    """Write the rendered report to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(render_report(results, config), encoding="utf-8")
+    return path

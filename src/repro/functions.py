@@ -1,0 +1,235 @@
+"""Function families used by the paper's algorithm and analysis.
+
+The algorithm of Chen, Jiang and Zheng is parameterized by a jamming budget
+function ``g`` with ``log g(x) = O(sqrt(log x))``.  From ``g`` it derives the
+arrival budget function ``f(x) = Θ(log x / log² g(x))`` and two sending-rate
+functions:
+
+* ``h_ctrl(x) = c3 · log(x) / x`` — used by the control-channel ``batch``,
+* ``h_data(x) = 1 / x``          — used by the data-channel ``batch``.
+
+This module provides:
+
+* :class:`RateFunction` — a named, positive, callable wrapper with sanity
+  checks, used everywhere a function of slot counts is required;
+* constructors for the standard ``g`` families appearing in the paper
+  (constant, ``log x``, ``polylog``, ``2^sqrt(log x)``);
+* :func:`derive_f` implementing the paper's ``f`` from ``g``;
+* :func:`is_sub_logarithmic` — an empirical check of the paper's
+  "sub-logarithmic" conditions (Remark 1) on a sampled range, used by tests
+  and by experiment configuration validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .errors import ConfigurationError
+
+__all__ = [
+    "RateFunction",
+    "constant_g",
+    "log_g",
+    "polylog_g",
+    "exp_sqrt_log_g",
+    "derive_f",
+    "h_ctrl",
+    "h_data",
+    "backoff_budget",
+    "is_sub_logarithmic",
+    "GFamily",
+    "STANDARD_G_FAMILIES",
+]
+
+
+@dataclass(frozen=True)
+class RateFunction:
+    """A positive real function of a positive real argument, with a name.
+
+    Instances are lightweight callables; the name is carried along so that
+    experiment reports can label sweeps (e.g. ``g(x) = log x``).
+    """
+
+    name: str
+    func: Callable[[float], float]
+
+    def __call__(self, x: float) -> float:
+        if x <= 0:
+            raise ConfigurationError(
+                f"rate function {self.name!r} evaluated at non-positive x={x}"
+            )
+        value = float(self.func(x))
+        if not math.isfinite(value) or value <= 0:
+            raise ConfigurationError(
+                f"rate function {self.name!r} produced invalid value {value} at x={x}"
+            )
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"RateFunction({self.name})"
+
+
+def constant_g(value: float = 4.0) -> RateFunction:
+    """Constant jamming budget: the adversary may jam a constant fraction of slots."""
+    if value <= 1:
+        raise ConfigurationError("constant g must exceed 1")
+    return RateFunction(f"g(x)={value:g}", lambda x: value)
+
+
+def log_g(base: float = 2.0, floor: float = 2.0) -> RateFunction:
+    """``g(x) = max(floor, log_base x)`` — the adversary may jam a 1/log x fraction."""
+    if base <= 1:
+        raise ConfigurationError("log base must exceed 1")
+    return RateFunction(
+        f"g(x)=log_{base:g}(x)",
+        lambda x: max(floor, math.log(x, base)),
+    )
+
+
+def polylog_g(power: float = 2.0, floor: float = 2.0) -> RateFunction:
+    """``g(x) = max(floor, (log₂ x)^power)``."""
+    if power <= 0:
+        raise ConfigurationError("polylog power must be positive")
+    return RateFunction(
+        f"g(x)=log^{power:g}(x)",
+        lambda x: max(floor, math.log2(max(x, 2.0)) ** power),
+    )
+
+
+def exp_sqrt_log_g(scale: float = 1.0, floor: float = 2.0) -> RateFunction:
+    """``g(x) = max(floor, 2^(scale·sqrt(log₂ x)))`` — the largest admissible family.
+
+    With this choice ``f`` becomes a constant function (Remark 2): the
+    algorithm achieves constant throughput while tolerating ``t / 2^Θ(sqrt(log t))``
+    jammed slots.
+    """
+    if scale <= 0:
+        raise ConfigurationError("scale must be positive")
+    return RateFunction(
+        f"g(x)=2^({scale:g}*sqrt(log2 x))",
+        lambda x: max(floor, 2.0 ** (scale * math.sqrt(math.log2(max(x, 2.0))))),
+    )
+
+
+def derive_f(g: RateFunction, a: float = 1.0, c2: float = 1.0, floor: float = 1.0) -> RateFunction:
+    """Derive ``f(x) = a·c2·log(x) / log²(g(x)/a)`` from the jamming budget ``g``.
+
+    This is the function of Theorem 1.2; constants ``a`` and ``c2`` correspond
+    to the paper's (unspecified) constants.  A floor keeps the function usable
+    at small ``x`` where the asymptotic expression degenerates.
+    """
+    if a <= 0 or c2 <= 0:
+        raise ConfigurationError("constants a and c2 must be positive")
+
+    def _f(x: float) -> float:
+        gx = max(g(x) / a, 2.0)
+        value = a * c2 * math.log2(max(x, 2.0)) / (math.log2(gx) ** 2)
+        return max(floor, value)
+
+    return RateFunction(f"f from {g.name}", _f)
+
+
+def h_ctrl(c3: float = 4.0) -> RateFunction:
+    """Control-channel batch rate ``h_ctrl(x) = c3 · log₂(x) / x`` (capped at 1)."""
+    if c3 <= 0:
+        raise ConfigurationError("c3 must be positive")
+    return RateFunction(
+        f"h_ctrl(x)={c3:g}*log(x)/x",
+        lambda x: min(1.0, c3 * math.log2(max(x, 2.0)) / x),
+    )
+
+
+def h_data() -> RateFunction:
+    """Data-channel batch rate ``h_data(x) = 1 / x``."""
+    return RateFunction("h_data(x)=1/x", lambda x: min(1.0, 1.0 / x))
+
+
+def backoff_budget(f: RateFunction, scale: float = 1.0) -> Callable[[int], int]:
+    """Turn the budget function ``f`` into the per-stage send count used by ``h-backoff``.
+
+    A node running ``(f/a)-backoff`` sends ``ceil(scale · f(stage_length))``
+    times per stage, each in a uniformly random slot of the stage.
+    """
+
+    def _budget(stage_length: int) -> int:
+        if stage_length <= 0:
+            raise ConfigurationError("stage length must be positive")
+        return max(1, math.ceil(scale * f(float(stage_length))))
+
+    return _budget
+
+
+def is_sub_logarithmic(
+    func: RateFunction,
+    xs: Sequence[float] = (2.0**10, 2.0**14, 2.0**18, 2.0**22, 2.0**26),
+    ratio_constant: float = 8.0,
+    tolerance: float = 0.35,
+) -> bool:
+    """Empirically check the paper's sub-logarithmic conditions (Remark 1).
+
+    The check samples the function on ``xs`` and verifies, approximately:
+
+    1. ``func(x) = O(log x)`` and non-decreasing on the sample;
+    2. ``func(c·x)`` differs from ``func(x)`` by a bounded additive amount;
+    3. ``func(x^c) = Θ(func(x))`` up to the tolerance.
+
+    This is a heuristic sanity check for configurations, not a proof.
+    """
+    values = [func(x) for x in xs]
+    logs = [math.log2(x) for x in xs]
+    # (1) O(log x) and non-decreasing (small decreases within tolerance allowed).
+    for value, logx in zip(values, logs):
+        if value > ratio_constant * logx:
+            return False
+    for earlier, later in zip(values, values[1:]):
+        if later < earlier * (1.0 - tolerance):
+            return False
+    # (2) bounded additive change under constant multiplication of the argument.
+    additive_bound = ratio_constant * (1.0 + max(values))
+    for x in xs:
+        if abs(func(4.0 * x) - func(x)) > additive_bound:
+            return False
+    # (3) Θ-stability under constant powers of the argument.
+    for x in xs:
+        ratio = func(x**1.5) / func(x)
+        if ratio > ratio_constant or ratio < 1.0 / ratio_constant:
+            return False
+    return True
+
+
+@dataclass(frozen=True)
+class GFamily:
+    """A named jamming-budget family paired with its derived arrival budget."""
+
+    label: str
+    g: RateFunction
+    description: str
+
+    def f(self, a: float = 1.0, c2: float = 1.0) -> RateFunction:
+        return derive_f(self.g, a=a, c2=c2)
+
+
+STANDARD_G_FAMILIES = (
+    GFamily(
+        label="constant",
+        g=constant_g(4.0),
+        description="constant-fraction jamming (worst case); best f is Θ(log t)",
+    ),
+    GFamily(
+        label="log",
+        g=log_g(),
+        description="1/log t fraction of slots jammed; f is Θ(log t / log² log t)",
+    ),
+    GFamily(
+        label="polylog",
+        g=polylog_g(2.0),
+        description="1/log² t fraction of slots jammed",
+    ),
+    GFamily(
+        label="exp-sqrt-log",
+        g=exp_sqrt_log_g(),
+        description="2^Θ(sqrt(log t)) budget; f becomes constant (Remark 2)",
+    ),
+)

@@ -1,0 +1,25 @@
+"""Metrics: throughput, (f, g)-throughput verification, latency and energy."""
+
+from .collectors import MetricsCollector, SuccessTimeline, WindowedSuccessCounter
+from .throughput import (
+    FGThroughputChecker,
+    ThroughputReport,
+    classical_throughput_series,
+    check_fg_throughput,
+)
+from .latency import LatencySummary, summarize_latencies
+from .energy import EnergySummary, summarize_energy
+
+__all__ = [
+    "MetricsCollector",
+    "SuccessTimeline",
+    "WindowedSuccessCounter",
+    "FGThroughputChecker",
+    "ThroughputReport",
+    "classical_throughput_series",
+    "check_fg_throughput",
+    "LatencySummary",
+    "summarize_latencies",
+    "EnergySummary",
+    "summarize_energy",
+]

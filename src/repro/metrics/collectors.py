@@ -1,0 +1,88 @@
+"""Metric collectors that hook into the simulation engine slot-by-slot."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..types import SlotOutcome, SlotRecord
+
+__all__ = ["MetricsCollector", "SuccessTimeline", "WindowedSuccessCounter"]
+
+
+class MetricsCollector:
+    """Base class for collectors attached to a :class:`~repro.sim.engine.Simulator`.
+
+    Collectors are optional: most experiments work from the
+    :class:`~repro.sim.results.SimulationResult` prefix arrays alone.  They are
+    useful when per-slot information is needed without retaining the full
+    trace.
+    """
+
+    def on_run_start(self, horizon: int) -> None:
+        """Called before the first slot."""
+
+    def on_slot(self, record: SlotRecord) -> None:
+        """Called after each slot with its full record."""
+
+    def on_run_end(self, result) -> None:
+        """Called once after the last slot with the final result."""
+
+
+class SuccessTimeline(MetricsCollector):
+    """Records the global slot index of every success."""
+
+    def __init__(self) -> None:
+        self.success_slots: List[int] = []
+
+    def on_run_start(self, horizon: int) -> None:
+        self.success_slots = []
+
+    def on_slot(self, record: SlotRecord) -> None:
+        if record.outcome is SlotOutcome.SUCCESS:
+            self.success_slots.append(record.slot)
+
+    def successes_before(self, slot: int) -> int:
+        return sum(1 for s in self.success_slots if s <= slot)
+
+    def first_success(self) -> Optional[int]:
+        return self.success_slots[0] if self.success_slots else None
+
+
+class WindowedSuccessCounter(MetricsCollector):
+    """Counts successes in consecutive windows of fixed length.
+
+    Gives the success-rate time series used to visualise how throughput
+    evolves during a run (e.g. to see the batch phase delivering a constant
+    rate and the dynamic phase degrading under jamming).
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.counts: List[int] = []
+        self._current = 0
+        self._filled = 0
+
+    def on_run_start(self, horizon: int) -> None:
+        self.counts = []
+        self._current = 0
+        self._filled = 0
+
+    def on_slot(self, record: SlotRecord) -> None:
+        if record.outcome is SlotOutcome.SUCCESS:
+            self._current += 1
+        self._filled += 1
+        if self._filled == self.window:
+            self.counts.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def on_run_end(self, result) -> None:
+        if self._filled:
+            self.counts.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def rates(self) -> List[float]:
+        return [count / self.window for count in self.counts]

@@ -1,0 +1,60 @@
+"""Energy metric: channel accesses (broadcast attempts) per node.
+
+The contention-resolution literature calls the number of broadcast attempts a
+node makes before succeeding its *energy complexity*.  The paper notes that
+its algorithm, like Bender et al.'s, uses poly-logarithmically many accesses
+per node; experiment E9 measures this empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..sim.results import SimulationResult
+
+__all__ = ["EnergySummary", "summarize_energy"]
+
+
+@dataclass
+class EnergySummary:
+    """Summary of per-node broadcast counts over one or more runs."""
+
+    nodes: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    total_broadcasts: int
+
+    def scaled_by_log2(self, n: int) -> float:
+        """Mean accesses divided by log₂²(n) — the poly-log normalization used in E9."""
+        if n < 2:
+            return float("nan")
+        return self.mean / (np.log2(n) ** 2)
+
+
+def summarize_energy(results: Sequence[SimulationResult]) -> EnergySummary:
+    counts: list = []
+    for result in results:
+        counts.extend(result.broadcast_counts())
+    if not counts:
+        return EnergySummary(
+            nodes=0,
+            mean=float("nan"),
+            median=float("nan"),
+            p95=float("nan"),
+            maximum=float("nan"),
+            total_broadcasts=0,
+        )
+    arr = np.asarray(counts, dtype=float)
+    return EnergySummary(
+        nodes=int(arr.size),
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        p95=float(np.quantile(arr, 0.95)),
+        maximum=float(np.max(arr)),
+        total_broadcasts=int(np.sum(arr)),
+    )

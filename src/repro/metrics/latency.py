@@ -1,0 +1,56 @@
+"""Per-node latency statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..sim.results import SimulationResult
+
+__all__ = ["LatencySummary", "summarize_latencies"]
+
+
+@dataclass
+class LatencySummary:
+    """Summary of the slots-to-success distribution of one or more runs."""
+
+    count: int
+    unfinished: int
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+
+    @property
+    def completion_rate(self) -> float:
+        total = self.count + self.unfinished
+        return self.count / total if total else float("nan")
+
+
+def summarize_latencies(results: Sequence[SimulationResult]) -> LatencySummary:
+    """Aggregate latency statistics over one or more runs."""
+    latencies: list = []
+    unfinished = 0
+    for result in results:
+        latencies.extend(result.latencies())
+        unfinished += result.unfinished_nodes
+    if not latencies:
+        return LatencySummary(
+            count=0,
+            unfinished=unfinished,
+            mean=float("nan"),
+            median=float("nan"),
+            p95=float("nan"),
+            maximum=float("nan"),
+        )
+    arr = np.asarray(latencies, dtype=float)
+    return LatencySummary(
+        count=int(arr.size),
+        unfinished=unfinished,
+        mean=float(np.mean(arr)),
+        median=float(np.median(arr)),
+        p95=float(np.quantile(arr, 0.95)),
+        maximum=float(np.max(arr)),
+    )

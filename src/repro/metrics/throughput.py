@@ -1,0 +1,151 @@
+"""Throughput metrics, including the paper's (f, g)-throughput check.
+
+Definition 1.1 of the paper: an algorithm achieves (f, g)-throughput if for
+every ``t >= 1`` the number of active slots among the first ``t`` slots is at
+most ``n_t · f(t) + d_t · g(t)``, where ``n_t`` is the number of arrivals and
+``d_t`` the number of jammed slots in the first ``t`` slots, with high
+probability in ``n_t``.
+
+The empirical checker verifies the inequality for every prefix of a finished
+run (optionally with a slack multiplier to absorb small-``t`` constant-factor
+effects) and reports the worst prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AnalysisError
+from ..functions import RateFunction
+from ..sim.results import SimulationResult
+
+__all__ = [
+    "ThroughputReport",
+    "FGThroughputChecker",
+    "check_fg_throughput",
+    "classical_throughput_series",
+]
+
+
+@dataclass
+class ThroughputReport:
+    """Outcome of checking one run against the (f, g)-throughput bound."""
+
+    satisfied: bool
+    worst_slot: int
+    worst_ratio: float
+    active_at_worst: int
+    bound_at_worst: float
+    violations: int
+    checked_prefixes: int
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.satisfied
+
+
+class FGThroughputChecker:
+    """Checks the Definition 1.1 inequality on every prefix of a run."""
+
+    def __init__(
+        self,
+        f: RateFunction,
+        g: RateFunction,
+        slack: float = 1.0,
+        min_prefix: int = 16,
+        additive_grace: float = 0.0,
+    ) -> None:
+        if slack <= 0:
+            raise AnalysisError("slack must be positive")
+        self._f = f
+        self._g = g
+        self._slack = slack
+        self._min_prefix = max(1, min_prefix)
+        self._grace = additive_grace
+
+    def bound(self, t: int, arrivals: int, jammed: int) -> float:
+        """The right-hand side ``slack · (n_t f(t) + d_t g(t)) + grace``."""
+        return (
+            self._slack
+            * (arrivals * self._f(float(t)) + jammed * self._g(float(t)))
+            + self._grace
+        )
+
+    def check(self, result: SimulationResult) -> ThroughputReport:
+        horizon = result.horizon
+        if horizon < 1:
+            raise AnalysisError("cannot check an empty run")
+        worst_ratio = 0.0
+        worst_slot = self._min_prefix
+        worst_active = 0
+        worst_bound = float("inf")
+        violations = 0
+        checked = 0
+        for t in range(self._min_prefix, horizon + 1):
+            active = result.prefix_active[t]
+            arrivals = result.prefix_arrivals[t]
+            jammed = result.prefix_jammed[t]
+            bound = self.bound(t, arrivals, jammed)
+            checked += 1
+            if bound <= 0:
+                ratio = 0.0 if active == 0 else float("inf")
+            else:
+                ratio = active / bound
+            if active > bound:
+                violations += 1
+            if ratio > worst_ratio:
+                worst_ratio = ratio
+                worst_slot = t
+                worst_active = active
+                worst_bound = bound
+        return ThroughputReport(
+            satisfied=violations == 0,
+            worst_slot=worst_slot,
+            worst_ratio=worst_ratio,
+            active_at_worst=worst_active,
+            bound_at_worst=worst_bound,
+            violations=violations,
+            checked_prefixes=checked,
+        )
+
+
+def check_fg_throughput(
+    result: SimulationResult,
+    f: RateFunction,
+    g: RateFunction,
+    slack: float = 1.0,
+    min_prefix: int = 16,
+    additive_grace: float = 0.0,
+) -> ThroughputReport:
+    """Functional wrapper around :class:`FGThroughputChecker`."""
+    checker = FGThroughputChecker(
+        f, g, slack=slack, min_prefix=min_prefix, additive_grace=additive_grace
+    )
+    return checker.check(result)
+
+
+def classical_throughput_series(
+    result: SimulationResult,
+    checkpoints: Optional[Sequence[int]] = None,
+) -> List[float]:
+    """The classical throughput ``n_t / a_t`` evaluated at the given checkpoints.
+
+    Defaults to powers of two up to the horizon.  Inactive prefixes yield
+    ``inf`` (vacuous throughput), matching :meth:`SimulationResult.classical_throughput`.
+    """
+    if checkpoints is None:
+        checkpoints = []
+        t = 2
+        while t <= result.horizon:
+            checkpoints.append(t)
+            t *= 2
+        if not checkpoints or checkpoints[-1] != result.horizon:
+            checkpoints.append(result.horizon)
+    series = []
+    for t in checkpoints:
+        if t < 1 or t > result.horizon:
+            raise AnalysisError(f"checkpoint {t} outside horizon {result.horizon}")
+        series.append(result.classical_throughput(t))
+    return series

@@ -1,0 +1,46 @@
+"""Contention-resolution protocols.
+
+This package contains the protocol interface plus all baseline algorithms the
+paper discusses or compares against.  The paper's own algorithm lives in
+:mod:`repro.core`.
+"""
+
+from .base import Protocol, ProtocolFactory, make_factory
+from .binary_exponential import (
+    BinaryExponentialBackoff,
+    ProbabilityBackoff,
+    WindowedBinaryExponentialBackoff,
+)
+from .polynomial import PolynomialBackoff
+from .sawtooth import SawtoothBackoff
+from .fixed_probability import FixedProbabilityProtocol, LogUniformFixedProtocol
+from .aloha import SlottedAloha
+from .collision_detection import BackonBackoffCD
+
+__all__ = [
+    "Protocol",
+    "ProtocolFactory",
+    "make_factory",
+    "BinaryExponentialBackoff",
+    "WindowedBinaryExponentialBackoff",
+    "ProbabilityBackoff",
+    "PolynomialBackoff",
+    "SawtoothBackoff",
+    "FixedProbabilityProtocol",
+    "LogUniformFixedProtocol",
+    "SlottedAloha",
+    "BackonBackoffCD",
+    "TwoChannelNoJamming",
+]
+
+
+def __getattr__(name: str):
+    # TwoChannelNoJamming subclasses the core protocol, which itself depends on
+    # this package's ``base`` module; importing it lazily avoids the circular
+    # import while keeping ``from repro.protocols import TwoChannelNoJamming``
+    # working.
+    if name == "TwoChannelNoJamming":
+        from .two_channel_no_jamming import TwoChannelNoJamming
+
+        return TwoChannelNoJamming
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,81 @@
+"""Protocol interface.
+
+A *protocol* is the algorithm one node runs from the moment it is injected
+until its single message is successfully transmitted.  The simulator drives a
+protocol instance through three hooks per slot:
+
+1. :meth:`Protocol.on_arrival` — called once, at the beginning of the node's
+   arrival slot, before the first broadcast decision.
+2. :meth:`Protocol.wants_to_broadcast` — called at the beginning of every slot
+   the node is active; returns whether the node broadcasts its message.
+3. :meth:`Protocol.on_feedback` — called at the end of every slot the node is
+   active, carrying the channel feedback every listener receives.  Per the
+   model, nodes without collision detection only learn "success" (including
+   the successful sender's identity via ``success_was_own``) or "no success".
+
+A node halts automatically when its own message goes through; the simulator
+stops calling its hooks afterwards.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from ..types import Feedback
+
+__all__ = ["Protocol", "ProtocolFactory", "make_factory"]
+
+
+class Protocol(abc.ABC):
+    """Per-node contention-resolution algorithm."""
+
+    #: human-readable protocol name used in reports
+    name: str = "protocol"
+
+    @abc.abstractmethod
+    def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
+        """Initialize the node's state; ``slot`` is the global arrival slot."""
+
+    @abc.abstractmethod
+    def wants_to_broadcast(self, slot: int) -> bool:
+        """Return ``True`` if the node broadcasts its message in ``slot``."""
+
+    @abc.abstractmethod
+    def on_feedback(
+        self,
+        slot: int,
+        feedback: Feedback,
+        broadcast: bool,
+        success_was_own: bool,
+    ) -> None:
+        """Consume the slot's channel feedback.
+
+        Parameters
+        ----------
+        slot:
+            Global slot index that just ended.
+        feedback:
+            Channel feedback heard by every listener.
+        broadcast:
+            Whether this node itself broadcast in the slot.
+        success_was_own:
+            Whether the success (if any) was this node's own message.  When
+            true the node has left the system; implementations may ignore the
+            call.
+        """
+
+
+ProtocolFactory = Callable[[], Protocol]
+
+
+def make_factory(cls: type, /, *args, **kwargs) -> ProtocolFactory:
+    """Build a factory producing fresh protocol instances for each new node."""
+
+    def _factory() -> Protocol:
+        return cls(*args, **kwargs)
+
+    _factory.protocol_name = getattr(cls, "name", cls.__name__)  # type: ignore[attr-defined]
+    return _factory

@@ -1,0 +1,119 @@
+"""Binary exponential backoff baselines.
+
+Two classical implementations are provided:
+
+* :class:`WindowedBinaryExponentialBackoff` — the Ethernet-style contention
+  window: after each failed attempt the node doubles its window and picks a
+  uniformly random slot in the new window for its next attempt.
+* :class:`ProbabilityBackoff` — the probability formulation used throughout
+  the paper's analysis: in the ``i``-th slot since activation the node
+  broadcasts with probability ``min(1, c / i)``; with ``c = 1`` this is
+  exactly the ``h_data``-batch of Claim 3.5.1 run individually.
+
+``BinaryExponentialBackoff`` is an alias for the windowed variant, the name
+most readers expect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Feedback
+from .base import Protocol
+
+__all__ = [
+    "WindowedBinaryExponentialBackoff",
+    "ProbabilityBackoff",
+    "BinaryExponentialBackoff",
+]
+
+
+class WindowedBinaryExponentialBackoff(Protocol):
+    """Ethernet-style binary exponential backoff with a doubling contention window."""
+
+    name = "binary-exponential-backoff"
+
+    def __init__(self, initial_window: int = 2, max_window: Optional[int] = None) -> None:
+        if initial_window < 1:
+            raise ConfigurationError("initial_window must be >= 1")
+        if max_window is not None and max_window < initial_window:
+            raise ConfigurationError("max_window must be >= initial_window")
+        self._initial_window = initial_window
+        self._max_window = max_window
+        self._rng: Optional[np.random.Generator] = None
+        self._window = initial_window
+        self._next_attempt_slot = 0
+        self._arrival_slot = 0
+
+    def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._arrival_slot = slot
+        self._window = self._initial_window
+        self._schedule_next(slot)
+
+    def _schedule_next(self, current_slot: int) -> None:
+        assert self._rng is not None
+        offset = int(self._rng.integers(0, self._window))
+        self._next_attempt_slot = current_slot + offset
+
+    def wants_to_broadcast(self, slot: int) -> bool:
+        return slot == self._next_attempt_slot
+
+    def on_feedback(
+        self, slot: int, feedback: Feedback, broadcast: bool, success_was_own: bool
+    ) -> None:
+        if success_was_own:
+            return
+        if broadcast and feedback is not Feedback.SUCCESS:
+            # Attempt failed: double the window and reschedule.
+            self._window *= 2
+            if self._max_window is not None:
+                self._window = min(self._window, self._max_window)
+            self._schedule_next(slot + 1)
+        elif not broadcast and slot >= self._next_attempt_slot:
+            # Defensive: if the scheduled attempt slipped past (should not
+            # happen in normal operation), reschedule without growing.
+            self._schedule_next(slot + 1)
+
+
+class ProbabilityBackoff(Protocol):
+    """Broadcast with probability ``min(1, scale / i)`` in the ``i``-th slot since arrival.
+
+    With ``scale = 1`` this is the per-node version of the paper's
+    ``h_data``-batch; running ``n`` simultaneously-activated instances is
+    exactly the process of Claim 3.5.1.
+    """
+
+    name = "probability-backoff"
+
+    def __init__(self, scale: float = 1.0) -> None:
+        if scale <= 0:
+            raise ConfigurationError("scale must be positive")
+        self._scale = scale
+        self._rng: Optional[np.random.Generator] = None
+        self._arrival_slot = 0
+
+    def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._arrival_slot = slot
+
+    def _probability(self, slot: int) -> float:
+        i = slot - self._arrival_slot + 1
+        return min(1.0, self._scale / i)
+
+    def wants_to_broadcast(self, slot: int) -> bool:
+        assert self._rng is not None
+        return bool(self._rng.random() < self._probability(slot))
+
+    def on_feedback(
+        self, slot: int, feedback: Feedback, broadcast: bool, success_was_own: bool
+    ) -> None:
+        # Non-adaptive in the sense of the paper: the sending probability only
+        # depends on the time since arrival, not on the feedback history.
+        return None
+
+
+BinaryExponentialBackoff = WindowedBinaryExponentialBackoff

@@ -1,0 +1,66 @@
+"""Polynomial backoff baseline.
+
+Instead of doubling the contention window after every failure, polynomial
+backoff grows it polynomially: after the ``k``-th failure the window is
+``(k + 1)^degree``.  Hastad, Leighton and Rogoff (STOC '87) showed polynomial
+backoff is stable for statistical arrivals where binary exponential backoff is
+not; under adversarial arrivals it trades much higher latency for that
+stability.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Feedback
+from .base import Protocol
+
+__all__ = ["PolynomialBackoff"]
+
+
+class PolynomialBackoff(Protocol):
+    """Windowed backoff whose window grows as ``(failures + 1) ** degree``."""
+
+    name = "polynomial-backoff"
+
+    def __init__(self, degree: float = 2.0, initial_window: int = 2) -> None:
+        if degree <= 0:
+            raise ConfigurationError("degree must be positive")
+        if initial_window < 1:
+            raise ConfigurationError("initial_window must be >= 1")
+        self._degree = degree
+        self._initial_window = initial_window
+        self._failures = 0
+        self._rng: Optional[np.random.Generator] = None
+        self._next_attempt_slot = 0
+
+    def _current_window(self) -> int:
+        grown = int(round((self._failures + 1) ** self._degree))
+        return max(self._initial_window, grown)
+
+    def _schedule_next(self, current_slot: int) -> None:
+        assert self._rng is not None
+        offset = int(self._rng.integers(0, self._current_window()))
+        self._next_attempt_slot = current_slot + offset
+
+    def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._failures = 0
+        self._schedule_next(slot)
+
+    def wants_to_broadcast(self, slot: int) -> bool:
+        return slot == self._next_attempt_slot
+
+    def on_feedback(
+        self, slot: int, feedback: Feedback, broadcast: bool, success_was_own: bool
+    ) -> None:
+        if success_was_own:
+            return
+        if broadcast and feedback is not Feedback.SUCCESS:
+            self._failures += 1
+            self._schedule_next(slot + 1)
+        elif not broadcast and slot >= self._next_attempt_slot:
+            self._schedule_next(slot + 1)

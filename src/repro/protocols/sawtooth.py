@@ -1,0 +1,88 @@
+"""Sawtooth backoff baseline.
+
+Sawtooth backoff (a batched backoff variant from the adversarial-arrival
+literature, cf. Bender et al. SPAA '05) repeatedly executes *runs*: a run with
+window ``w`` consists of ``log₂ w`` phases in which the node broadcasts with
+probabilities ``1/w, 2/w, 4/w, …, 1/2`` (monotonically increasing — the
+"sawtooth" ramps up within a run), each phase lasting the corresponding number
+of slots.  After an unsuccessful run the window doubles and a new run starts.
+The ramp-up inside a run gives the protocol a backon flavour without requiring
+collision detection.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..types import Feedback
+from .base import Protocol
+
+__all__ = ["SawtoothBackoff"]
+
+
+class SawtoothBackoff(Protocol):
+    """Repeated doubling runs, each ramping its sending probability up to 1/2."""
+
+    name = "sawtooth-backoff"
+
+    def __init__(self, initial_window: int = 4, max_window: Optional[int] = None) -> None:
+        if initial_window < 2:
+            raise ConfigurationError("initial_window must be >= 2")
+        if max_window is not None and max_window < initial_window:
+            raise ConfigurationError("max_window must be >= initial_window")
+        self._initial_window = initial_window
+        self._max_window = max_window
+        self._rng: Optional[np.random.Generator] = None
+        self._window = initial_window
+        self._schedule: List[Tuple[int, float]] = []
+        self._cursor = 0
+        self._run_start_slot = 0
+
+    def _build_run(self, start_slot: int) -> None:
+        """Precompute (slot, probability) pairs for one run with the current window."""
+        self._schedule = []
+        slot = start_slot
+        probability = 1.0 / self._window
+        while probability <= 0.5 + 1e-12:
+            phase_length = max(1, int(round(1.0 / probability)))
+            for _ in range(phase_length):
+                self._schedule.append((slot, probability))
+                slot += 1
+            probability *= 2.0
+        self._cursor = 0
+        self._run_start_slot = start_slot
+
+    def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._window = self._initial_window
+        self._build_run(slot)
+
+    def _probability_for(self, slot: int) -> float:
+        # Advance the cursor to the entry for this slot; rebuild the run
+        # (doubling the window) when the current run is exhausted.
+        while self._cursor < len(self._schedule) and self._schedule[self._cursor][0] < slot:
+            self._cursor += 1
+        if self._cursor >= len(self._schedule):
+            self._window *= 2
+            if self._max_window is not None:
+                self._window = min(self._window, self._max_window)
+            self._build_run(slot)
+        scheduled_slot, probability = self._schedule[self._cursor]
+        if scheduled_slot != slot:
+            return 0.0
+        return probability
+
+    def wants_to_broadcast(self, slot: int) -> bool:
+        assert self._rng is not None
+        probability = self._probability_for(slot)
+        return bool(self._rng.random() < probability)
+
+    def on_feedback(
+        self, slot: int, feedback: Feedback, broadcast: bool, success_was_own: bool
+    ) -> None:
+        # The run schedule is time-driven; feedback only matters through the
+        # simulator removing the node once its own message succeeds.
+        return None

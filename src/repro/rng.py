@@ -1,0 +1,76 @@
+"""Deterministic randomness management.
+
+Every stochastic component of a simulation (each node's protocol instance, the
+adversary, workload generators) draws from its own :class:`numpy.random.Generator`
+derived from a single root seed.  This keeps runs reproducible and ensures that
+comparing two protocols under the same workload uses identical adversary
+randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.SeedSequence, None]
+
+
+class SeedTree:
+    """A tree of independent random generators derived from one root seed.
+
+    Children are spawned lazily by name or index; spawning the same path twice
+    yields independent streams (the underlying ``SeedSequence.spawn`` advances
+    state), so callers should hold on to generators they intend to reuse.
+    """
+
+    def __init__(self, seed: Union[SeedLike, "SeedTree"] = None) -> None:
+        if isinstance(seed, SeedTree):
+            self._sequence = seed._sequence
+        elif isinstance(seed, np.random.SeedSequence):
+            self._sequence = seed
+        else:
+            self._sequence = np.random.SeedSequence(seed)
+
+    @property
+    def entropy(self):
+        return self._sequence.entropy
+
+    def generator(self) -> np.random.Generator:
+        """Return a generator seeded from this node of the tree."""
+        return np.random.default_rng(self._sequence.spawn(1)[0])
+
+    def child(self) -> "SeedTree":
+        """Spawn an independent child tree."""
+        return SeedTree(self._sequence.spawn(1)[0])
+
+    def children(self, count: int) -> Iterator["SeedTree"]:
+        """Spawn ``count`` independent child trees."""
+        for sequence in self._sequence.spawn(count):
+            yield SeedTree(sequence)
+
+
+def make_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Convenience wrapper producing a generator directly from a seed."""
+    return SeedTree(seed).generator()
+
+
+def spawn_generators(seed: SeedLike, count: int) -> list:
+    """Produce ``count`` independent generators from one seed."""
+    tree = SeedTree(seed)
+    return [child.generator() for child in tree.children(count)]
+
+
+def trial_seeds(seed: SeedLike, trials: int) -> list:
+    """Derive per-trial root seeds for a multi-trial study."""
+    tree = SeedTree(seed)
+    return [child for child in tree.children(trials)]
+
+
+def coerce_generator(
+    rng: Optional[Union[np.random.Generator, int]] = None,
+) -> np.random.Generator:
+    """Accept ``None``, an integer seed or an existing generator."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return make_generator(rng)

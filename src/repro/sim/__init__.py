@@ -1,0 +1,16 @@
+"""Slot-synchronous discrete-event simulator for the multiple-access channel."""
+
+from .engine import Simulator, SimulatorConfig
+from .node import Node
+from .results import SimulationResult
+from .runner import TrialRunner, TrialStudy, run_trials
+
+__all__ = [
+    "Simulator",
+    "SimulatorConfig",
+    "Node",
+    "SimulationResult",
+    "TrialRunner",
+    "TrialStudy",
+    "run_trials",
+]

@@ -1,0 +1,206 @@
+"""The slot-synchronous simulation engine.
+
+Each slot proceeds in the order the model prescribes:
+
+1. the adversary picks its action (how many nodes to inject, whether to jam);
+2. newly injected nodes join the system and initialize their protocols;
+3. every active node decides whether to broadcast;
+4. the channel resolves the slot (success / silence / collision, jamming wins);
+5. feedback is dispatched to all active nodes and to the adversary;
+6. a successful node leaves the system immediately;
+7. metrics and (optionally) the trace are updated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..adversary.base import Adversary
+from ..channel.multiple_access import MultipleAccessChannel
+from ..errors import ConfigurationError
+from ..metrics.collectors import MetricsCollector
+from ..protocols.base import ProtocolFactory
+from ..rng import SeedLike, SeedTree
+from ..types import (
+    NodeStats,
+    SimulationSummary,
+    SlotObservation,
+    SlotRecord,
+)
+from .events import EventTrace
+from .node import Node
+from .results import SimulationResult
+
+__all__ = ["SimulatorConfig", "Simulator"]
+
+
+@dataclass
+class SimulatorConfig:
+    """Configuration of a single simulation run.
+
+    Attributes
+    ----------
+    horizon:
+        Number of slots to simulate.
+    keep_trace:
+        Whether to retain the full per-slot trace (memory ~ horizon).
+    stop_when_drained:
+        If true, the run ends early once every arrived node has succeeded and
+        the adversary cannot inject more (used by batch experiments that only
+        care about completion time); the prefix arrays are still filled up to
+        the stopping slot.
+    max_nodes:
+        Safety valve against runaway adversaries.
+    """
+
+    horizon: int
+    keep_trace: bool = False
+    stop_when_drained: bool = False
+    max_nodes: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        if self.max_nodes < 1:
+            raise ConfigurationError("max_nodes must be >= 1")
+
+
+class Simulator:
+    """Drives one protocol population against one adversary on one channel."""
+
+    def __init__(
+        self,
+        protocol_factory: ProtocolFactory,
+        adversary: Adversary,
+        config: SimulatorConfig,
+        channel: Optional[MultipleAccessChannel] = None,
+        collectors: Sequence[MetricsCollector] = (),
+        seed: SeedLike = None,
+    ) -> None:
+        self._factory = protocol_factory
+        self._adversary = adversary
+        self._config = config
+        self._channel = channel or MultipleAccessChannel()
+        self._collectors = list(collectors)
+        self._seed_tree = SeedTree(seed)
+        self._seed = seed if isinstance(seed, int) else None
+
+    @property
+    def config(self) -> SimulatorConfig:
+        return self._config
+
+    @property
+    def channel(self) -> MultipleAccessChannel:
+        return self._channel
+
+    def run(self) -> SimulationResult:
+        """Execute the run and return its result."""
+        config = self._config
+        adversary_rng = self._seed_tree.child().generator()
+        node_seed_tree = self._seed_tree.child()
+        self._adversary.setup(adversary_rng, config.horizon)
+        for collector in self._collectors:
+            collector.on_run_start(config.horizon)
+
+        nodes: Dict[int, Node] = {}
+        active_nodes: List[Node] = []
+        summary = SimulationSummary()
+        trace = EventTrace() if config.keep_trace else None
+
+        prefix_active = [0]
+        prefix_arrivals = [0]
+        prefix_jammed = [0]
+        prefix_successes = [0]
+
+        next_node_id = 0
+        protocol_name = getattr(self._factory, "protocol_name", None) or "protocol"
+        slots_simulated = 0
+
+        for slot in range(1, config.horizon + 1):
+            slots_simulated = slot
+            action = self._adversary.action_for_slot(slot)
+            if action.arrivals and next_node_id + action.arrivals > config.max_nodes:
+                raise ConfigurationError(
+                    f"adversary exceeded max_nodes={config.max_nodes} at slot {slot}"
+                )
+
+            # 2. arrivals
+            for _ in range(action.arrivals):
+                node = Node(
+                    node_id=next_node_id,
+                    arrival_slot=slot,
+                    protocol=self._factory(),
+                    rng=node_seed_tree.child().generator(),
+                )
+                nodes[next_node_id] = node
+                active_nodes.append(node)
+                next_node_id += 1
+
+            # 3. broadcast decisions
+            broadcasters = [
+                node.node_id for node in active_nodes if node.decide_broadcast(slot)
+            ]
+
+            # 4. channel resolution
+            outcome, winner, feedback = self._channel.resolve(
+                broadcasters, jammed=action.jam
+            )
+
+            # 5./6. feedback dispatch; the winner deactivates itself
+            broadcaster_set = set(broadcasters)
+            for node in active_nodes:
+                node.deliver_feedback(
+                    slot, feedback, node.node_id in broadcaster_set, winner
+                )
+            if winner is not None:
+                active_nodes = [n for n in active_nodes if n.active]
+
+            # 7. bookkeeping
+            record = SlotRecord(
+                slot=slot,
+                broadcasters=tuple(broadcasters),
+                jammed=action.jam,
+                outcome=outcome,
+                successful_node=winner,
+                active_nodes=len(active_nodes) + (1 if winner is not None else 0),
+                arrivals=action.arrivals,
+            )
+            summary.record(record)
+            if trace is not None:
+                trace.append(record)
+            for collector in self._collectors:
+                collector.on_slot(record)
+
+            prefix_active.append(summary.active_slots)
+            prefix_arrivals.append(summary.arrivals)
+            prefix_jammed.append(summary.jammed_slots)
+            prefix_successes.append(summary.successes)
+
+            observation = SlotObservation(
+                slot=slot, feedback=feedback, message_node=winner
+            )
+            self._adversary.observe(observation)
+
+            if config.stop_when_drained and not active_nodes and summary.arrivals > 0:
+                break
+
+        node_stats: Dict[int, NodeStats] = {
+            node_id: node.stats for node_id, node in nodes.items()
+        }
+        result = SimulationResult(
+            summary=summary,
+            node_stats=node_stats,
+            prefix_active=prefix_active,
+            prefix_arrivals=prefix_arrivals,
+            prefix_jammed=prefix_jammed,
+            prefix_successes=prefix_successes,
+            protocol_name=protocol_name,
+            adversary_name=self._adversary.describe(),
+            horizon=slots_simulated,
+            seed=self._seed,
+            trace=trace,
+        )
+        for collector in self._collectors:
+            collector.on_run_end(result)
+        return result

@@ -1,0 +1,83 @@
+"""Event trace: optional detailed per-slot history of a simulation."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from ..types import SlotOutcome, SlotRecord
+
+__all__ = ["EventTrace"]
+
+
+class EventTrace:
+    """Append-only list of :class:`~repro.types.SlotRecord` with query helpers.
+
+    Traces can be large (one record per slot), so the simulator only keeps them
+    when asked to (``SimulatorConfig.keep_trace``).  The helpers below cover
+    the queries the experiments and tests need: success slots, active-slot
+    prefixes, windows, and per-interval statistics.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[SlotRecord] = []
+
+    def append(self, record: SlotRecord) -> None:
+        if self._records and record.slot != self._records[-1].slot + 1:
+            raise ValueError("slot records must be appended in order")
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[SlotRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> SlotRecord:
+        return self._records[index]
+
+    @property
+    def records(self) -> Sequence[SlotRecord]:
+        return tuple(self._records)
+
+    def record_for_slot(self, slot: int) -> SlotRecord:
+        """Return the record of 1-based global ``slot``."""
+        record = self._records[slot - 1]
+        if record.slot != slot:
+            raise ValueError("trace is not aligned with slot numbering")
+        return record
+
+    def success_slots(self) -> List[int]:
+        return [r.slot for r in self._records if r.outcome is SlotOutcome.SUCCESS]
+
+    def jammed_slots(self) -> List[int]:
+        return [r.slot for r in self._records if r.jammed]
+
+    def active_slot_count(self, up_to: Optional[int] = None) -> int:
+        """Number of active slots among the first ``up_to`` slots (default: all)."""
+        records = self._records if up_to is None else self._records[:up_to]
+        return sum(1 for r in records if r.is_active)
+
+    def arrivals_count(self, up_to: Optional[int] = None) -> int:
+        records = self._records if up_to is None else self._records[:up_to]
+        return sum(r.arrivals for r in records)
+
+    def jammed_count(self, up_to: Optional[int] = None) -> int:
+        records = self._records if up_to is None else self._records[:up_to]
+        return sum(1 for r in records if r.jammed)
+
+    def successes_count(self, up_to: Optional[int] = None) -> int:
+        records = self._records if up_to is None else self._records[:up_to]
+        return sum(1 for r in records if r.outcome is SlotOutcome.SUCCESS)
+
+    def first_success_slot(self) -> Optional[int]:
+        for record in self._records:
+            if record.outcome is SlotOutcome.SUCCESS:
+                return record.slot
+        return None
+
+    def successes_in_window(self, start: int, end: int) -> int:
+        """Number of successes in slots ``[start, end]`` (1-based, inclusive)."""
+        if start < 1 or end < start:
+            raise ValueError("invalid window")
+        window = self._records[start - 1 : end]
+        return sum(1 for r in window if r.outcome is SlotOutcome.SUCCESS)

@@ -1,0 +1,84 @@
+"""Node wrapper: one arriving player with its protocol instance and statistics."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..protocols.base import Protocol
+from ..types import Feedback, NodeId, NodeStats
+
+__all__ = ["Node"]
+
+
+class Node:
+    """A player in the system: a single message plus a protocol instance.
+
+    The node joins at the beginning of its arrival slot, runs its protocol
+    every slot until its own message is transmitted successfully, then leaves
+    immediately (per the model).
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        arrival_slot: int,
+        protocol: Protocol,
+        rng: np.random.Generator,
+    ) -> None:
+        self._id = node_id
+        self._protocol = protocol
+        self._rng = rng
+        self._stats = NodeStats(node_id=node_id, arrival_slot=arrival_slot)
+        self._active = True
+        protocol.on_arrival(arrival_slot, rng)
+
+    @property
+    def node_id(self) -> NodeId:
+        return self._id
+
+    @property
+    def protocol(self) -> Protocol:
+        return self._protocol
+
+    @property
+    def stats(self) -> NodeStats:
+        return self._stats
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    @property
+    def arrival_slot(self) -> int:
+        return self._stats.arrival_slot
+
+    def decide_broadcast(self, slot: int) -> bool:
+        """Ask the protocol whether to broadcast in ``slot``."""
+        if not self._active:
+            return False
+        broadcast = bool(self._protocol.wants_to_broadcast(slot))
+        if broadcast:
+            self._stats.broadcast_count += 1
+        return broadcast
+
+    def deliver_feedback(
+        self,
+        slot: int,
+        feedback: Feedback,
+        broadcast: bool,
+        successful_node: Optional[NodeId],
+    ) -> None:
+        """Deliver the slot's feedback; deactivate the node if it just succeeded."""
+        if not self._active:
+            return
+        success_was_own = successful_node == self._id
+        self._protocol.on_feedback(slot, feedback, broadcast, success_was_own)
+        if success_was_own:
+            self._stats.success_slot = slot
+            self._active = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "active" if self._active else "done"
+        return f"Node(id={self._id}, arrived={self.arrival_slot}, {state})"

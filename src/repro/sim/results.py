@@ -1,0 +1,115 @@
+"""Simulation results: everything an experiment needs after a run finishes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..types import NodeStats, SimulationSummary
+from .events import EventTrace
+
+__all__ = ["SimulationResult"]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a single simulation run.
+
+    Attributes
+    ----------
+    summary:
+        Aggregate counters (slots, successes, arrivals, jammed slots, ...).
+    node_stats:
+        Per-node lifetime statistics, keyed by node id.
+    trace:
+        Full per-slot trace, present only when the run kept it.
+    prefix_active:
+        ``prefix_active[t]`` is the number of active slots among slots
+        ``1..t`` (index 0 unused).  Always recorded — it is the quantity the
+        (f, g)-throughput definition bounds.
+    prefix_arrivals / prefix_jammed / prefix_successes:
+        Analogous cumulative counters used by the throughput checker.
+    protocol_name / adversary_name / seed / horizon:
+        Provenance metadata.
+    """
+
+    summary: SimulationSummary
+    node_stats: Dict[int, NodeStats]
+    prefix_active: List[int]
+    prefix_arrivals: List[int]
+    prefix_jammed: List[int]
+    prefix_successes: List[int]
+    protocol_name: str = "protocol"
+    adversary_name: str = "adversary"
+    horizon: int = 0
+    seed: Optional[int] = None
+    trace: Optional[EventTrace] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_arrivals(self) -> int:
+        return self.summary.arrivals
+
+    @property
+    def total_successes(self) -> int:
+        return self.summary.successes
+
+    @property
+    def total_active_slots(self) -> int:
+        return self.summary.active_slots
+
+    @property
+    def total_jammed_slots(self) -> int:
+        return self.summary.jammed_slots
+
+    @property
+    def unfinished_nodes(self) -> int:
+        return sum(1 for stats in self.node_stats.values() if not stats.finished)
+
+    def latencies(self) -> List[int]:
+        """Latencies (slots from arrival to success) of all finished nodes."""
+        return [
+            stats.latency
+            for stats in self.node_stats.values()
+            if stats.latency is not None
+        ]
+
+    def broadcast_counts(self) -> List[int]:
+        """Per-node channel-access counts (the paper's energy metric)."""
+        return [stats.broadcast_count for stats in self.node_stats.values()]
+
+    def mean_latency(self) -> float:
+        lat = self.latencies()
+        return float(np.mean(lat)) if lat else float("nan")
+
+    def max_latency(self) -> Optional[int]:
+        lat = self.latencies()
+        return max(lat) if lat else None
+
+    def classical_throughput(self, t: Optional[int] = None) -> float:
+        """The paper's classical throughput ``n_t / a_t`` at slot ``t`` (default: horizon).
+
+        Returns ``inf`` when no slot was active (vacuously perfect throughput).
+        """
+        t = t or self.horizon
+        t = min(t, self.horizon)
+        active = self.prefix_active[t]
+        arrivals = self.prefix_arrivals[t]
+        if active == 0:
+            return float("inf")
+        return arrivals / active
+
+    def successes_by_slot(self, t: int) -> int:
+        t = min(t, self.horizon)
+        return self.prefix_successes[t]
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by examples and the CLI."""
+        return (
+            f"{self.protocol_name} vs {self.adversary_name}: "
+            f"{self.summary.successes}/{self.summary.arrivals} messages delivered "
+            f"in {self.horizon} slots "
+            f"({self.summary.active_slots} active, {self.summary.jammed_slots} jammed)"
+        )

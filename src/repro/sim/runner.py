@@ -1,0 +1,130 @@
+"""Multi-trial runner: repeat a simulation with independent seeds and aggregate."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..adversary.base import Adversary
+from ..errors import ConfigurationError
+from ..protocols.base import ProtocolFactory
+from ..rng import SeedLike, trial_seeds
+from .engine import Simulator, SimulatorConfig
+from .results import SimulationResult
+
+__all__ = ["TrialRunner", "TrialStudy", "run_trials"]
+
+AdversaryFactory = Callable[[], Adversary]
+
+
+@dataclass
+class TrialStudy:
+    """Results of a set of independent trials of the same configuration."""
+
+    results: List[SimulationResult] = field(default_factory=list)
+    label: str = ""
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    @property
+    def trials(self) -> int:
+        return len(self.results)
+
+    def metric(self, extractor: Callable[[SimulationResult], float]) -> np.ndarray:
+        """Vector of a per-trial scalar metric."""
+        return np.asarray([extractor(result) for result in self.results], dtype=float)
+
+    def mean(self, extractor: Callable[[SimulationResult], float]) -> float:
+        values = self.metric(extractor)
+        return float(np.mean(values)) if values.size else float("nan")
+
+    def std(self, extractor: Callable[[SimulationResult], float]) -> float:
+        values = self.metric(extractor)
+        return float(np.std(values)) if values.size else float("nan")
+
+    def quantile(
+        self, extractor: Callable[[SimulationResult], float], q: float
+    ) -> float:
+        values = self.metric(extractor)
+        return float(np.quantile(values, q)) if values.size else float("nan")
+
+    def fraction_satisfying(
+        self, predicate: Callable[[SimulationResult], bool]
+    ) -> float:
+        if not self.results:
+            return float("nan")
+        return sum(1 for r in self.results if predicate(r)) / len(self.results)
+
+    def summary_row(self) -> Dict[str, float]:
+        """Standard aggregate row used by experiment reports."""
+        return {
+            "trials": float(self.trials),
+            "mean_successes": self.mean(lambda r: r.total_successes),
+            "mean_arrivals": self.mean(lambda r: r.total_arrivals),
+            "mean_active_slots": self.mean(lambda r: r.total_active_slots),
+            "mean_jammed_slots": self.mean(lambda r: r.total_jammed_slots),
+            "mean_latency": self.mean(lambda r: r.mean_latency()),
+            "mean_unfinished": self.mean(lambda r: r.unfinished_nodes),
+        }
+
+
+class TrialRunner:
+    """Runs the same (protocol, adversary, config) combination across seeds.
+
+    The adversary is supplied as a factory because many adversaries hold
+    per-run mutable state (schedules, budgets); each trial gets a fresh
+    instance and an independent seed.
+    """
+
+    def __init__(
+        self,
+        protocol_factory: ProtocolFactory,
+        adversary_factory: AdversaryFactory,
+        config: SimulatorConfig,
+        label: str = "",
+    ) -> None:
+        self._protocol_factory = protocol_factory
+        self._adversary_factory = adversary_factory
+        self._config = config
+        self._label = label
+
+    def run(self, trials: int, seed: SeedLike = None) -> TrialStudy:
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        study = TrialStudy(label=self._label)
+        for trial_seed in trial_seeds(seed, trials):
+            simulator = Simulator(
+                protocol_factory=self._protocol_factory,
+                adversary=self._adversary_factory(),
+                config=self._config,
+                seed=trial_seed,
+            )
+            study.results.append(simulator.run())
+        return study
+
+
+def run_trials(
+    protocol_factory: ProtocolFactory,
+    adversary_factory: AdversaryFactory,
+    horizon: int,
+    trials: int = 5,
+    seed: SeedLike = None,
+    keep_trace: bool = False,
+    stop_when_drained: bool = False,
+    label: str = "",
+    collectors: Optional[Sequence] = None,
+) -> TrialStudy:
+    """Convenience wrapper: build the config and runner and execute the trials."""
+    config = SimulatorConfig(
+        horizon=horizon,
+        keep_trace=keep_trace,
+        stop_when_drained=stop_when_drained,
+    )
+    runner = TrialRunner(protocol_factory, adversary_factory, config, label=label)
+    return runner.run(trials=trials, seed=seed)

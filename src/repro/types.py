@@ -1,0 +1,187 @@
+"""Shared value types used across the simulator, protocols and adversaries.
+
+The vocabulary follows the paper (Chen, Jiang, Zheng, PODC 2021):
+
+* Time is divided into discrete, synchronized *slots*, numbered from 1.
+* In each slot every active node either *broadcasts* or stays *idle*.
+* A slot produces exactly one of three physical outcomes: silence (nobody
+  broadcast), success (exactly one broadcast and the slot is not jammed) or
+  collision (two or more broadcasts, or the slot is jammed).
+* Without collision detection, nodes receive only two kinds of feedback:
+  ``SUCCESS`` (carrying the transmitted message) or ``NO_SUCCESS``.  With
+  collision detection (used only by the reference baseline) the feedback
+  additionally distinguishes ``SILENCE`` from ``COLLISION``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class SlotOutcome(enum.Enum):
+    """Physical outcome of a slot, as seen by an omniscient observer."""
+
+    SILENCE = "silence"
+    SUCCESS = "success"
+    COLLISION = "collision"
+
+
+class Feedback(enum.Enum):
+    """Channel feedback delivered to nodes (and to the adversary).
+
+    ``NO_SUCCESS`` is the only failure signal available without collision
+    detection; ``SILENCE`` and ``COLLISION`` are only ever delivered when the
+    channel is configured with collision detection enabled.
+    """
+
+    SUCCESS = "success"
+    NO_SUCCESS = "no_success"
+    SILENCE = "silence"
+    COLLISION = "collision"
+
+    @property
+    def is_success(self) -> bool:
+        return self is Feedback.SUCCESS
+
+
+class ChannelParity(enum.IntEnum):
+    """Parity of a global slot index, identifying one of the two virtual channels.
+
+    The paper's algorithm conceptually splits the single physical channel into
+    an *odd channel* (slots 1, 3, 5, ...) and an *even channel* (slots 2, 4,
+    6, ...).  Nodes never need to know which one is "odd" globally; they only
+    need the parity of slot indices relative to observed events.
+    """
+
+    ODD = 1
+    EVEN = 0
+
+    @classmethod
+    def of_slot(cls, slot: int) -> "ChannelParity":
+        return cls.ODD if slot % 2 == 1 else cls.EVEN
+
+    def other(self) -> "ChannelParity":
+        return ChannelParity.EVEN if self is ChannelParity.ODD else ChannelParity.ODD
+
+
+NodeId = int
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """Complete record of what happened in one slot.
+
+    Attributes
+    ----------
+    slot:
+        1-based global slot index.
+    broadcasters:
+        Ids of nodes that broadcast in this slot.
+    jammed:
+        Whether the adversary jammed the slot.
+    outcome:
+        Physical outcome after accounting for jamming.
+    successful_node:
+        Id of the node whose message was delivered, if any.
+    active_nodes:
+        Number of nodes present in the system during this slot (after the
+        slot's arrivals, before removing a successful node).
+    arrivals:
+        Number of nodes injected at the beginning of this slot.
+    """
+
+    slot: int
+    broadcasters: Tuple[NodeId, ...]
+    jammed: bool
+    outcome: SlotOutcome
+    successful_node: Optional[NodeId]
+    active_nodes: int
+    arrivals: int
+
+    @property
+    def is_active(self) -> bool:
+        """An *active* slot is one with at least one node in the system."""
+        return self.active_nodes > 0
+
+    @property
+    def is_success(self) -> bool:
+        return self.outcome is SlotOutcome.SUCCESS
+
+
+@dataclass
+class NodeStats:
+    """Lifetime statistics of a single node."""
+
+    node_id: NodeId
+    arrival_slot: int
+    success_slot: Optional[int] = None
+    broadcast_count: int = 0
+
+    @property
+    def finished(self) -> bool:
+        return self.success_slot is not None
+
+    @property
+    def latency(self) -> Optional[int]:
+        """Number of slots from arrival until success, inclusive."""
+        if self.success_slot is None:
+            return None
+        return self.success_slot - self.arrival_slot + 1
+
+
+@dataclass
+class AdversaryAction:
+    """What the adversary decides to do at the beginning of a slot."""
+
+    arrivals: int = 0
+    jam: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arrivals < 0:
+            raise ValueError("arrivals must be non-negative")
+
+
+@dataclass
+class SlotObservation:
+    """Information made available to nodes and the adversary after a slot.
+
+    The adversary receives exactly the same feedback as the nodes (it does not
+    possess collision detection either), plus knowledge of its own actions.
+    """
+
+    slot: int
+    feedback: Feedback
+    message_node: Optional[NodeId] = None
+
+
+@dataclass
+class SimulationSummary:
+    """Aggregate counters maintained incrementally during a run."""
+
+    total_slots: int = 0
+    active_slots: int = 0
+    successes: int = 0
+    collisions: int = 0
+    silent_slots: int = 0
+    jammed_slots: int = 0
+    arrivals: int = 0
+    total_broadcasts: int = 0
+    prefix_violations: int = 0
+    counters: dict = field(default_factory=dict)
+
+    def record(self, record: SlotRecord) -> None:
+        self.total_slots += 1
+        self.arrivals += record.arrivals
+        self.total_broadcasts += len(record.broadcasters)
+        if record.is_active:
+            self.active_slots += 1
+        if record.jammed:
+            self.jammed_slots += 1
+        if record.outcome is SlotOutcome.SUCCESS:
+            self.successes += 1
+        elif record.outcome is SlotOutcome.COLLISION:
+            self.collisions += 1
+        else:
+            self.silent_slots += 1

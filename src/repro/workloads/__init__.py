@@ -1,0 +1,12 @@
+"""Named workload scenarios motivated by the paper's introduction."""
+
+from .scenarios import Scenario, STANDARD_SCENARIOS, get_scenario
+from .generator import WorkloadSpec, build_adversary_factory
+
+__all__ = [
+    "Scenario",
+    "STANDARD_SCENARIOS",
+    "get_scenario",
+    "WorkloadSpec",
+    "build_adversary_factory",
+]

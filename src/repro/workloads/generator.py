@@ -1,0 +1,128 @@
+"""Workload specification: declarative description of an adversary to build.
+
+Experiments describe their workloads as :class:`WorkloadSpec` values (arrival
+pattern + jamming pattern + horizon), and :func:`build_adversary_factory`
+turns a spec into the adversary factory the trial runner needs.  Keeping the
+description declarative makes experiment configurations serializable and
+keeps the sweep code free of adversary-construction details.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..adversary import (
+    Adversary,
+    BatchArrivals,
+    BurstyArrivals,
+    ComposedAdversary,
+    NoArrivals,
+    NoJamming,
+    PeriodicJamming,
+    PoissonArrivals,
+    RandomFractionJamming,
+    ReactiveJamming,
+    UniformRandomArrivals,
+)
+from ..errors import ConfigurationError
+
+__all__ = ["WorkloadSpec", "build_adversary_factory"]
+
+ARRIVAL_KINDS = ("none", "batch", "poisson", "uniform", "bursty")
+JAMMING_KINDS = ("none", "random", "periodic", "reactive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative workload: arrivals, jamming and horizon.
+
+    Attributes
+    ----------
+    horizon:
+        Number of slots.
+    arrival_kind / arrival_params:
+        One of ``none``, ``batch`` (``count``, ``slot``), ``poisson``
+        (``rate``), ``uniform`` (``total``, ``start``, ``end``), ``bursty``
+        (``burst_size``, ``period``).
+    jamming_kind / jamming_params:
+        One of ``none``, ``random`` (``fraction``), ``periodic`` (``period``),
+        ``reactive`` (``fraction``, ``burst``).
+    label:
+        Human-readable name used in reports.
+    """
+
+    horizon: int
+    arrival_kind: str = "batch"
+    arrival_params: Dict[str, float] = field(default_factory=dict)
+    jamming_kind: str = "none"
+    jamming_params: Dict[str, float] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ConfigurationError("horizon must be >= 1")
+        if self.arrival_kind not in ARRIVAL_KINDS:
+            raise ConfigurationError(f"unknown arrival kind {self.arrival_kind!r}")
+        if self.jamming_kind not in JAMMING_KINDS:
+            raise ConfigurationError(f"unknown jamming kind {self.jamming_kind!r}")
+
+    @property
+    def name(self) -> str:
+        return self.label or f"{self.arrival_kind}+{self.jamming_kind}"
+
+
+def _build_arrivals(spec: WorkloadSpec):
+    params = spec.arrival_params
+    if spec.arrival_kind == "none":
+        return NoArrivals()
+    if spec.arrival_kind == "batch":
+        return BatchArrivals(
+            count=int(params.get("count", 32)), slot=int(params.get("slot", 1))
+        )
+    if spec.arrival_kind == "poisson":
+        return PoissonArrivals(
+            rate=float(params.get("rate", 0.05)),
+            last_slot=int(params["last_slot"]) if "last_slot" in params else None,
+        )
+    if spec.arrival_kind == "uniform":
+        return UniformRandomArrivals(
+            total=int(params.get("total", 32)),
+            window=(
+                int(params.get("start", 1)),
+                int(params.get("end", spec.horizon)),
+            ),
+        )
+    if spec.arrival_kind == "bursty":
+        return BurstyArrivals(
+            burst_size=int(params.get("burst_size", 16)),
+            period=int(params.get("period", max(2, spec.horizon // 8))),
+        )
+    raise ConfigurationError(f"unknown arrival kind {spec.arrival_kind!r}")
+
+
+def _build_jamming(spec: WorkloadSpec):
+    params = spec.jamming_params
+    if spec.jamming_kind == "none":
+        return NoJamming()
+    if spec.jamming_kind == "random":
+        return RandomFractionJamming(fraction=float(params.get("fraction", 0.25)))
+    if spec.jamming_kind == "periodic":
+        return PeriodicJamming(period=int(params.get("period", 4)))
+    if spec.jamming_kind == "reactive":
+        return ReactiveJamming(
+            fraction=float(params.get("fraction", 0.2)),
+            burst=int(params.get("burst", 8)),
+        )
+    raise ConfigurationError(f"unknown jamming kind {spec.jamming_kind!r}")
+
+
+def build_adversary_factory(spec: WorkloadSpec) -> Callable[[], Adversary]:
+    """Return a factory producing a fresh adversary instance for each trial."""
+
+    def _factory() -> Adversary:
+        adversary = ComposedAdversary(_build_arrivals(spec), _build_jamming(spec))
+        adversary.name = spec.name
+        return adversary
+
+    return _factory

@@ -1,0 +1,111 @@
+"""Named scenarios from the application domains the paper's introduction cites.
+
+The introduction motivates contention resolution with congestion control in
+Ethernet / 802.11 networks, concurrency control (locking) and shared devices
+suffering external interference.  Each scenario below maps one of those
+settings onto a :class:`~repro.workloads.generator.WorkloadSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import ConfigurationError
+from .generator import WorkloadSpec
+
+__all__ = ["Scenario", "STANDARD_SCENARIOS", "get_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload with a short story explaining what it models."""
+
+    key: str
+    description: str
+    spec: WorkloadSpec
+
+
+def _make_standard_scenarios() -> Tuple[Scenario, ...]:
+    return (
+        Scenario(
+            key="ethernet-burst",
+            description=(
+                "Ethernet-style traffic: periodic bursts of stations waking up "
+                "with frames to send on an otherwise clean channel."
+            ),
+            spec=WorkloadSpec(
+                horizon=8192,
+                arrival_kind="bursty",
+                arrival_params={"burst_size": 24, "period": 1024},
+                jamming_kind="none",
+                label="ethernet-burst",
+            ),
+        ),
+        Scenario(
+            key="wireless-interference",
+            description=(
+                "Wireless link with electromagnetic interference: Poisson node "
+                "arrivals while a quarter of all slots are unusable."
+            ),
+            spec=WorkloadSpec(
+                horizon=8192,
+                arrival_kind="poisson",
+                arrival_params={"rate": 0.02},
+                jamming_kind="random",
+                jamming_params={"fraction": 0.25},
+                label="wireless-interference",
+            ),
+        ),
+        Scenario(
+            key="lock-convoy",
+            description=(
+                "Database lock convoy: a large batch of transactions all try to "
+                "acquire the same lock at once; the lock manager occasionally "
+                "stalls (reactive jamming after each grant)."
+            ),
+            spec=WorkloadSpec(
+                horizon=8192,
+                arrival_kind="batch",
+                # Large enough that fixed-probability senders (ALOHA) generate
+                # hopeless contention, yet well within the Θ(log t)-per-arrival
+                # capacity of the paper's algorithm over this horizon.
+                arrival_params={"count": 192},
+                jamming_kind="reactive",
+                jamming_params={"fraction": 0.1, "burst": 4},
+                label="lock-convoy",
+            ),
+        ),
+        Scenario(
+            key="adversarial-jam",
+            description=(
+                "Worst-case regime of the paper: steady arrivals with a constant "
+                "fraction of all slots jammed."
+            ),
+            spec=WorkloadSpec(
+                horizon=8192,
+                arrival_kind="uniform",
+                # The offered load is kept below the algorithm's sustainable
+                # throughput of roughly one arrival per Θ(log t) slots so the
+                # comparison measures robustness, not overload behaviour.
+                arrival_params={"total": 160},
+                jamming_kind="random",
+                jamming_params={"fraction": 0.25},
+                label="adversarial-jam",
+            ),
+        ),
+    )
+
+
+STANDARD_SCENARIOS: Dict[str, Scenario] = {
+    scenario.key: scenario for scenario in _make_standard_scenarios()
+}
+
+
+def get_scenario(key: str) -> Scenario:
+    """Look up a standard scenario by key, raising on unknown names."""
+    try:
+        return STANDARD_SCENARIOS[key]
+    except KeyError as exc:
+        known = ", ".join(sorted(STANDARD_SCENARIOS))
+        raise ConfigurationError(f"unknown scenario {key!r}; known: {known}") from exc

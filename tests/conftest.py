@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters
+from repro.functions import constant_g
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def parameters() -> AlgorithmParameters:
+    """Default algorithm parameters (constant g, worst-case regime)."""
+    return AlgorithmParameters.from_g(constant_g(4.0))
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running integration tests")

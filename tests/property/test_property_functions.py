@@ -1,0 +1,68 @@
+"""Property-based tests for the rate-function families and derived budgets."""
+
+import math
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import AlgorithmParameters
+from repro.functions import constant_g, derive_f, exp_sqrt_log_g, h_ctrl, h_data, log_g
+
+positive_x = st.floats(min_value=2.0, max_value=1e12, allow_nan=False, allow_infinity=False)
+g_values = st.floats(min_value=1.5, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestFunctionProperties:
+    @given(x=positive_x, value=g_values)
+    def test_constant_g_is_constant(self, x, value):
+        assert constant_g(value)(x) == value
+
+    @given(x=positive_x)
+    def test_log_g_non_decreasing(self, x):
+        g = log_g()
+        assert g(2 * x) >= g(x)
+
+    @given(x=positive_x)
+    def test_derived_f_positive_and_at_most_log(self, x):
+        for g in (constant_g(4.0), log_g(), exp_sqrt_log_g()):
+            f = derive_f(g)
+            assert f(x) > 0
+            assert f(x) <= max(1.0, math.log2(x))
+
+    @given(x=positive_x, big=g_values, small=g_values)
+    def test_f_monotone_in_g(self, x, big, small):
+        lo, hi = sorted((1.0 + small, 1.0 + small + big))
+        f_lo = derive_f(constant_g(lo))
+        f_hi = derive_f(constant_g(hi))
+        assert f_hi(x) <= f_lo(x) + 1e-9
+
+    @given(x=positive_x)
+    def test_sending_rates_are_probability_like_for_large_x(self, x):
+        assert 0.0 < h_data()(x) <= 1.0
+        if x >= 64:
+            assert 0.0 < h_ctrl(4.0)(x) <= 1.0
+
+    @given(x=st.integers(min_value=1, max_value=2**30))
+    def test_h_data_inverse(self, x):
+        assert h_data()(x) == min(1.0, 1.0 / x)
+
+
+class TestParameterProperties:
+    @given(stage=st.integers(min_value=1, max_value=2**24))
+    def test_backoff_budget_bounds(self, stage):
+        params = AlgorithmParameters.from_g(constant_g(4.0))
+        budget = params.backoff_budget(stage)
+        assert 1 <= budget <= stage
+        # Budget never exceeds the (ceiling of the) arrival budget function.
+        assert budget <= math.ceil(params.f(float(max(stage, 2)))) or budget == 1
+
+    @given(index=st.integers(min_value=1, max_value=2**24))
+    def test_probabilities_in_unit_interval(self, index):
+        params = AlgorithmParameters.from_g(constant_g(4.0))
+        assert 0.0 < params.ctrl_probability(index) <= 1.0
+        assert 0.0 < params.data_probability(index) <= 1.0
+
+    @given(index=st.integers(min_value=2, max_value=2**20))
+    def test_data_rate_decreasing(self, index):
+        params = AlgorithmParameters.from_g(constant_g(4.0))
+        assert params.data_probability(index) <= params.data_probability(index - 1)

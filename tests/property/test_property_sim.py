@@ -1,0 +1,125 @@
+"""Property-based tests for simulator invariants.
+
+These run full (small) simulations with randomly drawn workloads and check
+structural invariants that must hold for *any* protocol and adversary:
+conservation of arrivals, monotone prefix counters, the success/active-slot
+accounting of the throughput definition, and determinism under a fixed seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import ScheduleAdversary
+from repro.core import cjz_factory
+from repro.protocols import ProbabilityBackoff, SlottedAloha, make_factory
+from repro.sim import Simulator, SimulatorConfig
+
+protocol_factories = st.sampled_from(
+    [
+        ("cjz", cjz_factory()),
+        ("prob-backoff", make_factory(ProbabilityBackoff, 1.0)),
+        ("aloha", make_factory(SlottedAloha, 0.2)),
+    ]
+)
+
+arrival_schedules = st.dictionaries(
+    keys=st.integers(min_value=1, max_value=60),
+    values=st.integers(min_value=1, max_value=4),
+    max_size=6,
+)
+
+jam_sets = st.sets(st.integers(min_value=1, max_value=60), max_size=15)
+
+
+@st.composite
+def workloads(draw):
+    return (
+        draw(arrival_schedules),
+        draw(jam_sets),
+        draw(st.integers(min_value=60, max_value=120)),
+        draw(st.integers(min_value=0, max_value=2**16)),
+    )
+
+
+def run(protocol_factory, arrivals, jams, horizon, seed):
+    simulator = Simulator(
+        protocol_factory=protocol_factory,
+        adversary=ScheduleAdversary(arrivals=arrivals, jammed_slots=jams),
+        config=SimulatorConfig(horizon=horizon),
+        seed=seed,
+    )
+    return simulator.run()
+
+
+class TestSimulationInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(named_factory=protocol_factories, workload=workloads())
+    def test_conservation_and_monotonicity(self, named_factory, workload):
+        _, factory = named_factory
+        arrivals, jams, horizon, seed = workload
+        result = run(factory, arrivals, jams, horizon, seed)
+
+        total_arrivals = sum(arrivals.values())
+        # Conservation: every arrival either succeeded or is still unfinished.
+        assert result.total_successes + result.unfinished_nodes == total_arrivals
+        # Successes never exceed arrivals; every success slot is active.
+        assert result.total_successes <= total_arrivals
+        assert result.total_successes <= result.total_active_slots or total_arrivals == 0
+        # Jammed slots recorded exactly as scheduled (within the horizon).
+        assert result.total_jammed_slots == len([s for s in jams if s <= horizon])
+        # Prefix arrays are monotone and end at the totals.
+        for arr, total in (
+            (result.prefix_active, result.total_active_slots),
+            (result.prefix_arrivals, result.total_arrivals),
+            (result.prefix_jammed, result.total_jammed_slots),
+            (result.prefix_successes, result.total_successes),
+        ):
+            assert len(arr) == result.horizon + 1
+            assert all(b >= a for a, b in zip(arr, arr[1:]))
+            assert arr[-1] == total
+
+    @settings(max_examples=25, deadline=None)
+    @given(named_factory=protocol_factories, workload=workloads())
+    def test_per_node_stats_consistent(self, named_factory, workload):
+        _, factory = named_factory
+        arrivals, jams, horizon, seed = workload
+        result = run(factory, arrivals, jams, horizon, seed)
+        for stats in result.node_stats.values():
+            assert 1 <= stats.arrival_slot <= horizon
+            if stats.finished:
+                assert stats.arrival_slot <= stats.success_slot <= horizon
+                assert stats.latency >= 1
+            assert stats.broadcast_count >= 0
+        # No two nodes succeed in the same slot.
+        success_slots = [
+            s.success_slot for s in result.node_stats.values() if s.finished
+        ]
+        assert len(success_slots) == len(set(success_slots))
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=workloads())
+    def test_determinism_under_fixed_seed(self, workload):
+        arrivals, jams, horizon, seed = workload
+        first = run(cjz_factory(), arrivals, jams, horizon, seed)
+        second = run(cjz_factory(), arrivals, jams, horizon, seed)
+        assert first.prefix_successes == second.prefix_successes
+        assert first.summary.total_broadcasts == second.summary.total_broadcasts
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=workloads())
+    def test_jamming_only_reduces_successes_for_oblivious_protocols(self, workload):
+        """With an oblivious non-adaptive protocol and the same seed, adding jamming
+        never increases the number of successful slots."""
+        arrivals, jams, horizon, seed = workload
+        factory = make_factory(SlottedAloha, 0.2)
+        with_jam = run(factory, arrivals, jams, horizon, seed)
+        without_jam = run(factory, arrivals, set(), horizon, seed)
+        # Not a strict slot-by-slot domination (node populations diverge after
+        # the first divergent success), so compare the first prefix where the
+        # executions are still coupled: up to the first jammed slot.
+        first_jam = min([s for s in jams if s <= horizon], default=None)
+        if first_jam is not None:
+            assert (
+                with_jam.prefix_successes[first_jam]
+                <= without_jam.prefix_successes[first_jam]
+            )

@@ -1,0 +1,95 @@
+"""Property-based tests for the h-backoff / h-batch subroutines and the protocol."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AlgorithmParameters, ChenJiangZhengProtocol, Phase
+from repro.core.subroutines import HBackoff, HBatch
+from repro.functions import constant_g
+from repro.types import Feedback
+
+
+class TestHBackoffProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           budget=st.integers(min_value=1, max_value=8))
+    def test_sends_per_stage_never_exceed_budget(self, seed, budget):
+        backoff = HBackoff(lambda length: budget, np.random.default_rng(seed))
+        for stage in range(0, 8):
+            start, end = 2**stage, 2 ** (stage + 1)
+            sends = sum(1 for i in range(start, end) if backoff.should_send(i))
+            assert 0 < sends <= min(budget, end - start)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_total_sends_logarithmic_for_cjz_budget(self, seed):
+        params = AlgorithmParameters.from_g(constant_g(4.0))
+        backoff = HBackoff(params.backoff_budget, np.random.default_rng(seed))
+        horizon = 2**12
+        sends = sum(1 for i in range(1, horizon + 1) if backoff.should_send(i))
+        # 13 stages, each sending at most ceil(f(stage)) <= 4 times at this scale.
+        assert sends <= 13 * 4
+
+
+class TestHBatchProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           index=st.integers(min_value=1, max_value=2**20))
+    def test_probability_matches_rate_capped(self, seed, index):
+        batch = HBatch(lambda x: 3.0 / x, np.random.default_rng(seed))
+        assert batch.probability(index) == min(1.0, 3.0 / index)
+
+
+class TestProtocolStateMachineProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        arrival=st.integers(min_value=1, max_value=200),
+        events=st.lists(
+            st.tuples(st.integers(min_value=1, max_value=50), st.booleans()),
+            max_size=20,
+        ),
+    )
+    def test_phase_never_regresses_and_decisions_are_boolean(self, seed, arrival, events):
+        """Feed an arbitrary feedback sequence; the phase order 1 -> 2 -> 3 is monotone."""
+        protocol = ChenJiangZhengProtocol(AlgorithmParameters.from_g(constant_g(4.0)))
+        protocol.on_arrival(arrival, np.random.default_rng(seed))
+        slot = arrival
+        seen_order = [protocol.phase.value]
+        for gap, success in events:
+            slot += gap
+            decision = protocol.wants_to_broadcast(slot)
+            assert isinstance(decision, bool)
+            feedback = Feedback.SUCCESS if success else Feedback.NO_SUCCESS
+            protocol.on_feedback(slot, feedback, broadcast=decision, success_was_own=False)
+            seen_order.append(protocol.phase.value)
+        assert all(b >= a for a, b in zip(seen_order, seen_order[1:]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           arrival=st.integers(min_value=1, max_value=200))
+    def test_phase1_broadcasts_only_on_arrival_parity(self, seed, arrival):
+        protocol = ChenJiangZhengProtocol(AlgorithmParameters.from_g(constant_g(4.0)))
+        protocol.on_arrival(arrival, np.random.default_rng(seed))
+        for slot in range(arrival, arrival + 40):
+            decision = protocol.wants_to_broadcast(slot)
+            if (slot - arrival) % 2 == 1:
+                assert decision is False
+        assert protocol.phase is Phase.SYNCHRONIZE
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16),
+           success_slot=st.integers(min_value=2, max_value=400))
+    def test_phase3_channels_are_disjoint(self, seed, success_slot):
+        """After reaching Phase 3 the control and data views never both claim a slot."""
+        protocol = ChenJiangZhengProtocol(AlgorithmParameters.from_g(constant_g(4.0)))
+        protocol.on_arrival(1, np.random.default_rng(seed))
+        protocol.on_feedback(success_slot, Feedback.SUCCESS, False, False)
+        control_success = success_slot + 1 + (success_slot % 2)
+        # Deliver a success on the Phase-2 control channel to enter Phase 3.
+        protocol.on_feedback(control_success, Feedback.SUCCESS, False, False)
+        if protocol.phase is Phase.BATCH:
+            ctrl, data = protocol._ctrl_view, protocol._data_view
+            for slot in range(control_success + 1, control_success + 60):
+                assert not (ctrl.contains(slot) and data.contains(slot))

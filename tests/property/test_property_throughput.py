@@ -1,0 +1,82 @@
+"""Property-based tests for the (f, g)-throughput checker and smooth adversary."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import ScheduleAdversary, SmoothAdversary
+from repro.core import AlgorithmParameters
+from repro.functions import RateFunction, constant_g
+from repro.metrics import FGThroughputChecker
+from repro.protocols import SlottedAloha, make_factory
+from repro.sim import Simulator, SimulatorConfig
+
+
+class TestCheckerProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrivals=st.dictionaries(
+            st.integers(min_value=1, max_value=40),
+            st.integers(min_value=1, max_value=3),
+            max_size=5,
+        ),
+        jams=st.sets(st.integers(min_value=1, max_value=40), max_size=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+        slack=st.floats(min_value=1.0, max_value=8.0),
+    )
+    def test_larger_slack_never_flips_satisfied_to_violated(self, arrivals, jams, seed, slack):
+        result = Simulator(
+            protocol_factory=make_factory(SlottedAloha, 0.3),
+            adversary=ScheduleAdversary(arrivals=arrivals, jammed_slots=jams),
+            config=SimulatorConfig(horizon=60),
+            seed=seed,
+        ).run()
+        f = RateFunction("f", lambda x: 2.0)
+        g = RateFunction("g", lambda x: 2.0)
+        tight = FGThroughputChecker(f, g, slack=slack, min_prefix=4).check(result)
+        loose = FGThroughputChecker(f, g, slack=slack * 2, min_prefix=4).check(result)
+        assert loose.violations <= tight.violations
+        assert loose.worst_ratio <= tight.worst_ratio + 1e-9
+        if tight.satisfied:
+            assert loose.satisfied
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        arrivals=st.dictionaries(
+            st.integers(min_value=1, max_value=40),
+            st.integers(min_value=1, max_value=3),
+            max_size=5,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_bound_with_huge_f_is_always_satisfied(self, arrivals, seed):
+        """If f exceeds the horizon, n_t·f(t) dominates every possible active count
+        as soon as one node has arrived — the checker must report satisfaction."""
+        horizon = 60
+        result = Simulator(
+            protocol_factory=make_factory(SlottedAloha, 0.3),
+            adversary=ScheduleAdversary(arrivals=arrivals, jammed_slots=()),
+            config=SimulatorConfig(horizon=horizon),
+            seed=seed,
+        ).run()
+        f = RateFunction("huge", lambda x: float(horizon + 1))
+        g = RateFunction("g", lambda x: 1.0)
+        first_arrival = min(arrivals) if arrivals else horizon
+        checker = FGThroughputChecker(f, g, slack=1.0, min_prefix=1, additive_grace=first_arrival)
+        assert checker.check(result).satisfied
+
+
+class TestSmoothAdversaryProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        horizon=st.integers(min_value=256, max_value=8192),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_generated_schedules_are_always_smooth(self, horizon, seed):
+        params = AlgorithmParameters.from_g(constant_g(4.0))
+        adversary = SmoothAdversary(horizon=horizon, f=params.f, g=params.g)
+        adversary.setup(np.random.default_rng(seed), horizon)
+        assert adversary.verify_smoothness()
+        # Budgets: the global totals respect the construction constants.
+        assert adversary.total_jams <= horizon / (8.0 * params.g(float(horizon))) + 1
+        assert adversary.total_arrivals >= 1

@@ -1,0 +1,177 @@
+"""Unit tests for the analysis utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ComparisonRow,
+    Table,
+    bootstrap_confidence_interval,
+    compare_protocols,
+    empirical_probability,
+    fit_shape,
+    format_table,
+    growth_exponent,
+    summarize,
+)
+from repro.analysis.comparison import comparison_table
+from repro.analysis.fitting import best_fit
+from repro.errors import AnalysisError
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        stats = summarize([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.median == pytest.approx(2.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+
+    def test_single_sample_has_zero_std(self):
+        assert summarize([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        stats = summarize([1.0, 2.0])
+        assert set(stats.as_dict()) == {"count", "mean", "std", "median", "min", "max", "p05", "p95"}
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_for_tight_sample(self):
+        low, high = bootstrap_confidence_interval([10.0] * 20, seed=0)
+        assert low == pytest.approx(10.0)
+        assert high == pytest.approx(10.0)
+
+    def test_interval_ordering(self):
+        values = list(np.random.default_rng(0).normal(5, 1, size=40))
+        low, high = bootstrap_confidence_interval(values, seed=1)
+        assert low < np.mean(values) < high
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            bootstrap_confidence_interval([])
+        with pytest.raises(AnalysisError):
+            bootstrap_confidence_interval([1.0], confidence=1.5)
+
+
+class TestEmpiricalProbability:
+    def test_basic(self):
+        assert empirical_probability(3, 4) == 0.75
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            empirical_probability(5, 4)
+        with pytest.raises(AnalysisError):
+            empirical_probability(1, 0)
+
+
+class TestFitShape:
+    def test_recovers_linear_scale(self):
+        xs = [2**k for k in range(4, 12)]
+        ys = [3.0 * x for x in xs]
+        fits = fit_shape(xs, ys, models=["linear", "log"])
+        assert fits["linear"].scale == pytest.approx(3.0, rel=1e-6)
+        assert fits["linear"].relative_error < 1e-9
+        assert fits["log"].relative_error > fits["linear"].relative_error
+
+    def test_x_over_log_identified(self):
+        xs = [2**k for k in range(6, 16)]
+        ys = [5.0 * x / math.log2(x) for x in xs]
+        fits = fit_shape(xs, ys, models=["linear", "x_over_log"])
+        assert fits["x_over_log"].relative_error < fits["linear"].relative_error
+
+    def test_best_fit_picks_minimum_error(self):
+        xs = [2**k for k in range(6, 14)]
+        ys = [7.0 * math.log2(x) for x in xs]
+        fits = fit_shape(xs, ys)
+        assert best_fit(fits).model == "log"
+
+    def test_predict(self):
+        xs = [10, 20, 40, 80]
+        ys = [2 * x for x in xs]
+        fits = fit_shape(xs, ys, models=["linear"])
+        assert fits["linear"].predict(100) == pytest.approx(200.0, rel=1e-6)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_shape([1, 2], [1, 2], models=["cubic"])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            fit_shape([1], [1])
+
+
+class TestGrowthExponent:
+    def test_linear_data(self):
+        xs = [2**k for k in range(4, 10)]
+        assert growth_exponent(xs, [2.0 * x for x in xs]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_constant_data(self):
+        xs = [2**k for k in range(4, 10)]
+        assert growth_exponent(xs, [5.0] * len(xs)) == pytest.approx(0.0, abs=1e-6)
+
+    def test_sqrt_data(self):
+        xs = [2**k for k in range(4, 12)]
+        assert growth_exponent(xs, [math.sqrt(x) for x in xs]) == pytest.approx(0.5, abs=1e-6)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AnalysisError):
+            growth_exponent([1, 2], [0, 1])
+
+
+class TestTables:
+    def test_add_row_validates_width(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(1, 2)
+        with pytest.raises(AnalysisError):
+            table.add_row(1)
+
+    def test_render_contains_title_and_cells(self):
+        table = Table(title="My table", columns=["name", "value"])
+        table.add_row("x", 1.5)
+        text = table.render()
+        assert "My table" in text
+        assert "name" in text and "1.500" in text
+
+    def test_add_dict_row(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_dict_row({"a": 1, "b": 2, "ignored": 3})
+        assert table.rows[0] == (1, 2)
+
+    def test_markdown_rendering(self):
+        table = Table(title="t", columns=["a", "b"])
+        table.add_row(True, float("nan"))
+        md = table.to_markdown()
+        assert md.splitlines()[0] == "| a | b |"
+        assert "yes" in md and "nan" in md
+
+    def test_format_table_mismatched_row(self):
+        with pytest.raises(AnalysisError):
+            format_table("t", ["a"], [[1, 2]])
+
+
+class TestComparison:
+    def test_compare_requires_studies(self):
+        with pytest.raises(AnalysisError):
+            compare_protocols({})
+
+    def test_comparison_table_rendering(self):
+        row = ComparisonRow(
+            protocol="p",
+            workload="w",
+            trials=2,
+            mean_successes=1.0,
+            mean_unfinished=0.0,
+            mean_latency=3.0,
+            p95_latency=5.0,
+            mean_broadcasts_per_node=2.0,
+        )
+        table = comparison_table([row], title="cmp")
+        assert "cmp" in table.render()
+        assert table.rows[0][0] == "p"

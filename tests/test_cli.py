@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_command_parsing(self):
+        args = build_parser().parse_args(["run", "E3", "--trials", "2", "--scale", "smoke"])
+        assert args.experiment_id == "E3"
+        assert args.trials == 2
+        assert args.scale == "smoke"
+
+    def test_report_command_defaults(self):
+        args = build_parser().parse_args(["report"])
+        assert args.output == "EXPERIMENTS.md"
+        assert args.only is None
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E10" in out
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            ["simulate", "--arrivals", "8", "--horizon", "256", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chen-jiang-zheng" in out
+        assert "throughput" in out
+
+    def test_run_command_smoke(self, capsys):
+        code = main(["run", "E5", "--trials", "2", "--scale", "smoke", "--seed", "7"])
+        out = capsys.readouterr().out
+        assert "E5" in out
+        assert code in (0, 1)
+
+    def test_report_command_writes_file(self, tmp_path, capsys):
+        output = tmp_path / "EXPERIMENTS.md"
+        code = main(
+            [
+                "report",
+                "--only",
+                "E5",
+                "--trials",
+                "2",
+                "--scale",
+                "smoke",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        assert output.exists()
+        assert "E5" in output.read_text()

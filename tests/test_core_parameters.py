@@ -1,0 +1,72 @@
+"""Unit tests for the algorithm parameterization."""
+
+import pytest
+
+from repro.core import AlgorithmParameters
+from repro.errors import ConfigurationError
+from repro.functions import RateFunction, constant_g, log_g
+
+
+class TestConstruction:
+    def test_default_targets_constant_g(self):
+        params = AlgorithmParameters.from_g()
+        assert params.g(1e6) == 4.0
+        assert params.a == 1.0
+
+    def test_from_g_derives_f(self):
+        params = AlgorithmParameters.from_g(constant_g(4.0))
+        # f(x) = log2(x) / log2(4)^2 = log2(x) / 4
+        assert params.f(2**16) == pytest.approx(4.0)
+
+    def test_from_f_uses_given_f(self):
+        f = RateFunction("const", lambda x: 2.0)
+        params = AlgorithmParameters.from_f(f)
+        assert params.f(10**6) == 2.0
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AlgorithmParameters.from_g(constant_g(4.0), a=0.0)
+        with pytest.raises(ConfigurationError):
+            AlgorithmParameters.from_g(constant_g(4.0), c3=-1.0)
+
+    def test_describe_mentions_g(self):
+        params = AlgorithmParameters.from_g(log_g())
+        assert "log" in params.describe()
+
+
+class TestBudgetsAndRates:
+    def test_backoff_budget_at_least_one(self, parameters):
+        assert parameters.backoff_budget(1) == 1
+        assert parameters.backoff_budget(2) >= 1
+
+    def test_backoff_budget_grows_with_stage(self, parameters):
+        assert parameters.backoff_budget(2**20) >= parameters.backoff_budget(2**4)
+
+    def test_backoff_budget_never_exceeds_stage_length(self, parameters):
+        for length in (1, 2, 4, 8, 1024):
+            assert parameters.backoff_budget(length) <= length
+
+    def test_backoff_budget_rejects_invalid(self, parameters):
+        with pytest.raises(ConfigurationError):
+            parameters.backoff_budget(0)
+
+    def test_ctrl_probability_capped(self, parameters):
+        assert parameters.ctrl_probability(1) == 1.0
+        assert parameters.ctrl_probability(10**6) < 1e-3
+
+    def test_data_probability_is_one_over_index(self, parameters):
+        assert parameters.data_probability(1) == 1.0
+        assert parameters.data_probability(100) == pytest.approx(0.01)
+
+    def test_probabilities_reject_invalid_index(self, parameters):
+        with pytest.raises(ConfigurationError):
+            parameters.ctrl_probability(0)
+        with pytest.raises(ConfigurationError):
+            parameters.data_probability(-1)
+
+    def test_ctrl_rate_scales_with_c3(self):
+        low = AlgorithmParameters.from_g(constant_g(4.0), c3=2.0)
+        high = AlgorithmParameters.from_g(constant_g(4.0), c3=8.0)
+        assert high.ctrl_probability(4096) == pytest.approx(
+            4.0 * low.ctrl_probability(4096)
+        )

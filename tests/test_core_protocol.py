@@ -1,0 +1,150 @@
+"""Unit tests for the Chen–Jiang–Zheng protocol state machine."""
+
+import numpy as np
+import pytest
+
+from repro.core import AlgorithmParameters, ChenJiangZhengProtocol, GlobalClockVariant, Phase, cjz_factory
+from repro.functions import constant_g
+from repro.types import ChannelParity, Feedback
+
+
+def make_protocol(seed=0, **kwargs):
+    protocol = ChenJiangZhengProtocol(AlgorithmParameters.from_g(constant_g(4.0), **kwargs))
+    protocol.on_arrival(1, np.random.default_rng(seed))
+    return protocol
+
+
+def hear_success(protocol, slot):
+    protocol.on_feedback(slot, Feedback.SUCCESS, broadcast=False, success_was_own=False)
+
+
+def hear_nothing(protocol, slot):
+    protocol.on_feedback(slot, Feedback.NO_SUCCESS, broadcast=False, success_was_own=False)
+
+
+class TestPhaseTransitions:
+    def test_starts_in_phase_one(self):
+        protocol = make_protocol()
+        assert protocol.phase is Phase.SYNCHRONIZE
+
+    def test_any_success_moves_to_phase_two(self):
+        protocol = make_protocol()
+        hear_success(protocol, 6)
+        assert protocol.phase is Phase.WAIT_CONTROL
+
+    def test_phase_two_control_channel_is_opposite_of_success_channel(self):
+        protocol = make_protocol()
+        hear_success(protocol, 6)  # success on the even channel
+        assert protocol.control_parity is ChannelParity.ODD
+        other = make_protocol()
+        hear_success(other, 7)  # success on the odd channel
+        assert other.control_parity is ChannelParity.EVEN
+
+    def test_success_on_data_channel_does_not_end_phase_two(self):
+        protocol = make_protocol()
+        hear_success(protocol, 6)  # data channel = even, control = odd
+        hear_success(protocol, 10)  # another success on the even (data) channel
+        assert protocol.phase is Phase.WAIT_CONTROL
+
+    def test_success_on_control_channel_starts_phase_three(self):
+        protocol = make_protocol()
+        hear_success(protocol, 6)
+        hear_success(protocol, 9)  # odd slot = control channel
+        assert protocol.phase is Phase.BATCH
+
+    def test_no_success_feedback_never_changes_phase(self):
+        protocol = make_protocol()
+        for slot in range(1, 40):
+            hear_nothing(protocol, slot)
+        assert protocol.phase is Phase.SYNCHRONIZE
+
+    def test_own_success_is_ignored_by_state_machine(self):
+        protocol = make_protocol()
+        protocol.on_feedback(5, Feedback.SUCCESS, broadcast=True, success_was_own=True)
+        assert protocol.phase is Phase.SYNCHRONIZE
+
+
+class TestPhaseThree:
+    def make_phase3(self, seed=0):
+        protocol = make_protocol(seed=seed)
+        hear_success(protocol, 6)   # -> Phase 2, control channel odd
+        hear_success(protocol, 9)   # -> Phase 3 anchored at l3 = 9
+        return protocol
+
+    def test_control_and_data_channels_after_anchor(self):
+        protocol = self.make_phase3()
+        # l3 = 9: control channel has the parity of slot 10 (even), data of 11 (odd).
+        assert protocol.control_parity is ChannelParity.EVEN
+
+    def test_control_success_restarts_and_swaps_channels(self):
+        protocol = self.make_phase3()
+        before = protocol.control_parity
+        # A success on the control (even) channel restarts Phase 3.
+        hear_success(protocol, 14)
+        assert protocol.phase is Phase.BATCH
+        assert protocol.phase3_restarts == 1
+        assert protocol.control_parity is before.other()
+
+    def test_data_success_does_not_restart(self):
+        protocol = self.make_phase3()
+        hear_success(protocol, 13)  # odd slot = data channel
+        assert protocol.phase3_restarts == 0
+
+    def test_first_control_slot_broadcasts_with_probability_one(self):
+        protocol = self.make_phase3()
+        # h_ctrl(1) is capped at 1, so the node must broadcast in slot 10.
+        assert protocol.wants_to_broadcast(10) is True
+
+    def test_first_data_slot_broadcasts_with_probability_one(self):
+        protocol = self.make_phase3()
+        # h_data(1) = 1, so the node must broadcast in slot 11.
+        assert protocol.wants_to_broadcast(11) is True
+
+
+class TestBroadcastDecisions:
+    def test_phase_one_only_uses_arrival_parity_channel(self):
+        protocol = make_protocol()
+        # Arrived at slot 1 (odd): the protocol never broadcasts on even slots
+        # during Phase 1.
+        for slot in range(2, 60, 2):
+            assert protocol.wants_to_broadcast(slot) is False
+
+    def test_phase_one_sends_in_arrival_slot(self):
+        # Stage 0 of the backoff is the single arrival slot, with budget >= 1.
+        protocol = make_protocol()
+        assert protocol.wants_to_broadcast(1) is True
+
+    def test_phase_two_only_uses_control_channel(self):
+        protocol = make_protocol()
+        hear_success(protocol, 6)  # control channel odd
+        for slot in range(8, 60, 2):
+            assert protocol.wants_to_broadcast(slot) is False
+
+
+class TestGlobalClockVariant:
+    def test_skips_phase_one(self):
+        protocol = GlobalClockVariant(AlgorithmParameters.from_g(constant_g(4.0)))
+        protocol.on_arrival(4, np.random.default_rng(0))
+        assert protocol.phase is Phase.WAIT_CONTROL
+        assert protocol.control_parity is ChannelParity.ODD
+
+    def test_control_channel_is_always_odd(self):
+        for arrival in (1, 2, 3, 8):
+            protocol = GlobalClockVariant(AlgorithmParameters.from_g(constant_g(4.0)))
+            protocol.on_arrival(arrival, np.random.default_rng(0))
+            assert protocol.control_parity is ChannelParity.ODD
+
+
+class TestFactory:
+    def test_factory_produces_fresh_instances(self):
+        factory = cjz_factory()
+        first, second = factory(), factory()
+        assert first is not second
+        assert isinstance(first, ChenJiangZhengProtocol)
+
+    def test_factory_global_clock(self):
+        factory = cjz_factory(global_clock=True)
+        assert isinstance(factory(), GlobalClockVariant)
+
+    def test_factory_records_name(self):
+        assert cjz_factory().protocol_name == "chen-jiang-zheng"

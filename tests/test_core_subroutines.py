@@ -1,0 +1,101 @@
+"""Unit tests for the h-backoff and h-batch subroutines."""
+
+import numpy as np
+import pytest
+
+from repro.core.subroutines import HBackoff, HBatch
+from repro.errors import ConfigurationError
+
+
+def constant_budget(value):
+    return lambda stage_length: value
+
+
+class TestHBackoff:
+    def test_sends_exactly_in_selected_slots_of_stage(self, rng):
+        backoff = HBackoff(budget=constant_budget(1), rng=rng)
+        # Stage 0 is the single local index 1 and the budget is 1, so the node
+        # must send there.
+        assert backoff.should_send(1) is True
+
+    def test_number_of_sends_per_stage_bounded_by_budget(self, rng):
+        budget_value = 3
+        backoff = HBackoff(budget=constant_budget(budget_value), rng=rng)
+        # Stage 4 covers local indices [16, 32).
+        sends = sum(1 for i in range(16, 32) if backoff.should_send(i))
+        assert 1 <= sends <= budget_value
+
+    def test_budget_capped_by_stage_length(self, rng):
+        backoff = HBackoff(budget=constant_budget(100), rng=rng)
+        # Stage 1 covers [2, 4): only 2 slots exist.
+        sends = sum(1 for i in range(2, 4) if backoff.should_send(i))
+        assert sends <= 2
+
+    def test_rejects_decreasing_indices(self, rng):
+        backoff = HBackoff(budget=constant_budget(1), rng=rng)
+        backoff.should_send(20)
+        with pytest.raises(ConfigurationError):
+            backoff.should_send(3)
+
+    def test_rejects_non_positive_index(self, rng):
+        backoff = HBackoff(budget=constant_budget(1), rng=rng)
+        with pytest.raises(ConfigurationError):
+            backoff.should_send(0)
+
+    def test_stage_number_tracks_indices(self, rng):
+        backoff = HBackoff(budget=constant_budget(1), rng=rng)
+        backoff.should_send(1)
+        assert backoff.current_stage == 0
+        backoff.should_send(2)
+        assert backoff.current_stage == 1
+        backoff.should_send(9)
+        assert backoff.current_stage == 3
+
+    def test_expected_sends_up_to_accumulates_budgets(self, rng):
+        backoff = HBackoff(budget=constant_budget(2), rng=rng)
+        # Stages 0..3 cover local indices up to 15: four stages of budget 2.
+        assert backoff.expected_sends_up_to(15) == 8
+
+    def test_total_sends_are_logarithmic_with_constant_budget(self, rng):
+        budget_value = 2
+        backoff = HBackoff(budget=constant_budget(budget_value), rng=rng)
+        horizon = 2**10
+        sends = sum(1 for i in range(1, horizon + 1) if backoff.should_send(i))
+        # At most budget per stage, ~log2(horizon)+1 stages.
+        assert sends <= budget_value * (11)
+
+    def test_deterministic_given_seed(self):
+        a = HBackoff(constant_budget(2), np.random.default_rng(5))
+        b = HBackoff(constant_budget(2), np.random.default_rng(5))
+        pattern_a = [a.should_send(i) for i in range(1, 200)]
+        pattern_b = [b.should_send(i) for i in range(1, 200)]
+        assert pattern_a == pattern_b
+
+
+class TestHBatch:
+    def test_probability_capped_at_one(self, rng):
+        batch = HBatch(rate=lambda x: 5.0, rng=rng)
+        assert batch.probability(1) == 1.0
+
+    def test_probability_follows_rate(self, rng):
+        batch = HBatch(rate=lambda x: 1.0 / x, rng=rng)
+        assert batch.probability(4) == pytest.approx(0.25)
+
+    def test_rejects_non_positive_index(self, rng):
+        batch = HBatch(rate=lambda x: 1.0 / x, rng=rng)
+        with pytest.raises(ConfigurationError):
+            batch.probability(0)
+
+    def test_always_sends_with_probability_one(self, rng):
+        batch = HBatch(rate=lambda x: 1.0, rng=rng)
+        assert all(batch.should_send(i) for i in range(1, 50))
+
+    def test_never_sends_with_tiny_probability(self, rng):
+        batch = HBatch(rate=lambda x: 1e-12, rng=rng)
+        assert not any(batch.should_send(i) for i in range(1, 200))
+
+    def test_empirical_rate_matches_probability(self):
+        rng = np.random.default_rng(7)
+        batch = HBatch(rate=lambda x: 0.3, rng=rng)
+        draws = sum(1 for _ in range(5000) if batch.should_send(10))
+        assert 0.25 < draws / 5000 < 0.35

@@ -1,0 +1,168 @@
+"""Unit tests for the rate-function families."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.functions import (
+    RateFunction,
+    STANDARD_G_FAMILIES,
+    backoff_budget,
+    constant_g,
+    derive_f,
+    exp_sqrt_log_g,
+    h_ctrl,
+    h_data,
+    is_sub_logarithmic,
+    log_g,
+    polylog_g,
+)
+
+
+class TestRateFunction:
+    def test_rejects_non_positive_argument(self):
+        f = RateFunction("id", lambda x: x)
+        with pytest.raises(ConfigurationError):
+            f(0)
+        with pytest.raises(ConfigurationError):
+            f(-3)
+
+    def test_rejects_non_positive_value(self):
+        f = RateFunction("zero", lambda x: 0.0)
+        with pytest.raises(ConfigurationError):
+            f(10)
+
+    def test_rejects_non_finite_value(self):
+        f = RateFunction("inf", lambda x: float("inf"))
+        with pytest.raises(ConfigurationError):
+            f(10)
+
+    def test_evaluates(self):
+        f = RateFunction("double", lambda x: 2 * x)
+        assert f(3) == 6.0
+
+
+class TestGFamilies:
+    def test_constant_g_value(self):
+        g = constant_g(5.0)
+        assert g(10) == 5.0
+        assert g(1e9) == 5.0
+
+    def test_constant_g_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            constant_g(1.0)
+
+    def test_log_g_grows(self):
+        g = log_g()
+        assert g(2**20) > g(2**10)
+        assert g(2**10) == pytest.approx(10.0)
+
+    def test_log_g_floor(self):
+        g = log_g(floor=3.0)
+        assert g(2) == 3.0
+
+    def test_polylog_g(self):
+        g = polylog_g(2.0)
+        assert g(2**10) == pytest.approx(100.0)
+
+    def test_exp_sqrt_log_g(self):
+        g = exp_sqrt_log_g(1.0)
+        assert g(2**16) == pytest.approx(2.0**4)
+
+    def test_exp_sqrt_log_g_dominates_polylog_eventually(self):
+        g_exp = exp_sqrt_log_g(1.0)
+        g_poly = polylog_g(2.0)
+        x = 2.0**400
+        assert g_exp(x) > g_poly(x)
+
+
+class TestDeriveF:
+    def test_constant_g_yields_logarithmic_f(self):
+        g = constant_g(4.0)
+        f = derive_f(g)
+        # f(x) = log2(x)/log2(4)^2 = log2(x)/4
+        assert f(2**20) == pytest.approx(5.0)
+        assert f(2**40) == pytest.approx(10.0)
+
+    def test_f_has_floor(self):
+        f = derive_f(constant_g(4.0), floor=1.0)
+        assert f(2) >= 1.0
+
+    def test_larger_g_gives_smaller_f(self):
+        x = 2.0**30
+        f_small_g = derive_f(constant_g(4.0))
+        f_big_g = derive_f(constant_g(256.0))
+        assert f_big_g(x) < f_small_g(x)
+
+    def test_invalid_constants_rejected(self):
+        with pytest.raises(ConfigurationError):
+            derive_f(constant_g(4.0), a=0)
+        with pytest.raises(ConfigurationError):
+            derive_f(constant_g(4.0), c2=-1)
+
+
+class TestSendingRates:
+    def test_h_ctrl_shape(self):
+        h = h_ctrl(4.0)
+        assert h(1) == 1.0  # capped
+        assert h(1024) == pytest.approx(4.0 * 10.0 / 1024.0)
+
+    def test_h_ctrl_is_decreasing_eventually(self):
+        h = h_ctrl(4.0)
+        assert h(64) > h(1024) > h(65536)
+
+    def test_h_data_is_one_over_x(self):
+        h = h_data()
+        assert h(1) == 1.0
+        assert h(10) == pytest.approx(0.1)
+
+    def test_h_ctrl_requires_positive_c3(self):
+        with pytest.raises(ConfigurationError):
+            h_ctrl(0.0)
+
+
+class TestBackoffBudget:
+    def test_budget_is_at_least_one(self):
+        budget = backoff_budget(derive_f(constant_g(4.0)))
+        assert budget(1) >= 1
+        assert budget(2) >= 1
+
+    def test_budget_grows_with_stage_length(self):
+        budget = backoff_budget(derive_f(constant_g(4.0)))
+        assert budget(2**20) >= budget(2**4)
+
+    def test_budget_rejects_invalid_stage(self):
+        budget = backoff_budget(derive_f(constant_g(4.0)))
+        with pytest.raises(ConfigurationError):
+            budget(0)
+
+    def test_scale_multiplies(self):
+        f = derive_f(constant_g(4.0))
+        small = backoff_budget(f, scale=1.0)
+        large = backoff_budget(f, scale=4.0)
+        assert large(2**16) >= small(2**16)
+
+
+class TestSubLogarithmicCheck:
+    def test_log_like_functions_pass(self):
+        assert is_sub_logarithmic(RateFunction("log", lambda x: math.log2(max(x, 2))))
+        assert is_sub_logarithmic(constant_g(8.0))
+
+    def test_polynomial_function_fails(self):
+        assert not is_sub_logarithmic(RateFunction("sqrt", lambda x: math.sqrt(x)))
+
+    def test_derived_f_passes_for_standard_families(self):
+        for family in STANDARD_G_FAMILIES:
+            assert is_sub_logarithmic(family.f()), family.label
+
+
+class TestStandardFamilies:
+    def test_labels_unique(self):
+        labels = [family.label for family in STANDARD_G_FAMILIES]
+        assert len(labels) == len(set(labels))
+
+    def test_each_family_produces_f(self):
+        for family in STANDARD_G_FAMILIES:
+            f = family.f()
+            assert f(2**16) > 0

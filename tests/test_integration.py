@@ -1,0 +1,184 @@
+"""Integration tests: end-to-end behaviour of protocols against adversaries.
+
+These tests exercise the full stack (protocol + adversary + channel + engine +
+metrics) on workloads small enough to run in seconds, asserting the behavioural
+claims the experiments measure at larger scale.
+"""
+
+import pytest
+
+from repro import quick_run
+from repro.adversary import (
+    AdaptiveSuccessChaser,
+    BatchArrivals,
+    ComposedAdversary,
+    LowerBoundAdversary,
+    NoJamming,
+    PoissonArrivals,
+    RandomFractionJamming,
+    SmoothAdversary,
+)
+from repro.core import AlgorithmParameters, GlobalClockVariant, cjz_factory
+from repro.functions import constant_g, exp_sqrt_log_g
+from repro.metrics import check_fg_throughput, summarize_energy, summarize_latencies
+from repro.protocols import (
+    ProbabilityBackoff,
+    WindowedBinaryExponentialBackoff,
+    make_factory,
+)
+from repro.protocols.base import make_factory as base_make_factory
+from repro.sim import run_trials
+
+
+PARAMS = AlgorithmParameters.from_g(constant_g(4.0))
+
+
+class TestQuickRun:
+    def test_quick_run_delivers_batch(self):
+        result = quick_run(arrivals=32, horizon=4096, seed=1)
+        assert result.total_successes == 32
+        assert result.unfinished_nodes == 0
+
+    def test_quick_run_with_jamming_still_delivers(self):
+        result = quick_run(arrivals=32, horizon=4096, jam_fraction=0.25, seed=2)
+        assert result.total_successes == 32
+
+    def test_quick_run_keep_trace(self):
+        result = quick_run(arrivals=4, horizon=256, seed=3, keep_trace=True)
+        assert result.trace is not None
+        assert result.trace.successes_count() == 4
+
+
+class TestCJZBehaviour:
+    def test_batch_fg_throughput_holds(self):
+        study = run_trials(
+            protocol_factory=cjz_factory(PARAMS),
+            adversary_factory=lambda: ComposedAdversary(
+                BatchArrivals(48), RandomFractionJamming(0.25)
+            ),
+            horizon=4096,
+            trials=3,
+            seed=5,
+        )
+        for result in study:
+            report = check_fg_throughput(
+                result, PARAMS.f, PARAMS.g, slack=8.0, min_prefix=64, additive_grace=128.0
+            )
+            assert report.satisfied, f"worst ratio {report.worst_ratio}"
+
+    def test_dynamic_poisson_arrivals_all_delivered(self):
+        study = run_trials(
+            protocol_factory=cjz_factory(PARAMS),
+            adversary_factory=lambda: ComposedAdversary(
+                PoissonArrivals(0.02, last_slot=2048), NoJamming()
+            ),
+            horizon=4096,
+            trials=2,
+            seed=6,
+        )
+        assert study.mean(lambda r: r.unfinished_nodes) <= 1.0
+
+    def test_adaptive_adversary_does_not_break_the_protocol(self):
+        study = run_trials(
+            protocol_factory=cjz_factory(PARAMS),
+            adversary_factory=lambda: AdaptiveSuccessChaser(
+                jam_fraction=0.2,
+                arrival_budget_per_success=1,
+                total_arrival_budget=48,
+                seed_arrivals=8,
+            ),
+            horizon=4096,
+            trials=2,
+            seed=7,
+        )
+        assert study.mean(lambda r: r.unfinished_nodes) <= 2.0
+
+    def test_exp_sqrt_log_parameterization_also_works(self):
+        params = AlgorithmParameters.from_g(exp_sqrt_log_g())
+        study = run_trials(
+            protocol_factory=cjz_factory(params),
+            adversary_factory=lambda: ComposedAdversary(BatchArrivals(32), NoJamming()),
+            horizon=4096,
+            trials=2,
+            seed=8,
+        )
+        assert study.mean(lambda r: r.unfinished_nodes) == 0.0
+
+    def test_global_clock_variant_drains_batch(self):
+        study = run_trials(
+            protocol_factory=base_make_factory(GlobalClockVariant, PARAMS),
+            adversary_factory=lambda: ComposedAdversary(BatchArrivals(24), NoJamming()),
+            horizon=4096,
+            trials=2,
+            seed=9,
+        )
+        assert study.mean(lambda r: r.unfinished_nodes) == 0.0
+
+    def test_energy_is_far_below_active_time(self):
+        study = run_trials(
+            protocol_factory=cjz_factory(PARAMS),
+            adversary_factory=lambda: ComposedAdversary(BatchArrivals(64), NoJamming()),
+            horizon=8192,
+            trials=1,
+            seed=10,
+        )
+        result = study.results[0]
+        energy = summarize_energy([result])
+        latency = summarize_latencies([result])
+        assert energy.mean < latency.maximum
+
+    def test_lone_node_succeeds_immediately(self):
+        result = quick_run(arrivals=1, horizon=64, seed=11)
+        assert result.node_stats[0].success_slot == 1
+
+
+class TestPaperLevelComparisons:
+    def test_cjz_beats_beb_on_active_slots_under_jamming(self):
+        """The headline qualitative comparison: under constant-fraction jamming the
+        paper's algorithm wastes far fewer active slots than windowed BEB."""
+        def adversary():
+            return ComposedAdversary(BatchArrivals(64), RandomFractionJamming(0.25))
+
+        cjz = run_trials(cjz_factory(PARAMS), adversary, horizon=8192, trials=2, seed=13)
+        beb = run_trials(
+            make_factory(WindowedBinaryExponentialBackoff),
+            adversary,
+            horizon=8192,
+            trials=2,
+            seed=13,
+        )
+        assert cjz.mean(lambda r: r.unfinished_nodes) == 0.0
+        assert (
+            cjz.mean(lambda r: r.total_active_slots)
+            < 0.7 * beb.mean(lambda r: r.total_active_slots)
+        )
+
+    def test_probability_backoff_lags_under_front_jamming(self):
+        """A lone 1/i node starved by the Lemma 4.1 adversary takes longer than CJZ."""
+        horizon = 4096
+
+        def adversary():
+            return LowerBoundAdversary(horizon=horizon, g=constant_g(4.0), initial_nodes=1)
+
+        cjz = run_trials(cjz_factory(PARAMS), adversary, horizon=horizon, trials=4, seed=17)
+        prob = run_trials(
+            make_factory(ProbabilityBackoff, 1.0), adversary, horizon=horizon, trials=4, seed=17
+        )
+        cjz_latency = summarize_latencies(list(cjz)).mean
+        prob_latency = summarize_latencies(list(prob)).mean
+        assert cjz_latency < prob_latency
+
+    def test_smooth_adversary_clears_old_nodes(self):
+        horizon = 4096
+        params = PARAMS
+
+        def adversary():
+            return SmoothAdversary(horizon=horizon, f=params.f, g=params.g)
+
+        study = run_trials(cjz_factory(params), adversary, horizon=horizon, trials=2, seed=19)
+        for result in study:
+            for stats in result.node_stats.values():
+                if stats.arrival_slot < horizon // 2:
+                    assert stats.finished, (
+                        f"node arrived at {stats.arrival_slot} not cleared by {horizon}"
+                    )

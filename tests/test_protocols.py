@@ -1,0 +1,199 @@
+"""Unit tests for the baseline protocols."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols import (
+    BackonBackoffCD,
+    FixedProbabilityProtocol,
+    LogUniformFixedProtocol,
+    PolynomialBackoff,
+    ProbabilityBackoff,
+    SawtoothBackoff,
+    SlottedAloha,
+    TwoChannelNoJamming,
+    WindowedBinaryExponentialBackoff,
+    make_factory,
+)
+from repro.types import Feedback
+
+
+def arrived(protocol, slot=1, seed=0):
+    protocol.on_arrival(slot, np.random.default_rng(seed))
+    return protocol
+
+
+class TestWindowedBEB:
+    def test_schedules_attempt_within_initial_window(self):
+        protocol = arrived(WindowedBinaryExponentialBackoff(initial_window=2))
+        attempts = [slot for slot in range(1, 4) if protocol.wants_to_broadcast(slot)]
+        assert len(attempts) >= 0  # may or may not attempt in the first window slot
+        # The first attempt must fall within [arrival, arrival + window).
+        protocol2 = arrived(WindowedBinaryExponentialBackoff(initial_window=4), seed=3)
+        first = next(s for s in range(1, 10) if protocol2.wants_to_broadcast(s))
+        assert first <= 4
+
+    def test_window_doubles_after_failure(self):
+        protocol = arrived(WindowedBinaryExponentialBackoff(initial_window=2))
+        slot = next(s for s in range(1, 10) if protocol.wants_to_broadcast(s))
+        protocol.on_feedback(slot, Feedback.NO_SUCCESS, broadcast=True, success_was_own=False)
+        assert protocol._window == 4
+
+    def test_window_capped_at_max(self):
+        protocol = arrived(
+            WindowedBinaryExponentialBackoff(initial_window=2, max_window=4)
+        )
+        for _ in range(5):
+            slot = protocol._next_attempt_slot
+            protocol.on_feedback(slot, Feedback.NO_SUCCESS, broadcast=True, success_was_own=False)
+        assert protocol._window == 4
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            WindowedBinaryExponentialBackoff(initial_window=0)
+        with pytest.raises(ConfigurationError):
+            WindowedBinaryExponentialBackoff(initial_window=4, max_window=2)
+
+
+class TestProbabilityBackoff:
+    def test_first_slot_sends_with_probability_one(self):
+        protocol = arrived(ProbabilityBackoff(1.0))
+        assert protocol.wants_to_broadcast(1) is True
+
+    def test_probability_decays_with_age(self):
+        protocol = arrived(ProbabilityBackoff(1.0), slot=10)
+        assert protocol._probability(10) == 1.0
+        assert protocol._probability(19) == pytest.approx(0.1)
+
+    def test_scale_raises_probability(self):
+        protocol = arrived(ProbabilityBackoff(4.0), slot=1)
+        assert protocol._probability(2) == 1.0
+        assert protocol._probability(16) == pytest.approx(0.25)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ConfigurationError):
+            ProbabilityBackoff(0.0)
+
+
+class TestPolynomialBackoff:
+    def test_window_grows_polynomially_with_failures(self):
+        protocol = arrived(PolynomialBackoff(degree=2.0, initial_window=2))
+        assert protocol._current_window() == 2
+        protocol._failures = 3
+        assert protocol._current_window() == 16
+
+    def test_invalid_degree(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialBackoff(degree=0.0)
+
+    def test_broadcasts_only_on_scheduled_slot(self):
+        protocol = arrived(PolynomialBackoff())
+        scheduled = protocol._next_attempt_slot
+        for slot in range(1, scheduled + 3):
+            assert protocol.wants_to_broadcast(slot) is (slot == scheduled)
+            if slot == scheduled:
+                break
+
+
+class TestSawtoothBackoff:
+    def test_run_ramps_up_probability(self):
+        protocol = arrived(SawtoothBackoff(initial_window=8))
+        probabilities = [p for _, p in protocol._schedule]
+        assert probabilities[0] == pytest.approx(1.0 / 8)
+        assert max(probabilities) == pytest.approx(0.5)
+        # Monotone non-decreasing within a run.
+        assert all(b >= a - 1e-12 for a, b in zip(probabilities, probabilities[1:]))
+
+    def test_window_doubles_between_runs(self):
+        protocol = arrived(SawtoothBackoff(initial_window=4))
+        first_run_end = protocol._schedule[-1][0]
+        protocol._probability_for(first_run_end + 1)
+        assert protocol._window == 8
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            SawtoothBackoff(initial_window=1)
+
+
+class TestFixedProbability:
+    def test_sequence_is_respected(self):
+        protocol = arrived(FixedProbabilityProtocol(lambda i: 0.5 if i == 1 else 0.0))
+        assert protocol.probability(1) == 0.5
+        assert protocol.probability(7) == 0.0
+
+    def test_invalid_probability_detected(self):
+        protocol = arrived(FixedProbabilityProtocol(lambda i: 2.0))
+        with pytest.raises(ConfigurationError):
+            protocol.probability(1)
+
+    def test_log_uniform_shape(self):
+        protocol = arrived(LogUniformFixedProtocol(1.0))
+        assert protocol.probability(1) == pytest.approx(0.5)
+        assert protocol.probability(1023) == pytest.approx(
+            np.log2(1024) / 1024, rel=1e-6
+        )
+
+    def test_feedback_does_not_change_probabilities(self):
+        protocol = arrived(LogUniformFixedProtocol(1.0))
+        before = protocol.probability(50)
+        protocol.on_feedback(3, Feedback.NO_SUCCESS, broadcast=True, success_was_own=False)
+        assert protocol.probability(50) == before
+
+
+class TestSlottedAloha:
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            SlottedAloha(0.0)
+        with pytest.raises(ConfigurationError):
+            SlottedAloha(1.5)
+
+    def test_empirical_rate(self):
+        protocol = arrived(SlottedAloha(0.3), seed=9)
+        sends = sum(1 for slot in range(1, 3001) if protocol.wants_to_broadcast(slot))
+        assert 0.25 < sends / 3000 < 0.35
+
+
+class TestBackonBackoffCD:
+    def test_collision_backs_off(self):
+        protocol = arrived(BackonBackoffCD(initial_probability=0.5))
+        protocol.on_feedback(1, Feedback.COLLISION, broadcast=True, success_was_own=False)
+        assert protocol.probability == pytest.approx(0.25)
+
+    def test_silence_backs_on(self):
+        protocol = arrived(BackonBackoffCD(initial_probability=0.5, backon_factor=1.2))
+        protocol.on_feedback(1, Feedback.SILENCE, broadcast=False, success_was_own=False)
+        assert protocol.probability == pytest.approx(0.6)
+
+    def test_no_success_without_cd_backs_off(self):
+        protocol = arrived(BackonBackoffCD(initial_probability=0.5))
+        protocol.on_feedback(1, Feedback.NO_SUCCESS, broadcast=False, success_was_own=False)
+        assert protocol.probability == pytest.approx(0.25)
+
+    def test_probability_clamped(self):
+        protocol = arrived(BackonBackoffCD(initial_probability=1.0, backon_factor=2.0))
+        protocol.on_feedback(1, Feedback.SILENCE, broadcast=False, success_was_own=False)
+        assert protocol.probability <= 1.0
+
+    def test_invalid_factors(self):
+        with pytest.raises(ConfigurationError):
+            BackonBackoffCD(backoff_factor=1.5)
+        with pytest.raises(ConfigurationError):
+            BackonBackoffCD(backon_factor=0.9)
+
+
+class TestTwoChannelNoJamming:
+    def test_is_a_cjz_variant_with_constant_budget(self):
+        protocol = TwoChannelNoJamming(backoff_sends_per_stage=2.0)
+        assert protocol.parameters.f(10**9) == 2.0
+        assert protocol.name == "two-channel-no-jamming"
+
+
+class TestMakeFactory:
+    def test_factory_name_defaults_to_class_attribute(self):
+        factory = make_factory(SlottedAloha, 0.1)
+        assert "aloha" in factory.protocol_name
+
+    def test_factory_builds_independent_instances(self):
+        factory = make_factory(ProbabilityBackoff, 1.0)
+        assert factory() is not factory()

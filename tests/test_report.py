@@ -1,0 +1,56 @@
+"""Tests for the experiment report writer."""
+
+from repro.analysis.tables import Table
+from repro.experiments import ExperimentConfig
+from repro.experiments.base import ExperimentResult
+from repro.experiments.report import render_report, write_report
+
+
+def make_result(experiment_id="E1", consistent=True):
+    result = ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"title of {experiment_id}",
+        paper_claim="some claim",
+    )
+    table = Table(title="numbers", columns=["x", "y"])
+    table.add_row(1, 2.0)
+    result.tables.append(table)
+    result.findings["metric"] = 3.14
+    result.conclusion = "matches"
+    result.consistent_with_paper = consistent
+    return result
+
+
+class TestRenderReport:
+    def test_header_and_summary(self):
+        report = render_report([make_result()], ExperimentConfig(trials=2))
+        assert report.startswith("# EXPERIMENTS")
+        assert "| Experiment | Claim | Verdict |" in report
+        assert "| E1 | title of E1 | consistent |" in report
+        assert "trials=2" in report
+
+    def test_inconsistent_verdict_rendered(self):
+        report = render_report([make_result(consistent=False)])
+        assert "| E1 | title of E1 | inconsistent |" in report
+
+    def test_unknown_verdict_rendered_as_na(self):
+        result = make_result()
+        result.consistent_with_paper = None
+        report = render_report([result])
+        assert "| E1 | title of E1 | n/a |" in report
+
+    def test_tables_rendered_as_markdown(self):
+        report = render_report([make_result()])
+        assert "| x | y |" in report
+        assert "`metric` = 3.14" in report
+
+    def test_multiple_results_ordered_as_given(self):
+        report = render_report([make_result("E2"), make_result("E1")])
+        assert report.index("### E2") < report.index("### E1")
+
+
+class TestWriteReport:
+    def test_writes_file(self, tmp_path):
+        path = write_report(tmp_path / "out.md", [make_result()], ExperimentConfig())
+        assert path.exists()
+        assert "### E1" in path.read_text(encoding="utf-8")

@@ -1,0 +1,61 @@
+"""Unit tests for deterministic randomness management."""
+
+import numpy as np
+
+from repro.rng import SeedTree, coerce_generator, make_generator, spawn_generators, trial_seeds
+
+
+class TestSeedTree:
+    def test_same_seed_same_stream(self):
+        a = SeedTree(7).generator()
+        b = SeedTree(7).generator()
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_different_seeds_differ(self):
+        a = SeedTree(7).generator()
+        b = SeedTree(8).generator()
+        draws_a = a.integers(0, 1 << 30, size=8)
+        draws_b = b.integers(0, 1 << 30, size=8)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_children_are_independent(self):
+        tree = SeedTree(3)
+        children = list(tree.children(4))
+        draws = [child.generator().integers(0, 1 << 30, size=4) for child in children]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j])
+
+    def test_accepts_seed_tree_instance(self):
+        base = SeedTree(11)
+        wrapped = SeedTree(base)
+        assert wrapped.entropy == base.entropy
+
+    def test_accepts_seed_sequence(self):
+        sequence = np.random.SeedSequence(5)
+        tree = SeedTree(sequence)
+        assert tree.entropy == sequence.entropy
+
+
+class TestHelpers:
+    def test_make_generator_returns_generator(self):
+        assert isinstance(make_generator(1), np.random.Generator)
+
+    def test_spawn_generators_count(self):
+        generators = spawn_generators(2, 5)
+        assert len(generators) == 5
+        assert all(isinstance(g, np.random.Generator) for g in generators)
+
+    def test_trial_seeds_are_reproducible(self):
+        first = [t.entropy for t in trial_seeds(9, 3)]
+        second = [t.entropy for t in trial_seeds(9, 3)]
+        assert first == second
+
+    def test_coerce_generator_passthrough(self):
+        gen = make_generator(4)
+        assert coerce_generator(gen) is gen
+
+    def test_coerce_generator_from_int(self):
+        a = coerce_generator(21)
+        b = coerce_generator(21)
+        assert a.integers(0, 1000) == b.integers(0, 1000)

@@ -1,0 +1,125 @@
+"""Unit tests for the shared value types."""
+
+import pytest
+
+from repro.types import (
+    AdversaryAction,
+    ChannelParity,
+    Feedback,
+    NodeStats,
+    SimulationSummary,
+    SlotOutcome,
+    SlotRecord,
+)
+
+
+def make_record(**overrides):
+    defaults = dict(
+        slot=1,
+        broadcasters=(0,),
+        jammed=False,
+        outcome=SlotOutcome.SUCCESS,
+        successful_node=0,
+        active_nodes=1,
+        arrivals=1,
+    )
+    defaults.update(overrides)
+    return SlotRecord(**defaults)
+
+
+class TestChannelParity:
+    def test_odd_slots_are_odd_channel(self):
+        assert ChannelParity.of_slot(1) is ChannelParity.ODD
+        assert ChannelParity.of_slot(3) is ChannelParity.ODD
+        assert ChannelParity.of_slot(101) is ChannelParity.ODD
+
+    def test_even_slots_are_even_channel(self):
+        assert ChannelParity.of_slot(2) is ChannelParity.EVEN
+        assert ChannelParity.of_slot(1024) is ChannelParity.EVEN
+
+    def test_other_swaps(self):
+        assert ChannelParity.ODD.other() is ChannelParity.EVEN
+        assert ChannelParity.EVEN.other() is ChannelParity.ODD
+
+    def test_other_is_involution(self):
+        for parity in ChannelParity:
+            assert parity.other().other() is parity
+
+
+class TestFeedback:
+    def test_success_flag(self):
+        assert Feedback.SUCCESS.is_success
+        assert not Feedback.NO_SUCCESS.is_success
+        assert not Feedback.SILENCE.is_success
+        assert not Feedback.COLLISION.is_success
+
+
+class TestSlotRecord:
+    def test_active_when_nodes_present(self):
+        assert make_record(active_nodes=3).is_active
+        assert not make_record(active_nodes=0, broadcasters=(), outcome=SlotOutcome.SILENCE,
+                               successful_node=None, arrivals=0).is_active
+
+    def test_is_success(self):
+        assert make_record().is_success
+        assert not make_record(outcome=SlotOutcome.COLLISION, successful_node=None).is_success
+
+
+class TestNodeStats:
+    def test_unfinished_node_has_no_latency(self):
+        stats = NodeStats(node_id=1, arrival_slot=10)
+        assert not stats.finished
+        assert stats.latency is None
+
+    def test_latency_counts_inclusive_slots(self):
+        stats = NodeStats(node_id=1, arrival_slot=10, success_slot=10)
+        assert stats.finished
+        assert stats.latency == 1
+        stats = NodeStats(node_id=1, arrival_slot=10, success_slot=19)
+        assert stats.latency == 10
+
+
+class TestAdversaryAction:
+    def test_negative_arrivals_rejected(self):
+        with pytest.raises(ValueError):
+            AdversaryAction(arrivals=-1)
+
+    def test_defaults(self):
+        action = AdversaryAction()
+        assert action.arrivals == 0
+        assert action.jam is False
+
+
+class TestSimulationSummary:
+    def test_record_accumulates_counters(self):
+        summary = SimulationSummary()
+        summary.record(make_record())
+        summary.record(
+            make_record(
+                slot=2,
+                broadcasters=(1, 2),
+                outcome=SlotOutcome.COLLISION,
+                successful_node=None,
+                active_nodes=2,
+                arrivals=0,
+                jammed=True,
+            )
+        )
+        summary.record(
+            make_record(
+                slot=3,
+                broadcasters=(),
+                outcome=SlotOutcome.SILENCE,
+                successful_node=None,
+                active_nodes=0,
+                arrivals=0,
+            )
+        )
+        assert summary.total_slots == 3
+        assert summary.successes == 1
+        assert summary.collisions == 1
+        assert summary.silent_slots == 1
+        assert summary.jammed_slots == 1
+        assert summary.active_slots == 2
+        assert summary.arrivals == 1
+        assert summary.total_broadcasts == 3
