@@ -8,6 +8,8 @@ experiment-level benchmarks.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.adversary import BatchArrivals, ComposedAdversary, RandomFractionJamming
@@ -15,7 +17,7 @@ from repro.channel import MultipleAccessChannel
 from repro.core import AlgorithmParameters, cjz_factory
 from repro.core.subroutines import HBackoff
 from repro.functions import constant_g
-from repro.protocols import WindowedBinaryExponentialBackoff, make_factory
+from repro.protocols import SlottedAloha, WindowedBinaryExponentialBackoff, make_factory
 from repro.sim import Simulator, SimulatorConfig
 
 
@@ -52,6 +54,47 @@ def test_beb_batch_simulation(benchmark):
         ).run()
 
     benchmark(run)
+
+
+def _aloha_run(backend: str, horizon: int = 4096, count: int = 64):
+    return Simulator(
+        protocol_factory=make_factory(SlottedAloha, 0.1),
+        adversary=ComposedAdversary(BatchArrivals(count), RandomFractionJamming(0.25)),
+        config=SimulatorConfig(horizon=horizon),
+        seed=1,
+        backend=backend,
+    ).run()
+
+
+def test_aloha_batch_reference_backend(benchmark):
+    result = benchmark(lambda: _aloha_run("reference"))
+    assert result.backend == "reference"
+
+
+def test_aloha_batch_vectorized_backend(benchmark):
+    result = benchmark(lambda: _aloha_run("vectorized"))
+    assert result.backend == "vectorized"
+
+
+def test_vectorized_speedup_floor():
+    """The vectorized kernel must beat the reference by >= 5x on an eligible
+    protocol at horizon >= 2048 (the acceptance floor for the backend split)."""
+
+    def best_of(backend: str, repeats: int = 3) -> float:
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _aloha_run(backend, horizon=8192)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    reference_time = best_of("reference")
+    vectorized_time = best_of("vectorized")
+    speedup = reference_time / vectorized_time
+    assert _aloha_run("reference", horizon=8192).summary == _aloha_run(
+        "vectorized", horizon=8192
+    ).summary
+    assert speedup >= 5.0, f"vectorized speedup {speedup:.1f}x below the 5x floor"
 
 
 def test_backoff_subroutine_decisions(benchmark):

@@ -79,6 +79,7 @@ def quick_run(
     jam_fraction: float = 0.0,
     seed: Optional[int] = None,
     keep_trace: bool = False,
+    backend: str = "auto",
 ) -> SimulationResult:
     """Run the paper's algorithm once on a simple workload and return the result.
 
@@ -99,5 +100,6 @@ def quick_run(
         adversary=adversary_factory(),
         config=SimulatorConfig(horizon=horizon, keep_trace=keep_trace),
         seed=seed,
+        backend=backend,
     )
     return simulator.run()

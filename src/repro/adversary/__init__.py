@@ -13,7 +13,13 @@ new nodes to inject and whether to jam the slot.  This package provides:
 * precomputed (oblivious) schedule adversaries for reproducible workloads.
 """
 
-from .base import Adversary, ArrivalStrategy, JammingStrategy, ComposedAdversary
+from .base import (
+    Adversary,
+    ArrivalStrategy,
+    ComposedAdversary,
+    JammingStrategy,
+    PrecompiledSchedule,
+)
 from .arrivals import (
     NoArrivals,
     BatchArrivals,
@@ -40,6 +46,7 @@ __all__ = [
     "ArrivalStrategy",
     "JammingStrategy",
     "ComposedAdversary",
+    "PrecompiledSchedule",
     "NoArrivals",
     "BatchArrivals",
     "PoissonArrivals",

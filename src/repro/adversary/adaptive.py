@@ -90,6 +90,13 @@ class AdaptiveSuccessChaser(Adversary):
             self._jammed += 1
         return AdversaryAction(arrivals=arrivals, jam=jam)
 
+    def arrivals_exhausted(self, slot: int) -> bool:
+        return (
+            self._total_budget is not None
+            and self._injected >= self._total_budget
+            and self._pending_arrivals == 0
+        )
+
     def observe(self, observation: SlotObservation) -> None:
         if observation.feedback is Feedback.SUCCESS:
             self._pending_arrivals += self._per_success

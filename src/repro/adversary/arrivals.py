@@ -28,6 +28,12 @@ class NoArrivals(ArrivalStrategy):
     def arrivals_for_slot(self, slot: int) -> int:
         return 0
 
+    def exhausted(self, slot: int) -> bool:
+        return True
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        return np.zeros(horizon + 1, dtype=np.int64)
+
 
 class BatchArrivals(ArrivalStrategy):
     """Inject ``count`` nodes simultaneously at ``slot`` (the paper's batch setting)."""
@@ -45,6 +51,15 @@ class BatchArrivals(ArrivalStrategy):
 
     def arrivals_for_slot(self, slot: int) -> int:
         return self._count if slot == self._slot else 0
+
+    def exhausted(self, slot: int) -> bool:
+        return slot >= self._slot
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        arrivals = np.zeros(horizon + 1, dtype=np.int64)
+        if self._slot <= horizon:
+            arrivals[self._slot] = self._count
+        return arrivals
 
 
 class PoissonArrivals(ArrivalStrategy):
@@ -77,6 +92,22 @@ class PoissonArrivals(ArrivalStrategy):
             return 0
         return int(self._rng.poisson(self._rate))
 
+    def exhausted(self, slot: int) -> bool:
+        if self._rate == 0:
+            return True
+        return self._last_slot is not None and slot >= self._last_slot
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        if self._rng is None:
+            raise ConfigurationError("PoissonArrivals used before setup()")
+        last = horizon if self._last_slot is None else min(self._last_slot, horizon)
+        arrivals = np.zeros(horizon + 1, dtype=np.int64)
+        if last >= 1:
+            # A batched draw consumes the generator exactly like `last`
+            # sequential per-slot draws, keeping replay bit-identical.
+            arrivals[1 : last + 1] = self._rng.poisson(self._rate, size=last)
+        return arrivals
+
 
 class UniformRandomArrivals(ArrivalStrategy):
     """Scatter a fixed total number of arrivals uniformly at random over a window."""
@@ -104,6 +135,12 @@ class UniformRandomArrivals(ArrivalStrategy):
 
     def arrivals_for_slot(self, slot: int) -> int:
         return self._per_slot.get(slot, 0)
+
+    def exhausted(self, slot: int) -> bool:
+        return slot >= self._window[1]
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        return _schedule_to_array(self._per_slot, horizon)
 
 
 class BurstyArrivals(ArrivalStrategy):
@@ -150,6 +187,13 @@ class BurstyArrivals(ArrivalStrategy):
     def arrivals_for_slot(self, slot: int) -> int:
         return self._burst_slots.get(slot, 0)
 
+    def exhausted(self, slot: int) -> bool:
+        # Only meaningful after setup() materialized the burst plan.
+        return bool(self._burst_slots) and slot >= max(self._burst_slots)
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        return _schedule_to_array(self._burst_slots, horizon)
+
 
 class ScheduledArrivals(ArrivalStrategy):
     """Replay an explicit mapping from slot index to arrival count."""
@@ -173,5 +217,20 @@ class ScheduledArrivals(ArrivalStrategy):
     def total_arrivals(self) -> int:
         return sum(self._schedule.values())
 
+    def exhausted(self, slot: int) -> bool:
+        return not self._schedule or slot >= max(self._schedule)
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        return _schedule_to_array(self._schedule, horizon)
+
     def observe(self, observation: SlotObservation) -> None:  # pragma: no cover - oblivious
         return None
+
+
+def _schedule_to_array(schedule: Mapping[int, int], horizon: int) -> np.ndarray:
+    """Turn a slot -> count mapping into a dense per-slot array (index 0 unused)."""
+    arrivals = np.zeros(horizon + 1, dtype=np.int64)
+    for slot, count in schedule.items():
+        if 1 <= slot <= horizon:
+            arrivals[slot] = count
+    return arrivals

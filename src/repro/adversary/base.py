@@ -3,13 +3,46 @@
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ..types import AdversaryAction, SlotObservation
 
-__all__ = ["Adversary", "ArrivalStrategy", "JammingStrategy", "ComposedAdversary"]
+__all__ = [
+    "Adversary",
+    "ArrivalStrategy",
+    "JammingStrategy",
+    "ComposedAdversary",
+    "PrecompiledSchedule",
+]
+
+
+@dataclass(frozen=True)
+class PrecompiledSchedule:
+    """Whole-horizon adversary plan as arrays indexed by slot (index 0 unused).
+
+    Produced by :meth:`Adversary.precompile` for oblivious adversaries.  The
+    arrays must be exactly what per-slot :meth:`Adversary.action_for_slot`
+    calls would have produced after :meth:`Adversary.setup` — the vectorized
+    slot kernel relies on that equality for bit-for-bit reproducibility.
+    """
+
+    arrivals: np.ndarray  # int array, length horizon + 1
+    jammed: np.ndarray  # bool array, length horizon + 1
+
+    def __post_init__(self) -> None:
+        if self.arrivals.shape != self.jammed.shape:
+            raise ValueError("arrivals and jammed arrays must have equal length")
+
+    @property
+    def horizon(self) -> int:
+        return len(self.arrivals) - 1
+
+    @property
+    def total_arrivals(self) -> int:
+        return int(self.arrivals.sum())
 
 
 class Adversary(abc.ABC):
@@ -25,6 +58,11 @@ class Adversary(abc.ABC):
 
     name: str = "adversary"
 
+    #: Oblivious adversaries (decisions never depend on :meth:`observe`) may
+    #: set this True to let the vectorized kernel materialize their whole
+    #: schedule up front via :meth:`precompile`.
+    precompilable: bool = False
+
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         """Prepare internal state; ``horizon`` is the planned number of slots, if known."""
 
@@ -35,6 +73,34 @@ class Adversary(abc.ABC):
     def observe(self, observation: SlotObservation) -> None:
         """Consume the channel feedback of the slot that just ended."""
 
+    def arrivals_exhausted(self, slot: int) -> bool:
+        """Whether the adversary can no longer inject nodes after ``slot``.
+
+        Used by ``stop_when_drained`` runs: the simulator only stops on an
+        empty system once this returns True.  The default is the conservative
+        False (the adversary might still inject); oblivious adversaries with a
+        bounded plan should override.
+        """
+        return False
+
+    def precompile(self, horizon: int) -> Optional[PrecompiledSchedule]:
+        """Materialize the whole-horizon schedule, or ``None`` if adaptive.
+
+        Must be called after :meth:`setup`.  The generic implementation
+        replays :meth:`action_for_slot` slot by slot, which is bit-identical
+        to the live loop by construction; subclasses with vectorizable
+        randomness may override with batched draws.
+        """
+        if not self.precompilable:
+            return None
+        arrivals = np.zeros(horizon + 1, dtype=np.int64)
+        jammed = np.zeros(horizon + 1, dtype=bool)
+        for slot in range(1, horizon + 1):
+            action = self.action_for_slot(slot)
+            arrivals[slot] = action.arrivals
+            jammed[slot] = action.jam
+        return PrecompiledSchedule(arrivals=arrivals, jammed=jammed)
+
     def describe(self) -> str:
         return self.name
 
@@ -43,6 +109,9 @@ class ArrivalStrategy(abc.ABC):
     """Produces the number of node injections for each slot."""
 
     name: str = "arrivals"
+
+    #: True for strategies whose decisions depend on :meth:`observe`.
+    adaptive: bool = False
 
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         """Prepare internal state."""
@@ -54,11 +123,32 @@ class ArrivalStrategy(abc.ABC):
     def observe(self, observation: SlotObservation) -> None:
         """Optional feedback hook for adaptive arrival strategies."""
 
+    def exhausted(self, slot: int) -> bool:
+        """Whether no further arrivals can occur after ``slot`` (conservative False)."""
+        return False
+
+    def precompile(self, horizon: int) -> Optional[np.ndarray]:
+        """Arrivals for slots ``1..horizon`` as an array (index 0 unused).
+
+        Must be called after :meth:`setup` and must consume randomness exactly
+        as per-slot :meth:`arrivals_for_slot` calls would.  Returns ``None``
+        for adaptive strategies.
+        """
+        if self.adaptive:
+            return None
+        arrivals = np.zeros(horizon + 1, dtype=np.int64)
+        for slot in range(1, horizon + 1):
+            arrivals[slot] = self.arrivals_for_slot(slot)
+        return arrivals
+
 
 class JammingStrategy(abc.ABC):
     """Decides which slots are jammed."""
 
     name: str = "jamming"
+
+    #: True for strategies whose decisions depend on :meth:`observe`.
+    adaptive: bool = False
 
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         """Prepare internal state."""
@@ -69,6 +159,18 @@ class JammingStrategy(abc.ABC):
 
     def observe(self, observation: SlotObservation) -> None:
         """Optional feedback hook for adaptive jamming strategies."""
+
+    def precompile(self, horizon: int) -> Optional[np.ndarray]:
+        """Jam decisions for slots ``1..horizon`` as a bool array (index 0 unused).
+
+        Same contract as :meth:`ArrivalStrategy.precompile`.
+        """
+        if self.adaptive:
+            return None
+        jammed = np.zeros(horizon + 1, dtype=bool)
+        for slot in range(1, horizon + 1):
+            jammed[slot] = self.jam_slot(slot)
+        return jammed
 
 
 class ComposedAdversary(Adversary):
@@ -86,6 +188,10 @@ class ComposedAdversary(Adversary):
     @property
     def jamming(self) -> JammingStrategy:
         return self._jamming
+
+    @property
+    def precompilable(self) -> bool:  # type: ignore[override]
+        return not (self._arrivals.adaptive or self._jamming.adaptive)
 
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         # Each strategy gets its own independent stream so that, e.g., pairing
@@ -105,3 +211,13 @@ class ComposedAdversary(Adversary):
     def observe(self, observation: SlotObservation) -> None:
         self._arrivals.observe(observation)
         self._jamming.observe(observation)
+
+    def arrivals_exhausted(self, slot: int) -> bool:
+        return self._arrivals.exhausted(slot)
+
+    def precompile(self, horizon: int) -> Optional[PrecompiledSchedule]:
+        arrivals = self._arrivals.precompile(horizon)
+        jammed = self._jamming.precompile(horizon)
+        if arrivals is None or jammed is None:
+            return None
+        return PrecompiledSchedule(arrivals=arrivals, jammed=jammed)

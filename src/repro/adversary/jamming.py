@@ -30,6 +30,9 @@ class NoJamming(JammingStrategy):
     def jam_slot(self, slot: int) -> bool:
         return False
 
+    def precompile(self, horizon: int) -> np.ndarray:
+        return np.zeros(horizon + 1, dtype=bool)
+
 
 class RandomFractionJamming(JammingStrategy):
     """Jam each slot independently with probability ``fraction``.
@@ -64,6 +67,19 @@ class RandomFractionJamming(JammingStrategy):
             return False
         return bool(self._rng.random() < self._fraction)
 
+    def precompile(self, horizon: int) -> np.ndarray:
+        jammed = np.zeros(horizon + 1, dtype=bool)
+        if self._fraction == 0.0:
+            return jammed
+        if self._rng is None:
+            raise ConfigurationError("RandomFractionJamming used before setup()")
+        last = horizon if self._last_slot is None else min(self._last_slot, horizon)
+        if last >= 1:
+            # Batched uniforms consume the generator exactly like sequential
+            # per-slot draws, keeping replay bit-identical.
+            jammed[1 : last + 1] = self._rng.random(last) < self._fraction
+        return jammed
+
 
 class PeriodicJamming(JammingStrategy):
     """Jam every ``period``-th slot (deterministic constant fraction)."""
@@ -79,6 +95,11 @@ class PeriodicJamming(JammingStrategy):
 
     def jam_slot(self, slot: int) -> bool:
         return slot % self._period == self._offset
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        jammed = np.arange(horizon + 1) % self._period == self._offset
+        jammed[0] = False
+        return jammed
 
 
 class FrontLoadedJamming(JammingStrategy):
@@ -99,6 +120,11 @@ class FrontLoadedJamming(JammingStrategy):
 
     def jam_slot(self, slot: int) -> bool:
         return slot <= self._count
+
+    def precompile(self, horizon: int) -> np.ndarray:
+        jammed = np.zeros(horizon + 1, dtype=bool)
+        jammed[1 : min(self._count, horizon) + 1] = True
+        return jammed
 
 
 class BudgetedJamming(JammingStrategy):
@@ -136,6 +162,13 @@ class BudgetedJamming(JammingStrategy):
     def jam_slot(self, slot: int) -> bool:
         return slot in self._jammed
 
+    def precompile(self, horizon: int) -> np.ndarray:
+        jammed = np.zeros(horizon + 1, dtype=bool)
+        for slot in self._jammed:
+            if slot <= horizon:
+                jammed[slot] = True
+        return jammed
+
 
 class ReactiveJamming(JammingStrategy):
     """Adaptive jamming that spends its budget right after observed successes.
@@ -149,6 +182,7 @@ class ReactiveJamming(JammingStrategy):
     """
 
     name = "reactive"
+    adaptive = True
 
     def __init__(self, fraction: float, burst: int = 8) -> None:
         if not 0.0 <= fraction < 1.0:

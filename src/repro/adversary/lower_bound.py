@@ -35,6 +35,7 @@ class LowerBoundAdversary(Adversary):
     """Adversary of Lemma 4.1 / Theorem 1.3 (front-loaded + random jamming)."""
 
     name = "lower-bound"
+    precompilable = True  # all randomness is realized in setup()
 
     def __init__(
         self,
@@ -79,11 +80,15 @@ class LowerBoundAdversary(Adversary):
         jam = slot <= self._front_jam or slot in self._random_jam
         return AdversaryAction(arrivals=arrivals, jam=jam)
 
+    def arrivals_exhausted(self, slot: int) -> bool:
+        return True  # all arrivals happen in slot 1
+
 
 class NonAdaptiveKillerAdversary(Adversary):
     """Adversary of Theorem 4.2 against fixed-probability (non-adaptive) protocols."""
 
     name = "non-adaptive-killer"
+    precompilable = True  # all randomness is realized in setup()
 
     def __init__(
         self,
@@ -129,6 +134,9 @@ class NonAdaptiveKillerAdversary(Adversary):
             arrivals = self._late_arrivals
         jam = slot <= self._front_jam or slot == self._horizon
         return AdversaryAction(arrivals=arrivals, jam=jam)
+
+    def arrivals_exhausted(self, slot: int) -> bool:
+        return slot >= self._horizon
 
     @staticmethod
     def expected_contention_bound(horizon: int, g_value: float) -> float:

@@ -21,6 +21,7 @@ class ScheduleAdversary(Adversary):
     """
 
     name = "schedule"
+    precompilable = True
 
     def __init__(
         self,
@@ -60,3 +61,6 @@ class ScheduleAdversary(Adversary):
             arrivals=self._arrivals.get(slot, 0),
             jam=slot in self._jammed,
         )
+
+    def arrivals_exhausted(self, slot: int) -> bool:
+        return not self._arrivals or slot >= max(self._arrivals)

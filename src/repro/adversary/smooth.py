@@ -30,6 +30,7 @@ class SmoothAdversary(Adversary):
     """Evenly spread arrivals and jamming satisfying the Corollary 3.6 budgets."""
 
     name = "smooth"
+    precompilable = True  # schedules are fully materialized in setup()
 
     def __init__(
         self,
@@ -85,6 +86,9 @@ class SmoothAdversary(Adversary):
             arrivals=self._arrival_schedule.get(slot, 0),
             jam=slot in self._jam_schedule,
         )
+
+    def arrivals_exhausted(self, slot: int) -> bool:
+        return not self._arrival_schedule or slot >= max(self._arrival_schedule)
 
     def arrivals_in_suffix(self, j: int) -> int:
         """Number of arrivals in the last ``j`` slots of the horizon."""

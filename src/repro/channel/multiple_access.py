@@ -85,6 +85,17 @@ class MultipleAccessChannel:
         feedback = self._feedback_model.feedback_for(outcome)
         return outcome, winner, feedback
 
+    def record_bulk(self, slots: int, successes: int, jammed: int) -> None:
+        """Account for ``slots`` resolved outside :meth:`resolve`.
+
+        The vectorized slot kernel resolves whole horizons in array form and
+        reports the totals here so the channel's bookkeeping counters stay in
+        sync with the per-slot reference path.
+        """
+        self._slots_resolved += slots
+        self._successes += successes
+        self._jammed += jammed
+
     def reset(self) -> None:
         """Clear the bookkeeping counters."""
         self._slots_resolved = 0

@@ -23,8 +23,10 @@ import sys
 from typing import Optional, Sequence
 
 from . import quick_run
+from .errors import ReproError
 from .experiments import ExperimentConfig, all_experiments, get_experiment
 from .experiments.report import run_all, write_report
+from .sim.backends import available_backends
 
 __all__ = ["main", "build_parser"]
 
@@ -64,9 +66,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--horizon", type=int, default=8192)
     simulate_parser.add_argument("--jam", type=float, default=0.0)
     simulate_parser.add_argument("--seed", type=int, default=None)
+    _add_backend_argument(simulate_parser)
     simulate_parser.set_defaults(func=_cmd_simulate)
 
     return parser
+
+
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default="auto",
+        help="simulation slot kernel (auto picks vectorized when eligible)",
+    )
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -75,10 +87,23 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", choices=["smoke", "quick", "full"], default="quick"
     )
+    _add_backend_argument(parser)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="trial worker processes (fork-based; 1 = serial)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
-    return ExperimentConfig(trials=args.trials, seed=args.seed, scale=args.scale)
+    return ExperimentConfig(
+        trials=args.trials,
+        seed=args.seed,
+        scale=args.scale,
+        backend=args.backend,
+        workers=args.workers,
+    )
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -110,17 +135,27 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         horizon=args.horizon,
         jam_fraction=args.jam,
         seed=args.seed,
+        backend=args.backend,
     )
     print(result.describe())
     print(f"classical throughput at horizon: {result.classical_throughput():.3f}")
     print(f"mean latency: {result.mean_latency():.1f} slots")
+    print(
+        f"backend: {result.backend} "
+        f"({result.slots_per_second:,.0f} slots/s, "
+        f"{result.wall_time_seconds * 1000:.1f} ms)"
+    )
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

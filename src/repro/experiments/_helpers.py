@@ -69,6 +69,8 @@ def cjz_study(
     g: Optional[RateFunction] = None,
     stop_when_drained: bool = False,
     label: str = "",
+    backend: str = "auto",
+    workers: int = 1,
 ) -> TrialStudy:
     """Run the paper's algorithm (parameterized by ``g``) across trials."""
     parameters = AlgorithmParameters.from_g(g or constant_g(4.0))
@@ -80,6 +82,8 @@ def cjz_study(
         seed=seed,
         stop_when_drained=stop_when_drained,
         label=label,
+        backend=backend,
+        workers=workers,
     )
 
 
@@ -91,6 +95,8 @@ def protocol_study(
     seed: int,
     stop_when_drained: bool = False,
     label: str = "",
+    backend: str = "auto",
+    workers: int = 1,
 ) -> TrialStudy:
     """Run an arbitrary protocol across trials (thin wrapper for symmetry)."""
     return run_trials(
@@ -101,4 +107,6 @@ def protocol_study(
         seed=seed,
         stop_when_drained=stop_when_drained,
         label=label,
+        backend=backend,
+        workers=workers,
     )

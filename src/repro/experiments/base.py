@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -135,6 +136,14 @@ def all_experiments() -> List[str]:
 def run_experiment(
     experiment_id: str, config: Optional[ExperimentConfig] = None
 ) -> ExperimentResult:
-    """Convenience: instantiate and run an experiment by id."""
+    """Convenience: instantiate and run an experiment by id.
+
+    Records the experiment's wall-clock seconds in
+    ``findings["wall_time_seconds"]`` so backend/worker speedups show up in
+    reports without external timers.
+    """
     experiment = get_experiment(experiment_id)
-    return experiment.run(config or ExperimentConfig())
+    start = time.perf_counter()
+    result = experiment.run(config or ExperimentConfig())
+    result.findings.setdefault("wall_time_seconds", time.perf_counter() - start)
+    return result

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
+from ..sim.backends import available_backends
 
 __all__ = ["ExperimentConfig"]
 
@@ -22,11 +23,18 @@ class ExperimentConfig:
 
     Experiments read :attr:`scale_factor` and the helpers below rather than
     interpreting the preset name directly, so custom scales remain possible.
+
+    ``backend`` selects the simulation slot kernel (``auto`` / ``reference`` /
+    ``vectorized``) and ``workers`` the number of trial worker processes; both
+    are forwarded to every :func:`repro.sim.run_trials` call an experiment
+    makes.
     """
 
     trials: int = 5
     seed: int = 20210219  # arXiv submission date of the paper
     scale: str = "quick"
+    backend: str = "auto"
+    workers: int = 1
 
     _FACTORS = {"smoke": 0.25, "quick": 1.0, "full": 4.0}
 
@@ -37,6 +45,12 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"scale must be one of {sorted(self._FACTORS)}, got {self.scale!r}"
             )
+        if self.backend not in available_backends():
+            raise ConfigurationError(
+                f"backend must be one of {available_backends()}, got {self.backend!r}"
+            )
+        if self.workers < 1:
+            raise ConfigurationError("workers must be >= 1")
 
     @property
     def scale_factor(self) -> float:
@@ -51,4 +65,15 @@ class ExperimentConfig:
         return max(minimum, int(base * self.scale_factor))
 
     def with_scale(self, scale: str) -> "ExperimentConfig":
-        return ExperimentConfig(trials=self.trials, seed=self.seed, scale=scale)
+        return ExperimentConfig(
+            trials=self.trials,
+            seed=self.seed,
+            scale=scale,
+            backend=self.backend,
+            workers=self.workers,
+        )
+
+    @property
+    def execution_kwargs(self) -> dict:
+        """Keyword arguments forwarded to :func:`repro.sim.run_trials`."""
+        return {"backend": self.backend, "workers": self.workers}

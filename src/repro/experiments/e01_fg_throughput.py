@@ -119,6 +119,7 @@ class FGThroughputExperiment(Experiment):
                 trials=config.trials,
                 seed=config.seed,
                 label=label,
+                **config.execution_kwargs,
             )
             reports = [checker.check(r) for r in study]
             satisfied = sum(1 for r in reports if r.satisfied)

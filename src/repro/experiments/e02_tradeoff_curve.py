@@ -102,6 +102,7 @@ class TradeoffCurveExperiment(Experiment):
                 trials=config.trials,
                 seed=config.seed,
                 label=f"t={horizon}",
+                **config.execution_kwargs,
             )
             overhead = _overhead(study)
             overheads.append(overhead)
@@ -140,6 +141,7 @@ class TradeoffCurveExperiment(Experiment):
                 trials=config.trials,
                 seed=config.seed + 3,
                 label=f"jam={fraction:.0%}",
+                **config.execution_kwargs,
             )
             delivered = study.mean(lambda r: r.total_successes)
             fraction_delivered = delivered / arrivals
@@ -173,6 +175,7 @@ class TradeoffCurveExperiment(Experiment):
                 trials=max(2, config.trials // 2),
                 seed=config.seed + 5,
                 label=f"c3={c3:g}",
+                **config.execution_kwargs,
             )
             overhead = _overhead(study)
             ablation_overheads.append(overhead)

@@ -100,6 +100,7 @@ class WorstCaseJammingExperiment(Experiment):
                     trials=config.trials,
                     seed=config.seed,
                     label=f"{jammer_label}@{horizon}",
+                    **config.execution_kwargs,
                 )
                 delivered = study.mean(lambda r: r.total_successes)
                 normalizer = horizon / log2(horizon)

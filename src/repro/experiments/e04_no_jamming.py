@@ -90,6 +90,7 @@ class NoJammingConstantThroughputExperiment(Experiment):
                     seed=config.seed,
                     stop_when_drained=True,
                     label=f"{name}@{n}",
+                    **config.execution_kwargs,
                 )
                 active = study.mean(lambda r: r.total_active_slots)
                 per_arrival = active / n
@@ -117,6 +118,7 @@ class NoJammingConstantThroughputExperiment(Experiment):
                 trials=config.trials,
                 seed=config.seed + 7,
                 label=f"poisson {rate:g}",
+                **config.execution_kwargs,
             )
             arrivals = study.mean(lambda r: r.total_arrivals)
             dynamic_table.add_row(

@@ -81,6 +81,7 @@ class BatchRobustnessExperiment(Experiment):
                     trials=config.trials,
                     seed=config.seed,
                     label=f"{jammer}-{n}",
+                    **config.execution_kwargs,
                 )
                 delivered = study.mean(lambda r: r.total_successes)
                 fraction = delivered / n

@@ -135,6 +135,7 @@ class NonAdaptiveFailureExperiment(Experiment):
                 trials=config.trials,
                 seed=config.seed,
                 label=f"A/{name}",
+                **config.execution_kwargs,
             )
             delays[name] = study.mean(_first_success_delay)
             table_a.add_row(
@@ -158,6 +159,7 @@ class NonAdaptiveFailureExperiment(Experiment):
                 trials=config.trials,
                 seed=config.seed + 1,
                 label=f"B/{name}",
+                **config.execution_kwargs,
             )
             unfinished[name] = study.mean(_unfinished_fraction)
             table_b.add_row(

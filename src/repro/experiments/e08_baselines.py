@@ -86,6 +86,7 @@ class BaselineComparisonExperiment(Experiment):
                     trials=config.trials,
                     seed=config.seed,
                     label=key,
+                    **config.execution_kwargs,
                 )
             rows = compare_protocols(studies, workload=key)
             result.tables.append(

@@ -59,6 +59,7 @@ class EnergyComplexityExperiment(Experiment):
                     seed=config.seed,
                     stop_when_drained=True,
                     label=f"{label}-{n}",
+                    **config.execution_kwargs,
                 )
                 energy = summarize_energy(list(study))
                 if jam_fraction == 0.0:

@@ -6,7 +6,7 @@ import datetime
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence
 
-from .base import ExperimentResult, all_experiments, get_experiment
+from .base import ExperimentResult, all_experiments, run_experiment
 from .config import ExperimentConfig
 
 __all__ = ["render_report", "write_report", "run_all"]
@@ -34,8 +34,7 @@ def run_all(
     ids = list(experiment_ids) if experiment_ids else all_experiments()
     results = []
     for experiment_id in ids:
-        experiment = get_experiment(experiment_id)
-        results.append(experiment.run(config))
+        results.append(run_experiment(experiment_id, config))
     return results
 
 

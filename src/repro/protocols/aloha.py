@@ -22,6 +22,7 @@ class SlottedAloha(Protocol):
     """
 
     name = "slotted-aloha"
+    vector_eligible = True
 
     def __init__(self, probability: float = 0.1) -> None:
         if not 0.0 < probability <= 1.0:
@@ -41,3 +42,11 @@ class SlottedAloha(Protocol):
         self, slot: int, feedback: Feedback, broadcast: bool, success_was_own: bool
     ) -> None:
         return None
+
+    def broadcast_probability(self, slot: int) -> float:
+        return self._p
+
+    def age_probability_vector(self, max_age: int) -> np.ndarray:
+        probabilities = np.full(max_age + 1, self._p)
+        probabilities[0] = 0.0
+        return probabilities

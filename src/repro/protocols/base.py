@@ -15,12 +15,31 @@ protocol instance through three hooks per slot:
 
 A node halts automatically when its own message goes through; the simulator
 stops calling its hooks afterwards.
+
+Population-level API
+--------------------
+
+Protocols may additionally expose their *marginal broadcast probability*:
+
+* :meth:`Protocol.broadcast_probability` reports, given the instance's current
+  state, the probability that the node broadcasts in a global slot.  It is a
+  diagnostic/analysis hook and is meaningful for every protocol that can
+  compute it (including adaptive ones, where it is conditional on the current
+  state).
+* :attr:`Protocol.vector_eligible` declares the much stronger contract the
+  vectorized simulation backend relies on: the node's broadcast decisions are
+  independent Bernoulli draws whose probability depends *only* on the node's
+  age (slots since arrival), all channel feedback is ignored until the node's
+  own success, and exactly one ``rng.random()`` uniform is consumed per active
+  slot.  Protocols satisfying it opt in by setting the flag and implementing
+  :meth:`Protocol.broadcast_probability`; the vectorized kernel then
+  reproduces the per-node reference execution bit for bit from batched draws.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Callable
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -34,6 +53,12 @@ class Protocol(abc.ABC):
 
     #: human-readable protocol name used in reports
     name: str = "protocol"
+
+    #: True only when broadcast decisions are independent Bernoulli draws whose
+    #: probability is a pure function of the node's age, feedback is ignored,
+    #: and exactly one uniform is drawn per active slot (see module docstring).
+    #: Opting in makes the protocol runnable on the vectorized slot kernel.
+    vector_eligible: bool = False
 
     @abc.abstractmethod
     def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
@@ -66,6 +91,36 @@ class Protocol(abc.ABC):
             true the node has left the system; implementations may ignore the
             call.
         """
+
+    def broadcast_probability(self, slot: int) -> Optional[float]:
+        """Marginal probability of broadcasting in global ``slot``.
+
+        The answer is conditional on the instance's current state (for
+        adaptive protocols it changes as feedback arrives).  Returns ``None``
+        when the protocol cannot compute it — the default.
+        """
+        return None
+
+    def age_probability_vector(self, max_age: int) -> Optional[np.ndarray]:
+        """Vector ``p`` with ``p[k]`` = broadcast probability in the node's
+        ``k``-th active slot (1-based; index 0 unused).
+
+        Only meaningful for :attr:`vector_eligible` protocols, whose
+        probability is a pure function of age.  Callers must have invoked
+        :meth:`on_arrival` with arrival slot 1 first, so that global slot
+        indices coincide with ages.  Returns ``None`` for ineligible
+        protocols.  Subclasses with a closed form should override this to
+        avoid the per-age Python loop.
+        """
+        if not self.vector_eligible:
+            return None
+        probabilities = np.zeros(max_age + 1, dtype=float)
+        for age in range(1, max_age + 1):
+            p = self.broadcast_probability(age)
+            if p is None:
+                return None
+            probabilities[age] = p
+        return probabilities
 
 
 ProtocolFactory = Callable[[], Protocol]

@@ -78,6 +78,11 @@ class WindowedBinaryExponentialBackoff(Protocol):
             # happen in normal operation), reschedule without growing.
             self._schedule_next(slot + 1)
 
+    def broadcast_probability(self, slot: int) -> float:
+        # The attempt slot is already realized, so conditional on the current
+        # state the decision is deterministic.
+        return 1.0 if slot == self._next_attempt_slot else 0.0
+
 
 class ProbabilityBackoff(Protocol):
     """Broadcast with probability ``min(1, scale / i)`` in the ``i``-th slot since arrival.
@@ -88,6 +93,7 @@ class ProbabilityBackoff(Protocol):
     """
 
     name = "probability-backoff"
+    vector_eligible = True
 
     def __init__(self, scale: float = 1.0) -> None:
         if scale <= 0:
@@ -114,6 +120,16 @@ class ProbabilityBackoff(Protocol):
         # Non-adaptive in the sense of the paper: the sending probability only
         # depends on the time since arrival, not on the feedback history.
         return None
+
+    def broadcast_probability(self, slot: int) -> float:
+        return self._probability(slot)
+
+    def age_probability_vector(self, max_age: int) -> np.ndarray:
+        ages = np.arange(max_age + 1, dtype=float)
+        ages[0] = 1.0  # avoid division by zero; index 0 is unused
+        probabilities = np.minimum(1.0, self._scale / ages)
+        probabilities[0] = 0.0
+        return probabilities
 
 
 BinaryExponentialBackoff = WindowedBinaryExponentialBackoff

@@ -26,6 +26,7 @@ class FixedProbabilityProtocol(Protocol):
     """Broadcast with probability ``sequence(i)`` in the ``i``-th slot since arrival."""
 
     name = "fixed-probability"
+    vector_eligible = True
 
     def __init__(self, sequence: Callable[[int], float], label: Optional[str] = None) -> None:
         self._sequence = sequence
@@ -56,6 +57,9 @@ class FixedProbabilityProtocol(Protocol):
         self, slot: int, feedback: Feedback, broadcast: bool, success_was_own: bool
     ) -> None:
         return None
+
+    def broadcast_probability(self, slot: int) -> float:
+        return self.probability(slot - self._arrival_slot + 1)
 
 
 class LogUniformFixedProtocol(FixedProbabilityProtocol):

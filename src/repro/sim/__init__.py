@@ -1,5 +1,12 @@
 """Slot-synchronous discrete-event simulator for the multiple-access channel."""
 
+from .backends import (
+    KernelContext,
+    ReferenceKernel,
+    SlotKernel,
+    VectorizedKernel,
+    available_backends,
+)
 from .engine import Simulator, SimulatorConfig
 from .node import Node
 from .results import SimulationResult
@@ -13,4 +20,9 @@ __all__ = [
     "TrialRunner",
     "TrialStudy",
     "run_trials",
+    "SlotKernel",
+    "KernelContext",
+    "ReferenceKernel",
+    "VectorizedKernel",
+    "available_backends",
 ]

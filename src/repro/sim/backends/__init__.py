@@ -1,0 +1,77 @@
+"""Pluggable simulation backends (slot kernels).
+
+Two kernels are provided:
+
+* ``"reference"`` — the per-node, per-slot Python loop; supports every
+  configuration and defines the semantics.
+* ``"vectorized"`` — batched-RNG numpy resolution for vector-eligible
+  protocols against precompilable adversaries; bit-for-bit identical to the
+  reference kernel where it applies.
+
+``"auto"`` (the :class:`~repro.sim.engine.Simulator` default) picks the
+vectorized kernel when the configuration is eligible and falls back to the
+reference kernel otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ...errors import ConfigurationError
+from .base import KernelContext, SlotKernel
+from .reference import ReferenceKernel, run_slot_loop
+from .vectorized import VectorizedKernel
+
+__all__ = [
+    "KernelContext",
+    "SlotKernel",
+    "ReferenceKernel",
+    "VectorizedKernel",
+    "run_slot_loop",
+    "AUTO_BACKEND",
+    "available_backends",
+    "resolve_kernel",
+    "select_kernel",
+]
+
+AUTO_BACKEND = "auto"
+
+_KERNELS: Dict[str, Type[SlotKernel]] = {
+    ReferenceKernel.name: ReferenceKernel,
+    VectorizedKernel.name: VectorizedKernel,
+}
+
+
+def available_backends() -> tuple:
+    """Valid ``backend=`` values, including ``"auto"``."""
+    return (AUTO_BACKEND, *sorted(_KERNELS))
+
+
+def resolve_kernel(name: str) -> SlotKernel:
+    """Instantiate the kernel registered under ``name`` (not ``"auto"``)."""
+    try:
+        return _KERNELS[name]()
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from exc
+
+
+def select_kernel(backend: str, context: KernelContext) -> SlotKernel:
+    """Resolve ``backend`` against a concrete run configuration.
+
+    ``"auto"`` prefers the vectorized kernel when it supports the context and
+    silently falls back to the reference kernel otherwise.  Naming a kernel
+    explicitly raises :class:`~repro.errors.ConfigurationError` when it cannot
+    run the configuration.
+    """
+    if backend == AUTO_BACKEND:
+        vectorized = VectorizedKernel()
+        if vectorized.supports(context):
+            return vectorized
+        return ReferenceKernel()
+    kernel = resolve_kernel(backend)
+    reason = kernel.unsupported_reason(context)
+    if reason is not None:
+        raise ConfigurationError(f"backend {backend!r} unavailable: {reason}")
+    return kernel

@@ -9,12 +9,36 @@ Each slot proceeds in the order the model prescribes:
 5. feedback is dispatched to all active nodes and to the adversary;
 6. a successful node leaves the system immediately;
 7. metrics and (optionally) the trace are updated.
+
+Slot kernels
+------------
+
+The loop itself is executed by a pluggable *slot kernel*
+(:mod:`repro.sim.backends`).  The :class:`Simulator` only assembles the run
+configuration, spawns the two seed trees every kernel must draw from (one
+generator for the adversary, then one generator per node in arrival order) and
+delegates to the selected kernel:
+
+* ``backend="reference"`` — the per-node Python loop above, verbatim; the
+  semantics-defining implementation that supports every configuration.
+* ``backend="vectorized"`` — numpy array resolution of whole horizons for
+  protocols that opt into the
+  :attr:`~repro.protocols.base.Protocol.vector_eligible` contract
+  (independent per-slot Bernoulli decisions, feedback-oblivious) against
+  precompilable (oblivious) adversaries.  Bit-for-bit identical to the
+  reference kernel where it applies.
+* ``backend="auto"`` (default) — the vectorized kernel when eligible, the
+  reference kernel otherwise.
+
+Every kernel must honor the contract documented in
+:mod:`repro.sim.backends.base`: canonical slot ordering, the documented seed
+tree discipline, and results indistinguishable from the reference kernel.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..adversary.base import Adversary
 from ..channel.multiple_access import MultipleAccessChannel
@@ -22,14 +46,7 @@ from ..errors import ConfigurationError
 from ..metrics.collectors import MetricsCollector
 from ..protocols.base import ProtocolFactory
 from ..rng import SeedLike, SeedTree
-from ..types import (
-    NodeStats,
-    SimulationSummary,
-    SlotObservation,
-    SlotRecord,
-)
-from .events import EventTrace
-from .node import Node
+from .backends import AUTO_BACKEND, KernelContext, available_backends, select_kernel
 from .results import SimulationResult
 
 __all__ = ["SimulatorConfig", "Simulator"]
@@ -49,7 +66,9 @@ class SimulatorConfig:
         If true, the run ends early once every arrived node has succeeded and
         the adversary cannot inject more (used by batch experiments that only
         care about completion time); the prefix arrays are still filled up to
-        the stopping slot.
+        the stopping slot.  "Cannot inject more" is answered by
+        :meth:`~repro.adversary.base.Adversary.arrivals_exhausted`, which is
+        conservatively False for open-ended arrival processes.
     max_nodes:
         Safety valve against runaway adversaries.
     """
@@ -77,7 +96,13 @@ class Simulator:
         channel: Optional[MultipleAccessChannel] = None,
         collectors: Sequence[MetricsCollector] = (),
         seed: SeedLike = None,
+        backend: str = AUTO_BACKEND,
     ) -> None:
+        if backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; available: "
+                f"{', '.join(available_backends())}"
+            )
         self._factory = protocol_factory
         self._adversary = adversary
         self._config = config
@@ -85,6 +110,7 @@ class Simulator:
         self._collectors = list(collectors)
         self._seed_tree = SeedTree(seed)
         self._seed = seed if isinstance(seed, int) else None
+        self._backend = backend
 
     @property
     def config(self) -> SimulatorConfig:
@@ -94,113 +120,23 @@ class Simulator:
     def channel(self) -> MultipleAccessChannel:
         return self._channel
 
+    @property
+    def backend(self) -> str:
+        """The requested backend (``"auto"`` until resolved per run)."""
+        return self._backend
+
     def run(self) -> SimulationResult:
         """Execute the run and return its result."""
-        config = self._config
-        adversary_rng = self._seed_tree.child().generator()
-        node_seed_tree = self._seed_tree.child()
-        self._adversary.setup(adversary_rng, config.horizon)
-        for collector in self._collectors:
-            collector.on_run_start(config.horizon)
-
-        nodes: Dict[int, Node] = {}
-        active_nodes: List[Node] = []
-        summary = SimulationSummary()
-        trace = EventTrace() if config.keep_trace else None
-
-        prefix_active = [0]
-        prefix_arrivals = [0]
-        prefix_jammed = [0]
-        prefix_successes = [0]
-
-        next_node_id = 0
-        protocol_name = getattr(self._factory, "protocol_name", None) or "protocol"
-        slots_simulated = 0
-
-        for slot in range(1, config.horizon + 1):
-            slots_simulated = slot
-            action = self._adversary.action_for_slot(slot)
-            if action.arrivals and next_node_id + action.arrivals > config.max_nodes:
-                raise ConfigurationError(
-                    f"adversary exceeded max_nodes={config.max_nodes} at slot {slot}"
-                )
-
-            # 2. arrivals
-            for _ in range(action.arrivals):
-                node = Node(
-                    node_id=next_node_id,
-                    arrival_slot=slot,
-                    protocol=self._factory(),
-                    rng=node_seed_tree.child().generator(),
-                )
-                nodes[next_node_id] = node
-                active_nodes.append(node)
-                next_node_id += 1
-
-            # 3. broadcast decisions
-            broadcasters = [
-                node.node_id for node in active_nodes if node.decide_broadcast(slot)
-            ]
-
-            # 4. channel resolution
-            outcome, winner, feedback = self._channel.resolve(
-                broadcasters, jammed=action.jam
-            )
-
-            # 5./6. feedback dispatch; the winner deactivates itself
-            broadcaster_set = set(broadcasters)
-            for node in active_nodes:
-                node.deliver_feedback(
-                    slot, feedback, node.node_id in broadcaster_set, winner
-                )
-            if winner is not None:
-                active_nodes = [n for n in active_nodes if n.active]
-
-            # 7. bookkeeping
-            record = SlotRecord(
-                slot=slot,
-                broadcasters=tuple(broadcasters),
-                jammed=action.jam,
-                outcome=outcome,
-                successful_node=winner,
-                active_nodes=len(active_nodes) + (1 if winner is not None else 0),
-                arrivals=action.arrivals,
-            )
-            summary.record(record)
-            if trace is not None:
-                trace.append(record)
-            for collector in self._collectors:
-                collector.on_slot(record)
-
-            prefix_active.append(summary.active_slots)
-            prefix_arrivals.append(summary.arrivals)
-            prefix_jammed.append(summary.jammed_slots)
-            prefix_successes.append(summary.successes)
-
-            observation = SlotObservation(
-                slot=slot, feedback=feedback, message_node=winner
-            )
-            self._adversary.observe(observation)
-
-            if config.stop_when_drained and not active_nodes and summary.arrivals > 0:
-                break
-
-        node_stats: Dict[int, NodeStats] = {
-            node_id: node.stats for node_id, node in nodes.items()
-        }
-        result = SimulationResult(
-            summary=summary,
-            node_stats=node_stats,
-            prefix_active=prefix_active,
-            prefix_arrivals=prefix_arrivals,
-            prefix_jammed=prefix_jammed,
-            prefix_successes=prefix_successes,
-            protocol_name=protocol_name,
-            adversary_name=self._adversary.describe(),
-            horizon=slots_simulated,
+        context = KernelContext(
+            protocol_factory=self._factory,
+            adversary=self._adversary,
+            config=self._config,
+            channel=self._channel,
+            collectors=self._collectors,
+            adversary_tree=self._seed_tree.child(),
+            node_tree=self._seed_tree.child(),
             seed=self._seed,
-            trace=trace,
+            protocol_name=getattr(self._factory, "protocol_name", None) or "protocol",
         )
-        for collector in self._collectors:
-            collector.on_run_end(result)
-        return result
+        kernel = select_kernel(self._backend, context)
+        return kernel.run(context)

@@ -33,6 +33,13 @@ class SimulationResult:
         Analogous cumulative counters used by the throughput checker.
     protocol_name / adversary_name / seed / horizon:
         Provenance metadata.
+    backend:
+        Name of the slot kernel that executed the run (``"reference"`` or
+        ``"vectorized"``).
+    wall_time_seconds:
+        Wall-clock duration of the slot loop, measured by the kernel itself so
+        speedups are observable from experiment reports without external
+        timers.
     """
 
     summary: SimulationSummary
@@ -47,6 +54,15 @@ class SimulationResult:
     seed: Optional[int] = None
     trace: Optional[EventTrace] = None
     extra: Dict[str, float] = field(default_factory=dict)
+    backend: str = "reference"
+    wall_time_seconds: float = 0.0
+
+    @property
+    def slots_per_second(self) -> float:
+        """Simulated slots per wall-clock second (0 when the run was untimed)."""
+        if self.wall_time_seconds <= 0.0:
+            return 0.0
+        return self.horizon / self.wall_time_seconds
 
     @property
     def total_arrivals(self) -> int:

@@ -1,16 +1,25 @@
-"""Multi-trial runner: repeat a simulation with independent seeds and aggregate."""
+"""Multi-trial runner: repeat a simulation with independent seeds and aggregate.
+
+Trials are independent by construction (each gets its own root seed from
+:func:`repro.rng.trial_seeds`), which makes them embarrassingly parallel: pass
+``workers=N`` to fan trials out over ``N`` forked worker processes.  Seeds are
+derived identically in the serial and parallel paths, so a parallel study is
+seed-for-seed identical to a serial one — only wall-clock changes.
+"""
 
 from __future__ import annotations
 
+import multiprocessing
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..adversary.base import Adversary
 from ..errors import ConfigurationError
 from ..protocols.base import ProtocolFactory
-from ..rng import SeedLike, trial_seeds
+from ..rng import SeedLike, SeedTree, trial_seeds
 from .engine import Simulator, SimulatorConfig
 from .results import SimulationResult
 
@@ -71,7 +80,29 @@ class TrialStudy:
             "mean_jammed_slots": self.mean(lambda r: r.total_jammed_slots),
             "mean_latency": self.mean(lambda r: r.mean_latency()),
             "mean_unfinished": self.mean(lambda r: r.unfinished_nodes),
+            "mean_wall_time_s": self.mean(lambda r: r.wall_time_seconds),
+            "mean_slots_per_s": self.mean(lambda r: r.slots_per_second),
         }
+
+
+# Per-worker state, set by the pool initializer.  With the "fork" start
+# method initargs reach the child by memory copy, so unpicklable
+# protocol/adversary factories (closures) never cross a pickle boundary —
+# only the integer trial index travels through the task queue.  Binding the
+# state per pool (rather than in the parent before forking) keeps concurrent
+# TrialRunner.run calls from seeing each other's trials.
+_PARALLEL_STATE: Optional[Tuple["TrialRunner", List[SeedTree]]] = None
+
+
+def _init_trial_worker(runner: "TrialRunner", seeds: List[SeedTree]) -> None:
+    global _PARALLEL_STATE
+    _PARALLEL_STATE = (runner, seeds)
+
+
+def _run_trial_by_index(index: int) -> SimulationResult:
+    assert _PARALLEL_STATE is not None, "worker started without parallel state"
+    runner, seeds = _PARALLEL_STATE
+    return runner.run_single(seeds[index])
 
 
 class TrialRunner:
@@ -80,6 +111,19 @@ class TrialRunner:
     The adversary is supplied as a factory because many adversaries hold
     per-run mutable state (schedules, budgets); each trial gets a fresh
     instance and an independent seed.
+
+    Parameters
+    ----------
+    collectors:
+        Metric collectors attached to every trial's simulator.  Collector
+        instances are shared across trials (their ``on_run_start`` hook is
+        expected to reset them), which is why they require ``workers=1``.
+    backend:
+        Slot kernel selection forwarded to every :class:`Simulator`.
+    workers:
+        Number of forked worker processes; 1 means serial execution.  Results
+        are returned in trial order and are seed-for-seed identical to a
+        serial run.
     """
 
     def __init__(
@@ -88,25 +132,67 @@ class TrialRunner:
         adversary_factory: AdversaryFactory,
         config: SimulatorConfig,
         label: str = "",
+        collectors: Sequence = (),
+        backend: str = "auto",
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be >= 1")
         self._protocol_factory = protocol_factory
         self._adversary_factory = adversary_factory
         self._config = config
         self._label = label
+        self._collectors = list(collectors)
+        self._backend = backend
+        self._workers = workers
+
+    def run_single(self, seed: SeedLike) -> SimulationResult:
+        """Execute one trial with the given root seed."""
+        simulator = Simulator(
+            protocol_factory=self._protocol_factory,
+            adversary=self._adversary_factory(),
+            config=self._config,
+            collectors=self._collectors,
+            seed=seed,
+            backend=self._backend,
+        )
+        return simulator.run()
 
     def run(self, trials: int, seed: SeedLike = None) -> TrialStudy:
         if trials < 1:
             raise ConfigurationError("trials must be >= 1")
+        seeds = trial_seeds(seed, trials)
+        workers = min(self._workers, trials)
         study = TrialStudy(label=self._label)
-        for trial_seed in trial_seeds(seed, trials):
-            simulator = Simulator(
-                protocol_factory=self._protocol_factory,
-                adversary=self._adversary_factory(),
-                config=self._config,
-                seed=trial_seed,
+        if workers > 1:
+            if "fork" in multiprocessing.get_all_start_methods():
+                if self._collectors:
+                    raise ConfigurationError(
+                        "collectors require workers=1: collector instances "
+                        "cannot be shared across worker processes"
+                    )
+                study.results.extend(self._run_parallel(seeds, workers))
+                return study
+            warnings.warn(
+                "workers>1 requires the 'fork' start method, which this "
+                "platform lacks; running trials serially",
+                RuntimeWarning,
+                stacklevel=2,
             )
-            study.results.append(simulator.run())
+        for trial_seed in seeds:
+            study.results.append(self.run_single(trial_seed))
         return study
+
+    def _run_parallel(
+        self, seeds: List[SeedTree], workers: int
+    ) -> List[SimulationResult]:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            processes=workers,
+            initializer=_init_trial_worker,
+            initargs=(self, seeds),
+        ) as pool:
+            return pool.map(_run_trial_by_index, range(len(seeds)))
 
 
 def run_trials(
@@ -119,6 +205,8 @@ def run_trials(
     stop_when_drained: bool = False,
     label: str = "",
     collectors: Optional[Sequence] = None,
+    backend: str = "auto",
+    workers: int = 1,
 ) -> TrialStudy:
     """Convenience wrapper: build the config and runner and execute the trials."""
     config = SimulatorConfig(
@@ -126,5 +214,13 @@ def run_trials(
         keep_trace=keep_trace,
         stop_when_drained=stop_when_drained,
     )
-    runner = TrialRunner(protocol_factory, adversary_factory, config, label=label)
+    runner = TrialRunner(
+        protocol_factory,
+        adversary_factory,
+        config,
+        label=label,
+        collectors=collectors or (),
+        backend=backend,
+        workers=workers,
+    )
     return runner.run(trials=trials, seed=seed)

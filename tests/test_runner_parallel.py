@@ -1,0 +1,106 @@
+"""Tests for trial-level parallelism and collector threading in the runner."""
+
+import pytest
+
+from repro.adversary import (
+    BatchArrivals,
+    ComposedAdversary,
+    NoJamming,
+    RandomFractionJamming,
+    ScheduleAdversary,
+)
+from repro.errors import ConfigurationError
+from repro.metrics import SuccessTimeline
+from repro.protocols import ProbabilityBackoff, SlottedAloha, make_factory
+from repro.sim import SimulatorConfig, TrialRunner, run_trials
+
+
+def beb_study(workers, trials=4, seed=7, backend="auto"):
+    return run_trials(
+        protocol_factory=make_factory(ProbabilityBackoff, 1.0),
+        adversary_factory=lambda: ComposedAdversary(
+            BatchArrivals(8), RandomFractionJamming(0.2)
+        ),
+        horizon=200,
+        trials=trials,
+        seed=seed,
+        workers=workers,
+        backend=backend,
+    )
+
+
+class TestCollectorThreading:
+    def test_run_trials_threads_collectors(self):
+        # Regression: collectors used to be accepted and silently dropped.
+        timeline = SuccessTimeline()
+        study = run_trials(
+            protocol_factory=make_factory(SlottedAloha, 1.0),
+            adversary_factory=lambda: ScheduleAdversary.single_batch(1, slot=3),
+            horizon=10,
+            trials=2,
+            seed=1,
+            collectors=[timeline],
+        )
+        assert study.trials == 2
+        # on_run_start resets the collector, so it holds the last trial's data.
+        assert timeline.success_slots == [3]
+
+    def test_collectors_with_workers_raise(self):
+        with pytest.raises(ConfigurationError, match="collectors require workers=1"):
+            run_trials(
+                protocol_factory=make_factory(SlottedAloha, 0.5),
+                adversary_factory=lambda: ScheduleAdversary.single_batch(1),
+                horizon=10,
+                trials=2,
+                seed=1,
+                collectors=[SuccessTimeline()],
+                workers=2,
+            )
+
+
+class TestParallelTrials:
+    def test_parallel_matches_serial(self):
+        serial, parallel = beb_study(workers=1), beb_study(workers=3)
+        assert serial.trials == parallel.trials
+        assert [r.prefix_successes for r in serial] == [
+            r.prefix_successes for r in parallel
+        ]
+        assert [r.summary for r in serial] == [r.summary for r in parallel]
+        assert [r.node_stats for r in serial] == [r.node_stats for r in parallel]
+
+    def test_parallel_with_explicit_backends(self):
+        reference = beb_study(workers=2, backend="reference")
+        vectorized = beb_study(workers=2, backend="vectorized")
+        assert [r.summary for r in reference] == [r.summary for r in vectorized]
+        assert all(r.backend == "vectorized" for r in vectorized)
+
+    def test_more_workers_than_trials(self):
+        study = beb_study(workers=16, trials=2)
+        assert study.trials == 2
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            TrialRunner(
+                make_factory(SlottedAloha, 0.5),
+                lambda: ScheduleAdversary.single_batch(1),
+                SimulatorConfig(horizon=5),
+                workers=0,
+            )
+
+    def test_label_preserved(self):
+        study = run_trials(
+            protocol_factory=make_factory(SlottedAloha, 0.5),
+            adversary_factory=lambda: ComposedAdversary(BatchArrivals(2), NoJamming()),
+            horizon=20,
+            trials=2,
+            seed=3,
+            workers=2,
+            label="parallel-study",
+        )
+        assert study.label == "parallel-study"
+
+    def test_summary_row_reports_throughput_columns(self):
+        study = beb_study(workers=1, trials=2)
+        row = study.summary_row()
+        assert row["mean_wall_time_s"] > 0.0
+        assert row["mean_slots_per_s"] > 0.0

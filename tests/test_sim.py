@@ -178,6 +178,42 @@ class TestSimulatorBasics:
         assert result.horizon == 1
         assert result.total_successes == 1
 
+    def test_stop_when_drained_waits_for_future_arrivals(self):
+        # A momentarily empty system must not stop the run while the
+        # adversary can still inject (the docstring's promise): the second
+        # arrival at slot 50 must still be served.
+        result = Simulator(
+            protocol_factory=make_factory(AlwaysSend),
+            adversary=ScheduleAdversary(arrivals={1: 1, 50: 1}),
+            config=SimulatorConfig(horizon=1000, stop_when_drained=True),
+            seed=1,
+        ).run()
+        assert result.horizon == 50
+        assert result.total_successes == 2
+
+    def test_stop_when_drained_conservative_for_open_ended_arrivals(self):
+        from repro.adversary.base import ArrivalStrategy
+        from repro.adversary import ComposedAdversary as Composed, NoJamming as NoJam
+
+        class OpenEnded(ArrivalStrategy):
+            name = "open-ended"
+
+            def arrivals_for_slot(self, slot):
+                return 1 if slot == 1 else 0
+
+            # exhausted() deliberately left at the conservative default False
+
+        result = Simulator(
+            protocol_factory=make_factory(AlwaysSend),
+            adversary=Composed(OpenEnded(), NoJam()),
+            config=SimulatorConfig(horizon=40, stop_when_drained=True),
+            seed=1,
+        ).run()
+        # The strategy never declares exhaustion, so the run must go the
+        # full horizon even though the system drained in slot 1.
+        assert result.horizon == 40
+        assert result.total_successes == 1
+
     def test_keep_trace(self):
         result = Simulator(
             protocol_factory=make_factory(AlwaysSend),
