@@ -1,0 +1,74 @@
+"""Micro-benchmarks of the study-level backends.
+
+Tracks the cost of whole multi-trial studies across the backend ladder
+(reference → vectorized → batched-study) so study-level regressions are
+visible independently of the per-experiment benchmarks.  The speedup floors
+asserted here are deliberately looser than the figures recorded in the
+committed ``BENCH_*.json`` (generated via ``python -m repro.cli bench``) to
+stay robust on noisy shared runners.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversary import BatchArrivals, ComposedAdversary, RandomFractionJamming
+from repro.protocols import SlottedAloha, make_factory
+from repro.sim import run_trials
+
+TRIALS = 300
+HORIZON = 192
+NODES = 3
+
+
+def _study(backend: str, trials: int = TRIALS):
+    return run_trials(
+        protocol_factory=make_factory(SlottedAloha, 0.05),
+        adversary_factory=lambda: ComposedAdversary(
+            BatchArrivals(NODES), RandomFractionJamming(0.25)
+        ),
+        horizon=HORIZON,
+        trials=trials,
+        seed=1,
+        backend=backend,
+    )
+
+
+def test_study_vectorized_backend(benchmark):
+    study = benchmark(lambda: _study("vectorized"))
+    assert all(result.backend == "vectorized" for result in study)
+
+
+def test_study_batched_backend(benchmark):
+    study = benchmark(lambda: _study("batched-study"))
+    assert all(result.backend == "batched-study" for result in study)
+
+
+def test_batched_study_speedup_floor():
+    """The batched study kernel must beat the per-trial vectorized path by a
+    comfortable margin on an e01-style study (the committed bench records the
+    full figure; this floor only guards against collapses)."""
+
+    def best_of(backend: str, repeats: int = 3) -> float:
+        timings = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            _study(backend)
+            timings.append(time.perf_counter() - start)
+        return min(timings)
+
+    _study("batched-study", trials=8)  # warm-up (seed-path self checks)
+    _study("vectorized", trials=8)
+    vectorized_time = best_of("vectorized")
+    batched_time = best_of("batched-study")
+    speedup = vectorized_time / batched_time
+    assert speedup >= 3.0, (
+        f"batched-study speedup {speedup:.1f}x below the 3x regression floor"
+    )
+
+
+def test_batched_study_matches_vectorized_results():
+    vectorized = _study("vectorized", trials=12)
+    batched = _study("batched-study", trials=12)
+    assert [r.summary for r in vectorized] == [r.summary for r in batched]
+    assert [r.node_stats for r in vectorized] == [r.node_stats for r in batched]

@@ -24,6 +24,8 @@ class NoArrivals(ArrivalStrategy):
     """No nodes ever arrive (useful when the simulator pre-seeds a batch)."""
 
     name = "no-arrivals"
+    transient_rng = True
+    consumes_rng = False
 
     def arrivals_for_slot(self, slot: int) -> int:
         return 0
@@ -39,6 +41,8 @@ class BatchArrivals(ArrivalStrategy):
     """Inject ``count`` nodes simultaneously at ``slot`` (the paper's batch setting)."""
 
     name = "batch"
+    transient_rng = True
+    consumes_rng = False
 
     def __init__(self, count: int, slot: int = 1) -> None:
         if count < 0:
@@ -71,6 +75,7 @@ class PoissonArrivals(ArrivalStrategy):
     """
 
     name = "poisson"
+    transient_rng = True
 
     def __init__(self, rate: float, last_slot: Optional[int] = None) -> None:
         if rate < 0:
@@ -106,6 +111,10 @@ class PoissonArrivals(ArrivalStrategy):
             # A batched draw consumes the generator exactly like `last`
             # sequential per-slot draws, keeping replay bit-identical.
             arrivals[1 : last + 1] = self._rng.poisson(self._rate, size=last)
+        # transient_rng contract: the generator may be pooled and reseeded
+        # for another trial after precompilation — drop it so a stray
+        # arrivals_for_slot() call fails loudly.
+        self._rng = None
         return arrivals
 
 
@@ -113,6 +122,7 @@ class UniformRandomArrivals(ArrivalStrategy):
     """Scatter a fixed total number of arrivals uniformly at random over a window."""
 
     name = "uniform-random"
+    transient_rng = True
 
     def __init__(self, total: int, window: Tuple[int, int]) -> None:
         low, high = window
@@ -151,6 +161,7 @@ class BurstyArrivals(ArrivalStrategy):
     """
 
     name = "bursty"
+    transient_rng = True
 
     def __init__(
         self,
@@ -199,6 +210,8 @@ class ScheduledArrivals(ArrivalStrategy):
     """Replay an explicit mapping from slot index to arrival count."""
 
     name = "scheduled"
+    transient_rng = True
+    consumes_rng = False
 
     def __init__(self, schedule: Mapping[int, int] | Iterable[Tuple[int, int]]) -> None:
         items = schedule.items() if isinstance(schedule, Mapping) else schedule

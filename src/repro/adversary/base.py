@@ -113,6 +113,21 @@ class ArrivalStrategy(abc.ABC):
     #: True for strategies whose decisions depend on :meth:`observe`.
     adaptive: bool = False
 
+    #: True when the strategy draws from its generator only inside
+    #: :meth:`setup` and :meth:`precompile` — after ``precompile`` returns it
+    #: must never touch the generator again (strategies that keep a
+    #: reference for lazy per-slot draws must drop it there; see
+    #: ``RandomFractionJamming.precompile``).  Opting in lets the batched
+    #: study kernel hand the strategy a pooled generator that is reseeded
+    #: between trials instead of a freshly constructed one.  All bundled
+    #: oblivious strategies qualify.
+    transient_rng: bool = False
+
+    #: False when the strategy never draws from its generator at all
+    #: (deterministic plans), letting the batched study kernel skip the
+    #: reseed entirely.  Only meaningful together with ``transient_rng``.
+    consumes_rng: bool = True
+
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         """Prepare internal state."""
 
@@ -149,6 +164,12 @@ class JammingStrategy(abc.ABC):
 
     #: True for strategies whose decisions depend on :meth:`observe`.
     adaptive: bool = False
+
+    #: Same contract as :attr:`ArrivalStrategy.transient_rng`.
+    transient_rng: bool = False
+
+    #: Same contract as :attr:`ArrivalStrategy.consumes_rng`.
+    consumes_rng: bool = True
 
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         """Prepare internal state."""
@@ -193,14 +214,25 @@ class ComposedAdversary(Adversary):
     def precompilable(self) -> bool:  # type: ignore[override]
         return not (self._arrivals.adaptive or self._jamming.adaptive)
 
+    def strategy_seeds(self, rng: np.random.Generator) -> tuple:
+        """Draw the two per-strategy seeds exactly as :meth:`setup` does.
+
+        Exposed so the batched study kernel can reproduce the strategy
+        streams (``default_rng(seed)``) without routing every trial through
+        freshly constructed generators.
+        """
+        return (
+            int(rng.integers(0, 2**63 - 1)),
+            int(rng.integers(0, 2**63 - 1)),
+        )
+
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         # Each strategy gets its own independent stream so that, e.g., pairing
         # the same arrival pattern with different jamming strategies keeps the
         # arrival randomness identical.
-        arrivals_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
-        jamming_rng = np.random.default_rng(rng.integers(0, 2**63 - 1))
-        self._arrivals.setup(arrivals_rng, horizon)
-        self._jamming.setup(jamming_rng, horizon)
+        arrivals_seed, jamming_seed = self.strategy_seeds(rng)
+        self._arrivals.setup(np.random.default_rng(arrivals_seed), horizon)
+        self._jamming.setup(np.random.default_rng(jamming_seed), horizon)
 
     def action_for_slot(self, slot: int) -> AdversaryAction:
         return AdversaryAction(

@@ -26,6 +26,8 @@ class NoJamming(JammingStrategy):
     """The benign channel: no slot is ever jammed."""
 
     name = "no-jamming"
+    transient_rng = True
+    consumes_rng = False
 
     def jam_slot(self, slot: int) -> bool:
         return False
@@ -42,6 +44,7 @@ class RandomFractionJamming(JammingStrategy):
     """
 
     name = "random-fraction"
+    transient_rng = True
 
     def __init__(self, fraction: float, last_slot: Optional[int] = None) -> None:
         if not 0.0 <= fraction < 1.0:
@@ -78,6 +81,11 @@ class RandomFractionJamming(JammingStrategy):
             # Batched uniforms consume the generator exactly like sequential
             # per-slot draws, keeping replay bit-identical.
             jammed[1 : last + 1] = self._rng.random(last) < self._fraction
+        # The transient_rng contract: the generator may be pooled and
+        # reseeded for another trial after precompilation, so drop it — a
+        # stray jam_slot() call now fails loudly instead of drawing from a
+        # foreign stream.
+        self._rng = None
         return jammed
 
 
@@ -85,6 +93,8 @@ class PeriodicJamming(JammingStrategy):
     """Jam every ``period``-th slot (deterministic constant fraction)."""
 
     name = "periodic"
+    transient_rng = True
+    consumes_rng = False
 
     def __init__(self, period: int, offset: int = 0) -> None:
         if period < 1:
@@ -111,6 +121,8 @@ class FrontLoadedJamming(JammingStrategy):
     """
 
     name = "front-loaded"
+    transient_rng = True
+    consumes_rng = False
 
     def __init__(self, count: int) -> None:
         if count < 0:
@@ -135,6 +147,7 @@ class BudgetedJamming(JammingStrategy):
     """
 
     name = "budgeted"
+    transient_rng = True
 
     def __init__(self, g: RateFunction, budget_constant: float = 4.0) -> None:
         if budget_constant <= 0:

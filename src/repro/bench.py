@@ -1,0 +1,382 @@
+"""Benchmark harness: persistent, schema-versioned performance tracking.
+
+``repro bench`` (see :mod:`repro.cli`) runs a micro study-benchmark suite
+across all simulation backends plus an optional experiment-level smoke suite,
+and writes the results to a ``BENCH_<date>.json`` file.  The committed bench
+files form the project's performance trajectory; the comparison mode diffs
+two files and reports regressions beyond a threshold, which CI runs against
+the committed baseline.
+
+Two kinds of record are emitted:
+
+* ``micro`` — a multi-trial study of a fixed (protocol, adversary, horizon)
+  triple, timed per backend.  ``speedup_vs_reference`` and (for the batched
+  study kernel) ``speedup_vs_vectorized`` are *per-trial wall-time ratios
+  within the same run on the same machine*, which makes them comparable
+  across machines — the regression gate uses them, not absolute wall times.
+* ``experiment`` — one full experiment (E1..E10) at the smoke scale, wall
+  time plus its consistency verdict.
+
+Absolute wall times are only compared when the machine fingerprints of the
+two files match.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .adversary import (
+    BatchArrivals,
+    ComposedAdversary,
+    NoJamming,
+    PeriodicJamming,
+    PoissonArrivals,
+    RandomFractionJamming,
+)
+from .errors import ConfigurationError
+from .protocols import ProbabilityBackoff, SlottedAloha, make_factory
+from .sim import run_trials
+from .sim.backends import available_study_backends
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "collect_bench",
+    "compare_bench",
+    "default_bench_path",
+    "machine_info",
+    "render_comparison",
+    "run_experiment_suite",
+    "run_micro_suite",
+    "write_bench",
+]
+
+SCHEMA_VERSION = 1
+
+#: (trials, horizon, nodes) per scale for the micro study workloads.
+_SCALES: Dict[str, Tuple[int, int, int]] = {
+    "smoke": (40, 192, 3),
+    "quick": (200, 192, 3),
+    "full": (600, 192, 3),
+}
+
+#: Study backends timed by the micro suite, reference first (it anchors the
+#: normalized speedups).
+_BACKENDS = ("reference", "vectorized", "batched-study")
+
+
+def _micro_workloads(horizon: int, nodes: int):
+    """The micro study workloads: (id, protocol_factory, adversary_factory)."""
+    return [
+        (
+            "study-e01-batch-jam",
+            make_factory(SlottedAloha, 0.05),
+            lambda: ComposedAdversary(
+                BatchArrivals(nodes), RandomFractionJamming(0.25)
+            ),
+        ),
+        (
+            "study-e04-batch-clear",
+            make_factory(SlottedAloha, 0.05),
+            lambda: ComposedAdversary(BatchArrivals(nodes), NoJamming()),
+        ),
+        (
+            "study-poisson-periodic",
+            make_factory(ProbabilityBackoff, 1.0),
+            lambda: ComposedAdversary(
+                PoissonArrivals(nodes / horizon, last_slot=horizon // 2),
+                PeriodicJamming(7),
+            ),
+        ),
+    ]
+
+
+def machine_info() -> Dict[str, object]:
+    """Fingerprint of the benchmarking machine."""
+    return {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_micro_suite(
+    scale: str = "smoke",
+    seed: int = 20210219,
+    backends: Optional[Sequence[str]] = None,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """Time the micro study workloads across backends.
+
+    The reference backend is timed on a subset of the trials (it is one to
+    two orders of magnitude slower) and compared per trial; the other
+    backends run the full study.  Repeats are interleaved across backends so
+    machine drift hits all of them equally; the best time per backend wins.
+    """
+    if scale not in _SCALES:
+        raise ConfigurationError(
+            f"scale must be one of {sorted(_SCALES)}, got {scale!r}"
+        )
+    backends = tuple(backends) if backends else _BACKENDS
+    for backend in backends:
+        if backend not in available_study_backends():
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; available: "
+                f"{', '.join(available_study_backends())}"
+            )
+    trials, horizon, nodes = _SCALES[scale]
+    records: List[Dict[str, object]] = []
+    for workload_id, protocol_factory, adversary_factory in _micro_workloads(
+        horizon, nodes
+    ):
+        timings: Dict[str, Tuple[int, float]] = {}
+        plans = {
+            backend: trials if backend != "reference" else max(4, trials // 10)
+            for backend in backends
+        }
+        for backend, backend_trials in plans.items():  # warm-up pass
+            _time_study(
+                protocol_factory,
+                adversary_factory,
+                horizon,
+                min(4, backend_trials),
+                seed,
+                backend,
+            )
+        for _ in range(max(1, repeats)):
+            for backend, backend_trials in plans.items():
+                elapsed = _time_study(
+                    protocol_factory,
+                    adversary_factory,
+                    horizon,
+                    backend_trials,
+                    seed,
+                    backend,
+                )
+                timed, best = timings.get(backend, (backend_trials, float("inf")))
+                timings[backend] = (backend_trials, min(best, elapsed))
+        per_trial = {
+            backend: best / timed for backend, (timed, best) in timings.items()
+        }
+        for backend, (timed, best) in timings.items():
+            record: Dict[str, object] = {
+                "kind": "micro",
+                "id": workload_id,
+                "backend": backend,
+                "scale": scale,
+                "params": {
+                    "trials": trials,
+                    "trials_timed": timed,
+                    "horizon": horizon,
+                    "nodes": nodes,
+                    "seed": seed,
+                },
+                "wall_time_s": best,
+                "per_trial_s": per_trial[backend],
+                "slots_per_second": timed * horizon / best,
+            }
+            if "reference" in per_trial:
+                record["speedup_vs_reference"] = (
+                    per_trial["reference"] / per_trial[backend]
+                )
+            if backend == "batched-study" and "vectorized" in per_trial:
+                record["speedup_vs_vectorized"] = (
+                    per_trial["vectorized"] / per_trial[backend]
+                )
+            records.append(record)
+    return records
+
+
+def _time_study(
+    protocol_factory,
+    adversary_factory: Callable,
+    horizon: int,
+    trials: int,
+    seed: int,
+    backend: str,
+) -> float:
+    start = time.perf_counter()
+    run_trials(
+        protocol_factory=protocol_factory,
+        adversary_factory=adversary_factory,
+        horizon=horizon,
+        trials=trials,
+        seed=seed,
+        backend=backend,
+    )
+    return time.perf_counter() - start
+
+
+def run_experiment_suite(
+    seed: int = 20210219, trials: int = 2
+) -> List[Dict[str, object]]:
+    """Time every registered experiment once at the smoke scale."""
+    from .experiments import ExperimentConfig, all_experiments, run_experiment
+
+    config = ExperimentConfig(trials=trials, seed=seed, scale="smoke")
+    records = []
+    for experiment_id in all_experiments():
+        start = time.perf_counter()
+        result = run_experiment(experiment_id, config)
+        elapsed = time.perf_counter() - start
+        records.append(
+            {
+                "kind": "experiment",
+                "id": experiment_id,
+                "backend": config.backend,
+                "scale": config.scale,
+                "params": {"trials": trials, "seed": seed},
+                "wall_time_s": elapsed,
+                "consistent_with_paper": result.consistent_with_paper,
+            }
+        )
+    return records
+
+
+def collect_bench(
+    scale: str = "smoke",
+    seed: int = 20210219,
+    backends: Optional[Sequence[str]] = None,
+    include_experiments: bool = True,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """Run the full suite and assemble the schema-versioned document."""
+    benchmarks = run_micro_suite(
+        scale=scale, seed=seed, backends=backends, repeats=repeats
+    )
+    if include_experiments:
+        benchmarks.extend(run_experiment_suite(seed=seed))
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "created_utc": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "machine": machine_info(),
+        "scale": scale,
+        "seed": seed,
+        "benchmarks": benchmarks,
+    }
+
+
+def default_bench_path(directory: str | Path = ".") -> Path:
+    """``BENCH_<YYYY-MM-DD>.json`` in ``directory``."""
+    stamp = datetime.date.today().isoformat()
+    return Path(directory) / f"BENCH_{stamp}.json"
+
+
+def write_bench(data: Dict[str, object], path: str | Path) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_bench(path: str | Path) -> Dict[str, object]:
+    data = json.loads(Path(path).read_text())
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"bench file {path} has schema_version={version!r}; "
+            f"this build reads version {SCHEMA_VERSION}"
+        )
+    return data
+
+
+def compare_bench(
+    baseline: Dict[str, object],
+    current: Dict[str, object],
+    threshold: float = 0.2,
+) -> List[Dict[str, object]]:
+    """Regressions of ``current`` against ``baseline`` beyond ``threshold``.
+
+    Micro records are compared on their machine-normalized speedups; absolute
+    wall times are additionally compared when both files were produced on the
+    same machine.  Experiment records flag verdict flips and (same machine
+    only) wall-time regressions.  Returns one dict per regression; an empty
+    list means the gate passes.
+    """
+    same_machine = baseline.get("machine") == current.get("machine")
+    baseline_map = _record_map(baseline)
+    current_map = _record_map(current)
+    regressions: List[Dict[str, object]] = []
+    # A benchmark that disappears must not pass the gate vacuously.
+    for key in baseline_map:
+        if key not in current_map:
+            regressions.append(_regression(key, "missing_benchmark", "present", "absent"))
+    for key, record in current_map.items():
+        old = baseline_map.get(key)
+        if old is None:
+            continue
+        kind = key[0]
+        if kind == "micro":
+            for metric in ("speedup_vs_reference", "speedup_vs_vectorized"):
+                if metric in record and metric in old:
+                    before, after = float(old[metric]), float(record[metric])
+                    if after < before * (1.0 - threshold):
+                        regressions.append(
+                            _regression(key, metric, before, after)
+                        )
+        if same_machine and "wall_time_s" in record and "wall_time_s" in old:
+            before, after = float(old["wall_time_s"]), float(record["wall_time_s"])
+            if after > before * (1.0 + threshold):
+                regressions.append(_regression(key, "wall_time_s", before, after))
+        if kind == "experiment":
+            before_ok = old.get("consistent_with_paper")
+            after_ok = record.get("consistent_with_paper")
+            if before_ok is True and after_ok is False:
+                regressions.append(
+                    _regression(key, "consistent_with_paper", True, False)
+                )
+    return regressions
+
+
+def _record_map(data: Dict[str, object]) -> Dict[tuple, Dict[str, object]]:
+    # Scale is part of the key: speedups at different study sizes are not
+    # comparable (amortization scales with trial count).
+    return {
+        (
+            record["kind"],
+            record["id"],
+            record.get("backend", ""),
+            record.get("scale", ""),
+        ): record
+        for record in data.get("benchmarks", [])
+    }
+
+
+def _regression(key: tuple, metric: str, before, after) -> Dict[str, object]:
+    kind, identifier, backend, _scale = key
+    return {
+        "kind": kind,
+        "id": identifier,
+        "backend": backend,
+        "metric": metric,
+        "baseline": before,
+        "current": after,
+    }
+
+
+def render_comparison(regressions: List[Dict[str, object]]) -> str:
+    """Human-readable regression report (empty-list case included)."""
+    if not regressions:
+        return "bench comparison: no regressions beyond threshold"
+    lines = [f"bench comparison: {len(regressions)} regression(s) detected"]
+    for item in regressions:
+        before, after = item["baseline"], item["current"]
+        if isinstance(before, float):
+            delta = f"{before:.3g} -> {after:.3g}"
+        else:
+            delta = f"{before} -> {after}"
+        lines.append(
+            f"  {item['kind']}/{item['id']} [{item['backend']}] "
+            f"{item['metric']}: {delta}"
+        )
+    return "\n".join(lines)

@@ -14,6 +14,11 @@ Run every experiment and (re)generate EXPERIMENTS.md::
 Simulate one workload interactively::
 
     python -m repro.cli simulate --arrivals 128 --horizon 16384 --jam 0.25
+
+Run the benchmark suite and persist the performance trajectory::
+
+    python -m repro.cli bench --scale smoke --output BENCH_$(date +%F).json
+    python -m repro.cli bench --compare BENCH_old.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from . import quick_run
 from .errors import ReproError
 from .experiments import ExperimentConfig, all_experiments, get_experiment
 from .experiments.report import run_all, write_report
-from .sim.backends import available_backends
+from .sim.backends import available_backends, available_study_backends
 
 __all__ = ["main", "build_parser"]
 
@@ -66,19 +71,58 @@ def build_parser() -> argparse.ArgumentParser:
     simulate_parser.add_argument("--horizon", type=int, default=8192)
     simulate_parser.add_argument("--jam", type=float, default=0.0)
     simulate_parser.add_argument("--seed", type=int, default=None)
-    _add_backend_argument(simulate_parser)
-    simulate_parser.set_defaults(func=_cmd_simulate)
-
-    return parser
-
-
-def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+    simulate_parser.add_argument(
         "--backend",
         choices=available_backends(),
         default="auto",
         help="simulation slot kernel (auto picks vectorized when eligible)",
     )
+    simulate_parser.set_defaults(func=_cmd_simulate)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite and write a BENCH_<date>.json, "
+        "or compare two bench files",
+    )
+    bench_parser.add_argument(
+        "--scale", choices=["smoke", "quick", "full"], default="smoke"
+    )
+    bench_parser.add_argument("--seed", type=int, default=20210219)
+    bench_parser.add_argument(
+        "--output",
+        default=None,
+        help="output path (default: BENCH_<date>.json in the cwd)",
+    )
+    bench_parser.add_argument(
+        "--backends",
+        nargs="*",
+        default=None,
+        help="restrict the micro suite to these backends",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats (best wins)"
+    )
+    bench_parser.add_argument(
+        "--no-experiments",
+        action="store_true",
+        help="skip the experiment-level smoke suite",
+    )
+    bench_parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("BASELINE", "CURRENT"),
+        default=None,
+        help="diff two bench files instead of running; exits 1 on regression",
+    )
+    bench_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative regression threshold for --compare (default 0.2)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
+
+    return parser
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -87,7 +131,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale", choices=["smoke", "quick", "full"], default="quick"
     )
-    _add_backend_argument(parser)
+    parser.add_argument(
+        "--backend",
+        choices=available_study_backends(),
+        default="auto",
+        help=(
+            "simulation backend (auto escalates batched-study -> "
+            "vectorized -> reference per study)"
+        ),
+    )
     parser.add_argument(
         "--workers",
         type=int,
@@ -145,6 +197,48 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"({result.slots_per_second:,.0f} slots/s, "
         f"{result.wall_time_seconds * 1000:.1f} ms)"
     )
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        collect_bench,
+        compare_bench,
+        default_bench_path,
+        load_bench,
+        render_comparison,
+        write_bench,
+    )
+
+    if args.compare is not None:
+        baseline = load_bench(args.compare[0])
+        current = load_bench(args.compare[1])
+        regressions = compare_bench(baseline, current, threshold=args.threshold)
+        print(render_comparison(regressions))
+        return 1 if regressions else 0
+
+    data = collect_bench(
+        scale=args.scale,
+        seed=args.seed,
+        backends=args.backends,
+        include_experiments=not args.no_experiments,
+        repeats=args.repeats,
+    )
+    path = args.output or default_bench_path()
+    path = write_bench(data, path)
+    micro = [b for b in data["benchmarks"] if b["kind"] == "micro"]
+    for record in micro:
+        note = ""
+        if "speedup_vs_reference" in record:
+            note = f"  ({record['speedup_vs_reference']:.1f}x vs reference"
+            if "speedup_vs_vectorized" in record:
+                note += f", {record['speedup_vs_vectorized']:.1f}x vs vectorized"
+            note += ")"
+        print(
+            f"{record['id']} [{record['backend']}]: "
+            f"{record['slots_per_second']:,.0f} slots/s{note}"
+        )
+    print(f"wrote {path} ({len(data['benchmarks'])} benchmarks)")
     return 0
 
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
-from ..sim.backends import available_backends
+from ..sim.backends import available_study_backends
 
 __all__ = ["ExperimentConfig"]
 
@@ -24,10 +24,11 @@ class ExperimentConfig:
     Experiments read :attr:`scale_factor` and the helpers below rather than
     interpreting the preset name directly, so custom scales remain possible.
 
-    ``backend`` selects the simulation slot kernel (``auto`` / ``reference`` /
-    ``vectorized``) and ``workers`` the number of trial worker processes; both
-    are forwarded to every :func:`repro.sim.run_trials` call an experiment
-    makes.
+    ``backend`` selects the simulation backend (``auto`` / ``batched-study``
+    / ``reference`` / ``vectorized``) and ``workers`` the number of trial
+    worker processes; both are forwarded to every
+    :func:`repro.sim.run_trials` call an experiment makes.  ``auto`` runs
+    each whole study through the batched study kernel when eligible.
     """
 
     trials: int = 5
@@ -45,9 +46,10 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"scale must be one of {sorted(self._FACTORS)}, got {self.scale!r}"
             )
-        if self.backend not in available_backends():
+        if self.backend not in available_study_backends():
             raise ConfigurationError(
-                f"backend must be one of {available_backends()}, got {self.backend!r}"
+                f"backend must be one of {available_study_backends()}, "
+                f"got {self.backend!r}"
             )
         if self.workers < 1:
             raise ConfigurationError("workers must be >= 1")

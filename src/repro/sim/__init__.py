@@ -1,11 +1,13 @@
 """Slot-synchronous discrete-event simulator for the multiple-access channel."""
 
 from .backends import (
+    BatchedStudyKernel,
     KernelContext,
     ReferenceKernel,
     SlotKernel,
     VectorizedKernel,
     available_backends,
+    available_study_backends,
 )
 from .engine import Simulator, SimulatorConfig
 from .node import Node
@@ -24,5 +26,7 @@ __all__ = [
     "KernelContext",
     "ReferenceKernel",
     "VectorizedKernel",
+    "BatchedStudyKernel",
     "available_backends",
+    "available_study_backends",
 ]

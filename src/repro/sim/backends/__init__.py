@@ -1,6 +1,6 @@
-"""Pluggable simulation backends (slot kernels).
+"""Pluggable simulation backends (slot kernels and the study kernel).
 
-Two kernels are provided:
+Per-run slot kernels:
 
 * ``"reference"`` — the per-node, per-slot Python loop; supports every
   configuration and defines the semantics.
@@ -8,17 +8,26 @@ Two kernels are provided:
   protocols against precompilable adversaries; bit-for-bit identical to the
   reference kernel where it applies.
 
-``"auto"`` (the :class:`~repro.sim.engine.Simulator` default) picks the
-vectorized kernel when the configuration is eligible and falls back to the
-reference kernel otherwise.
+Study-level backends (valid for :class:`~repro.sim.runner.TrialRunner` /
+:func:`~repro.sim.runner.run_trials`, not for a single
+:class:`~repro.sim.engine.Simulator`):
+
+* ``"batched-study"`` — all trials of a study stacked into one numpy pass
+  (:class:`BatchedStudyKernel`); seed-for-seed identical to running the
+  trials serially.
+
+``"auto"`` escalates down the ladder: the trial runner picks the batched
+study kernel when the whole study is eligible, else each trial picks the
+vectorized kernel when eligible, else the reference kernel.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Type
+from typing import Dict, Tuple, Type
 
 from ...errors import ConfigurationError
 from .base import KernelContext, SlotKernel
+from .batched import BatchedStudyKernel
 from .reference import ReferenceKernel, run_slot_loop
 from .vectorized import VectorizedKernel
 
@@ -27,14 +36,18 @@ __all__ = [
     "SlotKernel",
     "ReferenceKernel",
     "VectorizedKernel",
+    "BatchedStudyKernel",
     "run_slot_loop",
     "AUTO_BACKEND",
+    "STUDY_BACKEND",
     "available_backends",
+    "available_study_backends",
     "resolve_kernel",
     "select_kernel",
 ]
 
 AUTO_BACKEND = "auto"
+STUDY_BACKEND = BatchedStudyKernel.name
 
 _KERNELS: Dict[str, Type[SlotKernel]] = {
     ReferenceKernel.name: ReferenceKernel,
@@ -42,13 +55,18 @@ _KERNELS: Dict[str, Type[SlotKernel]] = {
 }
 
 
-def available_backends() -> tuple:
-    """Valid ``backend=`` values, including ``"auto"``."""
+def available_backends() -> Tuple[str, ...]:
+    """Valid single-run ``backend=`` values, including ``"auto"``."""
     return (AUTO_BACKEND, *sorted(_KERNELS))
 
 
+def available_study_backends() -> Tuple[str, ...]:
+    """Valid study-level ``backend=`` values (trial runner / experiments)."""
+    return (AUTO_BACKEND, STUDY_BACKEND, *sorted(_KERNELS))
+
+
 def resolve_kernel(name: str) -> SlotKernel:
-    """Instantiate the kernel registered under ``name`` (not ``"auto"``)."""
+    """Instantiate the slot kernel registered under ``name`` (not ``"auto"``)."""
     try:
         return _KERNELS[name]()
     except KeyError as exc:

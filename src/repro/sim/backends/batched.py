@@ -1,0 +1,742 @@
+"""The batched study kernel: all trials of a study in one array pass.
+
+Every experiment in the reproduction is really a *study* — tens to hundreds of
+independent trials of the same (protocol, adversary, horizon) triple.  The
+per-trial vectorized kernel already resolves one run with arrays, but each
+trial still pays the full Python setup: a ``Simulator``, two seed-tree spawns,
+an adversary setup, a probability-vector probe, and ~50 small numpy calls.
+This kernel amortizes all of that across the whole study:
+
+* all per-node random streams are derived with one **bulk seed hash**
+  (:func:`repro.rng.bulk_seed_states`) and replayed through pooled,
+  state-reseeded generators — no ``SeedSequence``/``Generator`` objects per
+  node;
+* the broadcast matrices of all trials are stacked into one
+  ``(ΣN_t) × (horizon+1)`` block, resolved with whole-matrix comparisons;
+* successes are peeled in **lockstep rounds**: every round advances each
+  still-active trial by exactly one success (its earliest eligible
+  single-broadcaster slot), which is the sequential per-trial peel executed
+  across the block diagonal with a handful of matrix operations per round;
+* all ``T`` :class:`~repro.sim.results.SimulationResult` objects are emitted
+  from shared prefix matrices.
+
+Bit-for-bit reproducibility
+---------------------------
+
+The kernel reproduces the serial reference path exactly, trial for trial: the
+same seeds are derived (read-only — the trial seed trees are never spawned
+from, so any mid-flight bail-out can rerun them untouched), the same per-node
+uniforms are drawn from the same PCG64 streams, and the same slot semantics
+apply.  The property suite enforces equality against the serial reference
+study.
+
+Eligibility is the vectorized kernel's (vector-eligible protocol, oblivious
+precompilable adversary) plus study-level constraints: no collectors and no
+trace retention (both need per-slot records; the runner falls back to the
+per-trial path for them).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...adversary.base import Adversary, ComposedAdversary
+from ...errors import ConfigurationError
+from ...rng import (
+    ReusableGenerator,
+    SeedTree,
+    TrialSeedBatch,
+    assemble_seed_words,
+    bulk_bounded_pairs63,
+    bulk_seed_states,
+    fast_bounded_pairs_ok,
+    fast_seed_path_ok,
+    pcg64_state_dict,
+    seed_states_for_entropies,
+)
+from ...types import NodeStats, SimulationSummary
+from ..results import SimulationResult
+from .base import age_probability_profile
+
+__all__ = ["BatchedStudyKernel"]
+
+#: Element cap (rows × columns) for one processing block.  Studies larger
+#: than this are split into trial blocks; a single trial above the cap makes
+#: the study ineligible (the per-trial path has its own replay fallback).
+_MAX_BLOCK_ELEMENTS = 1 << 24
+
+AdversaryFactory = Callable[[], Adversary]
+
+
+class BatchedStudyKernel:
+    """Study-level backend: one numpy pass over all trials of a study."""
+
+    name = "batched-study"
+
+    # ------------------------------------------------------------ eligibility
+
+    def unsupported_reason(
+        self,
+        protocol_factory,
+        adversary_factory: AdversaryFactory,
+        config,
+        collectors: Sequence = (),
+    ) -> Optional[str]:
+        """Why this study cannot run batched (``None`` when it can)."""
+        probe = protocol_factory()
+        if not probe.vector_eligible:
+            return (
+                f"protocol {probe.name!r} is not vector-eligible "
+                "(its broadcast decisions depend on feedback or are not "
+                "independent per-slot Bernoulli draws)"
+            )
+        adversary = adversary_factory()
+        if not adversary.precompilable:
+            return (
+                f"adversary {adversary.describe()!r} is adaptive and cannot "
+                "be precompiled into a whole-horizon schedule"
+            )
+        if config.keep_trace:
+            return (
+                "keep_trace requires per-slot records; use the vectorized or "
+                "reference backend"
+            )
+        if collectors:
+            return (
+                "collectors require per-slot records; use the vectorized or "
+                "reference backend"
+            )
+        return None
+
+    def supports_study(
+        self,
+        protocol_factory,
+        adversary_factory: AdversaryFactory,
+        config,
+        collectors: Sequence = (),
+    ) -> bool:
+        return (
+            self.unsupported_reason(
+                protocol_factory, adversary_factory, config, collectors
+            )
+            is None
+        )
+
+    # ------------------------------------------------------------------- run
+
+    def run_study(
+        self,
+        protocol_factory,
+        adversary_factory: AdversaryFactory,
+        config,
+        trial_trees,  # List[SeedTree] or TrialSeedBatch
+        protocol_name: str = "protocol",
+    ) -> Optional[List[SimulationResult]]:
+        """Execute all trials, or return ``None`` when the study must fall
+        back to the per-trial path.
+
+        A ``None`` return guarantees the trial seed trees were not consumed
+        (seed derivation is read-only), so the caller can rerun every trial
+        through :class:`~repro.sim.engine.Simulator` with identical results.
+        """
+        horizon = config.horizon
+        start_time = time.perf_counter()
+
+        probabilities = age_probability_profile(protocol_factory, horizon)
+        if probabilities is None:
+            return None
+
+        plan = _SeedPlan.build(trial_trees)
+        schedules = self._compile_adversaries(
+            adversary_factory, config, plan, horizon
+        )
+        if schedules is None:
+            return None
+        adversaries, arrivals_all, jammed_all = schedules
+
+        nodes_per_trial = arrivals_all.sum(axis=1)
+        if nodes_per_trial.size and int(nodes_per_trial.max()) * (
+            horizon + 1
+        ) > _MAX_BLOCK_ELEMENTS:
+            return None
+
+        results: List[SimulationResult] = []
+        for lo, hi in _blocks(nodes_per_trial, horizon):
+            results.extend(
+                self._run_block(
+                    config,
+                    plan,
+                    adversaries[lo:hi],
+                    arrivals_all[lo:hi],
+                    jammed_all[lo:hi],
+                    nodes_per_trial[lo:hi],
+                    probabilities,
+                    range(lo, hi),
+                    protocol_name,
+                )
+            )
+
+        # Wall time is measured for the whole study and attributed evenly:
+        # individual trials have no meaningful separate duration here.
+        per_trial = (time.perf_counter() - start_time) / max(1, len(results))
+        for result in results:
+            result.wall_time_seconds = per_trial
+        return results
+
+    # ------------------------------------------------------------- internals
+
+    def _compile_adversaries(
+        self,
+        adversary_factory: AdversaryFactory,
+        config,
+        plan: "_SeedPlan",
+        horizon: int,
+    ) -> Optional[Tuple[List[Adversary], np.ndarray, np.ndarray]]:
+        """Set up and precompile one adversary per trial.
+
+        Consumes exactly the randomness the serial path would: one generator
+        spawned from each trial's adversary tree, then whatever the
+        adversary's ``setup``/``precompile`` draw from it.
+        """
+        trials = plan.trials
+        adversary_states = plan.adversary_generator_states()
+        outer_pool = ReusableGenerator()
+        arrivals_pool = ReusableGenerator()
+        jamming_pool = ReusableGenerator()
+
+        # The two per-trial strategy seeds (ComposedAdversary.strategy_seeds)
+        # are two bounded draws from each trial's adversary generator; with
+        # the verified replication they are derived for every trial in one
+        # vectorized pass instead of reseeding a generator per trial.
+        seed_pairs = None
+        if adversary_states is not None and fast_bounded_pairs_ok():
+            seed_pairs = bulk_bounded_pairs63(adversary_states).tolist()
+
+        adversaries: List[Adversary] = []
+        pending: List[Tuple[int, Adversary]] = []
+        strategy_seeds: List[int] = []
+        arrivals_all = np.zeros((trials, horizon + 1), dtype=np.int64)
+        jammed_all = np.zeros((trials, horizon + 1), dtype=bool)
+
+        for index in range(trials):
+            adversary = adversary_factory()
+            if not adversary.precompilable:
+                return None
+            adversaries.append(adversary)
+            pooled = (
+                adversary_states is not None
+                and type(adversary) is ComposedAdversary
+                and adversary.arrivals.transient_rng
+                and adversary.jamming.transient_rng
+            )
+            if pooled:
+                if seed_pairs is not None:
+                    strategy_seeds.extend(seed_pairs[index])
+                else:
+                    rng = outer_pool.reseed(adversary_states[index])
+                    strategy_seeds.extend(adversary.strategy_seeds(rng))
+                pending.append((index, adversary))
+            else:
+                rng = plan.fresh_generator(adversary_states, index)
+                adversary.setup(rng, horizon)
+                schedule = adversary.precompile(horizon)
+                if schedule is None:
+                    return None
+                arrivals_all[index] = schedule.arrivals
+                jammed_all[index] = schedule.jammed
+
+        if pending:
+            states = seed_states_for_entropies(strategy_seeds)
+            for slot, (index, adversary) in enumerate(pending):
+                # A strategy that never draws keeps the pool's stale stream;
+                # its seed was still consumed from the adversary generator,
+                # exactly as in the serial path.
+                arrivals_rng = (
+                    arrivals_pool.reseed(states[2 * slot])
+                    if adversary.arrivals.consumes_rng
+                    else arrivals_pool.generator
+                )
+                jamming_rng = (
+                    jamming_pool.reseed(states[2 * slot + 1])
+                    if adversary.jamming.consumes_rng
+                    else jamming_pool.generator
+                )
+                adversary.arrivals.setup(arrivals_rng, horizon)
+                adversary.jamming.setup(jamming_rng, horizon)
+                schedule = adversary.precompile(horizon)
+                if schedule is None:
+                    return None
+                arrivals_all[index] = schedule.arrivals
+                jammed_all[index] = schedule.jammed
+
+        cum = np.cumsum(arrivals_all, axis=1)
+        over_trials, over_slots = np.nonzero(cum > config.max_nodes)
+        if over_trials.size:
+            # nonzero returns row-major order, so index 0 is the first
+            # violating trial's first violating slot — the same slot the
+            # serial run of that trial would have raised on.
+            raise ConfigurationError(
+                f"adversary exceeded max_nodes={config.max_nodes} "
+                f"at slot {int(over_slots[0])}"
+            )
+        return adversaries, arrivals_all, jammed_all
+
+    def _run_block(
+        self,
+        config,
+        plan: "_SeedPlan",
+        adversaries: List[Adversary],
+        arrivals: np.ndarray,
+        jammed: np.ndarray,
+        nodes_per_trial: np.ndarray,
+        probabilities: np.ndarray,
+        trial_indices: range,
+        protocol_name: str,
+    ) -> List[SimulationResult]:
+        horizon = config.horizon
+        block_trials = arrivals.shape[0]
+        columns = np.arange(horizon + 1)
+        row_starts = np.concatenate(
+            ([0], np.cumsum(nodes_per_trial))
+        ).astype(np.int64)
+        total_rows = int(row_starts[-1])
+
+        # --- per-node uniforms, drawn from the exact per-node streams -------
+        arrival_rows = [
+            np.repeat(columns, arrivals[b]) for b in range(block_trials)
+        ]
+        arrival_slots = (
+            np.concatenate(arrival_rows)
+            if arrival_rows
+            else np.zeros(0, dtype=np.int64)
+        )
+        uniforms = np.zeros((total_rows, horizon + 1))
+        node_states = plan.node_generator_states(
+            trial_indices, nodes_per_trial, total_rows
+        )
+        arrival_list = arrival_slots.tolist()
+        if node_states is not None:
+            pool = ReusableGenerator()
+            reseed = pool.reseed
+            for state, a, row in zip(node_states.tolist(), arrival_list, uniforms):
+                reseed(state).random(out=row[a:])
+        else:
+            slow_generators = plan.slow_node_generators(
+                trial_indices, nodes_per_trial
+            )
+            for generator, a, row in zip(slow_generators, arrival_list, uniforms):
+                generator.random(out=row[a:])
+
+        broadcasts = self._resolve_broadcasts(
+            uniforms, arrival_slots, probabilities, horizon
+        )
+        del uniforms
+
+        # --- per-trial counts and winner-index sums (block-diagonal) --------
+        row_index = np.arange(total_rows, dtype=np.int64)
+        uniform_nodes = nodes_per_trial.size and int(nodes_per_trial.min()) == int(
+            nodes_per_trial.max()
+        )
+        if uniform_nodes and nodes_per_trial[0] > 0:
+            # Equal trial sizes: fold the block into (T, N, H+1) and resolve
+            # both per-trial reductions with two whole-array passes.
+            per_trial = int(nodes_per_trial[0])
+            folded = broadcasts.reshape(block_trials, per_trial, horizon + 1)
+            counts = folded.sum(axis=1, dtype=np.int32)
+            local = np.arange(per_trial, dtype=np.int64)
+            index_sums = (folded * local[None, :, None]).sum(axis=1)
+            index_sums += counts.astype(np.int64) * row_starts[:-1, None]
+        else:
+            counts = np.zeros((block_trials, horizon + 1), dtype=np.int32)
+            index_sums = np.zeros((block_trials, horizon + 1), dtype=np.int64)
+            for b in range(block_trials):
+                lo, hi = int(row_starts[b]), int(row_starts[b + 1])
+                if lo == hi:
+                    continue
+                rows = broadcasts[lo:hi]
+                counts[b] = rows.sum(axis=0, dtype=np.int32)
+                index_sums[b] = (rows * row_index[lo:hi, None]).sum(axis=0)
+
+        # --- lockstep peel: one success per still-active trial per round ----
+        # Each round advances every trial that still has an eligible
+        # single-broadcaster slot by exactly one success (its earliest such
+        # slot), which is the sequential per-trial peel in lockstep.  A trial
+        # without a candidate can never regain one (only its own removals
+        # change its counts), so the active set shrinks monotonically and the
+        # total work is O(total_successes × horizon), as in the per-trial
+        # kernel.
+        eligible = ~jammed
+        position = np.ones(block_trials, dtype=np.int64)
+        success_slot = np.zeros(total_rows, dtype=np.int64)
+        active = np.arange(block_trials)
+        while active.size:
+            candidates = (
+                (counts[active] == 1)
+                & eligible[active]
+                & (columns[None, :] >= position[active, None])
+            )
+            has = candidates.any(axis=1)
+            if not has.any():
+                break
+            sub = np.nonzero(has)[0]
+            trial_ids = active[sub]
+            slot_ids = candidates[sub].argmax(axis=1)
+            winner_rows = index_sums[trial_ids, slot_ids]
+            success_slot[winner_rows] = slot_ids
+            removal = (
+                broadcasts[winner_rows] & (columns[None, :] > slot_ids[:, None])
+            ).astype(np.int32)
+            counts[trial_ids] -= removal
+            index_sums[trial_ids] -= winner_rows[:, None] * removal
+            position[trial_ids] = slot_ids + 1
+            active = trial_ids
+
+        # --- outcome prefix matrices over the full horizon ------------------
+        cum_arrivals = np.cumsum(arrivals, axis=1)
+        stacked = np.stack(
+            (eligible & (counts == 1), jammed, eligible & (counts == 0))
+        )
+        stacked[:, :, 0] = False  # index 0 is unused in every prefix array
+        prefix = np.empty((4, block_trials, horizon + 1), dtype=np.int32)
+        np.cumsum(stacked, axis=2, out=prefix[:3])  # successes, jammed, silence
+        successes_before = np.zeros_like(cum_arrivals)
+        successes_before[:, 1:] = prefix[0, :, :-1]
+        active_full = (cum_arrivals - successes_before) > 0
+        active_full[:, 0] = False
+        prefix[3] = np.cumsum(active_full, axis=1)
+
+        simulated = self._early_stops(
+            config, adversaries, cum_arrivals, prefix[0], horizon
+        )
+
+        # --- per-node statistics --------------------------------------------
+        sim_per_row = np.repeat(simulated, nodes_per_trial)
+        finished = (success_slot >= 1) & (success_slot <= sim_per_row)
+        ends = np.where(finished, success_slot, sim_per_row)
+        running_b = np.cumsum(broadcasts, axis=1, dtype=np.int32)
+        broadcast_counts = np.take_along_axis(running_b, ends[:, None], axis=1)[
+            :, 0
+        ]
+        del running_b, broadcasts
+
+        return self._emit(
+            adversaries,
+            nodes_per_trial,
+            row_starts,
+            arrival_list,
+            success_slot.tolist(),
+            finished.tolist(),
+            broadcast_counts.tolist(),
+            simulated,
+            cum_arrivals,
+            prefix,
+            protocol_name,
+        )
+
+    @staticmethod
+    def _resolve_broadcasts(
+        uniforms: np.ndarray,
+        arrival_slots: np.ndarray,
+        probabilities: np.ndarray,
+        horizon: int,
+    ) -> np.ndarray:
+        """``uniform < p(age)`` for every node row, aligned at its arrival.
+
+        Rows are grouped by arrival slot (one comparison per group) when the
+        arrival pattern is concentrated; scattered patterns use a single
+        age-index gather instead.
+        """
+        distinct = np.unique(arrival_slots)
+        if distinct.size == 1:
+            a = int(distinct[0])
+            broadcasts = np.zeros(uniforms.shape, dtype=bool)
+            np.less(
+                uniforms[:, a:],
+                probabilities[1 : horizon - a + 2],
+                out=broadcasts[:, a:],
+            )
+            return broadcasts
+        if distinct.size <= 64:
+            broadcasts = np.zeros(uniforms.shape, dtype=bool)
+            for a in distinct.tolist():
+                rows = np.nonzero(arrival_slots == a)[0]
+                broadcasts[rows, a:] = (
+                    uniforms[rows, a:] < probabilities[1 : horizon - a + 2]
+                )
+            return broadcasts
+        ages = np.arange(horizon + 1)[None, :] - arrival_slots[:, None] + 1
+        np.clip(ages, 0, horizon, out=ages)
+        return uniforms < probabilities[ages]
+
+    @staticmethod
+    def _early_stops(
+        config,
+        adversaries: List[Adversary],
+        cum_arrivals: np.ndarray,
+        prefix_successes: np.ndarray,
+        horizon: int,
+    ) -> np.ndarray:
+        simulated = np.full(len(adversaries), horizon, dtype=np.int64)
+        if not config.stop_when_drained:
+            return simulated
+        occupancy_after = cum_arrivals - prefix_successes
+        for b, adversary in enumerate(adversaries):
+            stop_candidates = np.nonzero(
+                (occupancy_after[b] == 0) & (cum_arrivals[b] > 0)
+            )[0]
+            for t in stop_candidates:
+                t = int(t)
+                if t >= 1 and adversary.arrivals_exhausted(t):
+                    simulated[b] = t
+                    break
+        return simulated
+
+    @staticmethod
+    def _emit(
+        adversaries: List[Adversary],
+        nodes_per_trial: np.ndarray,
+        row_starts: np.ndarray,
+        arrival_list: List[int],
+        success_list: List[int],
+        finished_list: List[bool],
+        bc_list: List[int],
+        simulated: np.ndarray,
+        cum_arrivals: np.ndarray,
+        prefix: np.ndarray,
+        protocol_name: str,
+    ) -> List[SimulationResult]:
+        prefix_succ, prefix_jam, prefix_sil, prefix_act = prefix
+        trial_axis = np.arange(len(adversaries))
+        at_sim = lambda matrix: matrix[trial_axis, simulated].tolist()  # noqa: E731
+        succ_at = at_sim(prefix_succ)
+        jam_at = at_sim(prefix_jam)
+        sil_at = at_sim(prefix_sil)
+        act_at = at_sim(prefix_act)
+        arr_at = at_sim(cum_arrivals)
+        sim_list = simulated.tolist()
+        start_list = row_starts.tolist()
+        results: List[SimulationResult] = []
+        for b, adversary in enumerate(adversaries):
+            sim = sim_list[b]
+            lo, hi = start_list[b], start_list[b + 1]
+            successes = succ_at[b]
+            silences = sil_at[b]
+            node_stats: Dict[int, NodeStats] = {}
+            total_broadcasts = 0
+            for row in range(lo, hi):
+                arrival = arrival_list[row]
+                if arrival > sim:
+                    continue
+                done = finished_list[row]
+                count = bc_list[row]
+                total_broadcasts += count
+                node_id = row - lo
+                node_stats[node_id] = NodeStats(
+                    node_id=node_id,
+                    arrival_slot=arrival,
+                    success_slot=success_list[row] if done else None,
+                    broadcast_count=count,
+                )
+            summary = SimulationSummary(
+                total_slots=sim,
+                active_slots=act_at[b],
+                successes=successes,
+                collisions=sim - successes - silences,
+                silent_slots=silences,
+                jammed_slots=jam_at[b],
+                arrivals=arr_at[b],
+                total_broadcasts=total_broadcasts,
+            )
+            results.append(
+                SimulationResult(
+                    summary=summary,
+                    node_stats=node_stats,
+                    prefix_active=prefix_act[b, : sim + 1].tolist(),
+                    prefix_arrivals=cum_arrivals[b, : sim + 1].tolist(),
+                    prefix_jammed=prefix_jam[b, : sim + 1].tolist(),
+                    prefix_successes=prefix_succ[b, : sim + 1].tolist(),
+                    protocol_name=protocol_name,
+                    adversary_name=adversary.describe(),
+                    horizon=sim,
+                    seed=None,
+                    trace=None,
+                    backend=BatchedStudyKernel.name,
+                )
+            )
+        return results
+
+
+def _blocks(nodes_per_trial: np.ndarray, horizon: int):
+    """Split trials into contiguous blocks bounded by the element cap."""
+    trials = len(nodes_per_trial)
+    lo = 0
+    while lo < trials:
+        hi = lo
+        elements = 0
+        while hi < trials:
+            trial_elements = int(nodes_per_trial[hi]) * (horizon + 1)
+            if hi > lo and elements + trial_elements > _MAX_BLOCK_ELEMENTS:
+                break
+            elements += trial_elements
+            hi += 1
+        yield lo, hi
+        lo = hi
+
+
+class _SeedPlan:
+    """Read-only derivation of every stream the serial path would spawn.
+
+    The serial path derives, per trial root sequence with spawn key ``K``:
+    the adversary generator at ``K + (base, 0)`` and node ``i``'s generator at
+    ``K + (base + 1, i, 0)`` (``base`` being the root's spawned-children
+    count, normally 0).  This plan reproduces those spawn keys arithmetically
+    so the trees themselves are never advanced.
+    """
+
+    def __init__(
+        self,
+        source,  # List[SeedTree] or TrialSeedBatch
+        trials: int,
+        entropy: Optional[int],
+        keys: Optional[np.ndarray],
+        bases: Optional[np.ndarray],
+    ) -> None:
+        self._source = source
+        self._trials = trials
+        self._entropy = entropy
+        self._keys = keys
+        self._bases = bases
+
+    @property
+    def trials(self) -> int:
+        return self._trials
+
+    @property
+    def fast(self) -> bool:
+        return self._keys is not None
+
+    def _tree(self, index: int) -> SeedTree:
+        trees = (
+            self._source.trees
+            if isinstance(self._source, TrialSeedBatch)
+            else self._source
+        )
+        return trees[index]
+
+    @classmethod
+    def build(cls, source) -> "_SeedPlan":
+        trials = len(source)
+        if not fast_seed_path_ok() or not trials:
+            return cls(source, trials, None, None, None)
+        if isinstance(source, TrialSeedBatch):
+            # Children of one root: keys follow arithmetically without ever
+            # materializing the per-trial SeedSequence objects.
+            entropy, root_key, first = source.spawn_descriptor()
+            if not isinstance(entropy, int):
+                return cls(source, trials, None, None, None)
+            key_matrix = np.empty((trials, len(root_key) + 1), dtype=np.uint64)
+            key_matrix[:, : len(root_key)] = np.asarray(root_key, dtype=np.uint64)
+            key_matrix[:, -1] = first + np.arange(trials, dtype=np.uint64)
+            bases = np.zeros(trials, dtype=np.uint64)
+        else:
+            entropies = set()
+            keys = []
+            base_list = []
+            for tree in source:
+                sequence = tree.sequence
+                if not isinstance(sequence.entropy, int):
+                    return cls(source, trials, None, None, None)
+                entropies.add(sequence.entropy)
+                keys.append(sequence.spawn_key)
+                base_list.append(sequence.n_children_spawned)
+            lengths = {len(key) for key in keys}
+            if len(entropies) != 1 or len(lengths) != 1:
+                return cls(source, trials, None, None, None)
+            entropy = entropies.pop()
+            key_matrix = np.asarray(keys, dtype=np.uint64)
+            bases = np.asarray(base_list, dtype=np.uint64)
+        if key_matrix.size and key_matrix.max() > 0xFFFFFFFF:
+            return cls(source, trials, None, None, None)
+        return cls(source, trials, entropy, key_matrix, bases)
+
+    # -- fast-path state derivation ---------------------------------------
+
+    def adversary_generator_states(self) -> Optional[np.ndarray]:
+        """``generate_state`` words of each trial's adversary generator."""
+        if not self.fast:
+            return None
+        keys = np.concatenate(
+            (
+                self._keys,
+                self._bases[:, None],
+                np.zeros((self.trials, 1), dtype=np.uint64),
+            ),
+            axis=1,
+        )
+        words = assemble_seed_words(self._entropy, keys)
+        return None if words is None else bulk_seed_states(words)
+
+    def node_generator_states(
+        self,
+        trial_indices: range,
+        nodes_per_trial: np.ndarray,
+        total_rows: int,
+    ) -> Optional[np.ndarray]:
+        """State words of every node generator in the block, in row order."""
+        if not self.fast or total_rows == 0:
+            return None if not self.fast else np.zeros((0, 4), dtype=np.uint64)
+        lo = trial_indices.start
+        hi = trial_indices.stop
+        repeats = nodes_per_trial.astype(np.int64)
+        keys = np.empty(
+            (total_rows, self._keys.shape[1] + 3), dtype=np.uint64
+        )
+        keys[:, : self._keys.shape[1]] = np.repeat(
+            self._keys[lo:hi], repeats, axis=0
+        )
+        keys[:, -3] = np.repeat(self._bases[lo:hi] + 1, repeats)
+        keys[:, -2] = np.concatenate(
+            [np.arange(n, dtype=np.uint64) for n in repeats]
+        )
+        keys[:, -1] = 0
+        words = assemble_seed_words(self._entropy, keys)
+        return None if words is None else bulk_seed_states(words)
+
+    # -- slow-path fallbacks ----------------------------------------------
+
+    def fresh_generator(
+        self, states: Optional[np.ndarray], index: int
+    ) -> np.random.Generator:
+        """A standalone generator for this trial's adversary stream.
+
+        Fresh object (never pooled), so adversaries may retain it safely.
+        """
+        if states is not None:
+            bit_generator = np.random.PCG64(0)
+            bit_generator.state = pcg64_state_dict(states[index])
+            return np.random.Generator(bit_generator)
+        sequence = self._tree(index).sequence
+        base = sequence.n_children_spawned
+        child = np.random.SeedSequence(
+            entropy=sequence.entropy,
+            spawn_key=tuple(sequence.spawn_key) + (base, 0),
+        )
+        return np.random.default_rng(child)
+
+    def slow_node_generators(
+        self, trial_indices: range, nodes_per_trial: np.ndarray
+    ):
+        """Per-node generators via real SeedSequence objects (fallback)."""
+        for offset, index in enumerate(trial_indices):
+            sequence = self._tree(index).sequence
+            base = sequence.n_children_spawned
+            key = tuple(sequence.spawn_key)
+            for i in range(int(nodes_per_trial[offset])):
+                child = np.random.SeedSequence(
+                    entropy=sequence.entropy,
+                    spawn_key=key + (base + 1, i, 0),
+                )
+                yield np.random.default_rng(child)

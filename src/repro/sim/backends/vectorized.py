@@ -43,17 +43,22 @@ import numpy as np
 from ...adversary.base import PrecompiledSchedule
 from ...channel.multiple_access import MultipleAccessChannel
 from ...errors import ConfigurationError
-from ...rng import make_generator
 from ...types import AdversaryAction, NodeStats, SimulationSummary, SlotOutcome, SlotRecord
 from ..events import EventTrace
 from ..results import SimulationResult
-from .base import KernelContext, SlotKernel
+from .base import KernelContext, SlotKernel, age_probability_profile
 from .reference import run_slot_loop
 
 __all__ = ["VectorizedKernel"]
 
 #: Broadcast matrices larger than this (bytes) trigger the replay fallback.
 _MAX_MATRIX_BYTES = 1 << 28
+
+#: Element cap for the fully dense temporaries (float64 uniforms, int32
+#: cumulative sums).  Below it the kernel resolves broadcasts and per-node
+#: counts with whole-matrix operations; above it (still within the replay
+#: guard) it degrades to the equivalent row-wise forms to bound memory.
+_MAX_DENSE_ELEMENTS = 1 << 23
 
 
 class VectorizedKernel(SlotKernel):
@@ -115,7 +120,7 @@ class VectorizedKernel(SlotKernel):
         if total_nodes * (horizon + 1) > _MAX_MATRIX_BYTES:
             return self._replay_fallback(context, schedule)
 
-        probabilities = self._age_probabilities(context, horizon)
+        probabilities = age_probability_profile(context.protocol_factory, horizon)
         if probabilities is None:
             return self._replay_fallback(context, schedule)
 
@@ -123,15 +128,30 @@ class VectorizedKernel(SlotKernel):
             collector.on_run_start(horizon)
 
         # --- broadcast matrix: one row per node, one column per slot -------
+        # Seed children are spawned in bulk (one SeedSequence.spawn call) and
+        # each node's uniforms are drawn as one batched row, which reproduces
+        # the reference kernel's sequential child()/random() streams exactly.
         arrival_slots = np.repeat(np.arange(horizon + 1), arrivals)
         n = total_nodes
-        broadcasts = np.zeros((n, horizon + 1), dtype=bool)
-        node_tree = context.node_tree
-        for i in range(n):
-            a = int(arrival_slots[i])
-            generator = node_tree.child().generator()
-            draws = generator.random(horizon - a + 1)
-            broadcasts[i, a:] = draws < probabilities[1 : horizon - a + 2]
+        dense = n * (horizon + 1) <= _MAX_DENSE_ELEMENTS
+        children = context.node_tree.children(n)
+        if dense:
+            uniforms = np.zeros((n, horizon + 1))
+            for i, child in enumerate(children):
+                a = int(arrival_slots[i])
+                uniforms[i, a:] = child.generator().random(horizon - a + 1)
+            ages = np.arange(horizon + 1)[None, :] - arrival_slots[:, None] + 1
+            np.clip(ages, 0, horizon, out=ages)
+            # probabilities[0] == 0.0, so clipped pre-arrival ages (age <= 0)
+            # can never beat a uniform and the rows need no explicit mask.
+            broadcasts = uniforms < probabilities[ages]
+            del uniforms, ages
+        else:
+            broadcasts = np.zeros((n, horizon + 1), dtype=bool)
+            for i, child in enumerate(children):
+                a = int(arrival_slots[i])
+                draws = child.generator().random(horizon - a + 1)
+                broadcasts[i, a:] = draws < probabilities[1 : horizon - a + 2]
 
         # --- forward pass: peel off successes in slot order ----------------
         counts = broadcasts.sum(axis=0, dtype=np.int64)
@@ -185,9 +205,16 @@ class VectorizedKernel(SlotKernel):
         # --- per-node statistics --------------------------------------------
         exists = arrival_slots <= simulated
         ends = np.where(finished, success_slot, simulated)
-        broadcast_counts = np.zeros(n, dtype=np.int64)
-        for i in range(n):
-            broadcast_counts[i] = int(broadcasts[i, : int(ends[i]) + 1].sum())
+        if dense:
+            running = np.cumsum(broadcasts, axis=1, dtype=np.int32)
+            broadcast_counts = np.take_along_axis(
+                running, ends[:, None], axis=1
+            )[:, 0].astype(np.int64)
+            del running
+        else:
+            broadcast_counts = np.zeros(n, dtype=np.int64)
+            for i in range(n):
+                broadcast_counts[i] = int(broadcasts[i, : int(ends[i]) + 1].sum())
 
         node_stats: Dict[int, NodeStats] = {}
         for i in np.nonzero(exists)[0]:
@@ -255,18 +282,6 @@ class VectorizedKernel(SlotKernel):
         return result
 
     # ------------------------------------------------------------------ utils
-
-    @staticmethod
-    def _age_probabilities(
-        context: KernelContext, horizon: int
-    ) -> Optional[np.ndarray]:
-        """Broadcast probability per age (1..horizon) for the context's protocol."""
-        probe = context.protocol_factory()
-        probe.on_arrival(1, make_generator(0))
-        probabilities = probe.age_probability_vector(horizon)
-        if probabilities is None:
-            return None
-        return np.asarray(probabilities, dtype=float)
 
     def _replay_fallback(
         self, context: KernelContext, schedule: PrecompiledSchedule

@@ -30,6 +30,11 @@ delegates to the selected kernel:
 * ``backend="auto"`` (default) — the vectorized kernel when eligible, the
   reference kernel otherwise.
 
+A fourth backend, ``"batched-study"``, exists one level up: it executes a
+whole multi-trial study in one array pass and is selected through
+:func:`repro.sim.run_trials` / :class:`repro.sim.TrialRunner` (a single
+:class:`Simulator` rejects it).
+
 Every kernel must honor the contract documented in
 :mod:`repro.sim.backends.base`: canonical slot ordering, the documented seed
 tree discipline, and results indistinguishable from the reference kernel.
@@ -46,7 +51,13 @@ from ..errors import ConfigurationError
 from ..metrics.collectors import MetricsCollector
 from ..protocols.base import ProtocolFactory
 from ..rng import SeedLike, SeedTree
-from .backends import AUTO_BACKEND, KernelContext, available_backends, select_kernel
+from .backends import (
+    AUTO_BACKEND,
+    STUDY_BACKEND,
+    KernelContext,
+    available_backends,
+    select_kernel,
+)
 from .results import SimulationResult
 
 __all__ = ["SimulatorConfig", "Simulator"]
@@ -98,6 +109,11 @@ class Simulator:
         seed: SeedLike = None,
         backend: str = AUTO_BACKEND,
     ) -> None:
+        if backend == STUDY_BACKEND:
+            raise ConfigurationError(
+                f"backend {backend!r} executes whole trial studies; use "
+                "repro.sim.run_trials / TrialRunner instead of a single Simulator"
+            )
         if backend not in available_backends():
             raise ConfigurationError(
                 f"unknown backend {backend!r}; available: "

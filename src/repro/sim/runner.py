@@ -5,6 +5,21 @@ Trials are independent by construction (each gets its own root seed from
 ``workers=N`` to fan trials out over ``N`` forked worker processes.  Seeds are
 derived identically in the serial and parallel paths, so a parallel study is
 seed-for-seed identical to a serial one — only wall-clock changes.
+
+Backends
+--------
+
+``backend`` accepts the study-level ladder:
+
+* ``"batched-study"`` — the whole study (or each worker's shard of it) is
+  executed by :class:`~repro.sim.backends.BatchedStudyKernel` in one numpy
+  pass; requires a vector-eligible protocol and a precompilable adversary.
+* ``"auto"`` (default) — batched-study when the study is eligible, else per
+  trial the vectorized kernel when eligible, else the reference kernel.
+* ``"vectorized"`` / ``"reference"`` — per-trial kernels, forwarded to every
+  :class:`~repro.sim.engine.Simulator`.
+
+All paths are seed-for-seed identical; only wall-clock differs.
 """
 
 from __future__ import annotations
@@ -12,14 +27,15 @@ from __future__ import annotations
 import multiprocessing
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..adversary.base import Adversary
 from ..errors import ConfigurationError
 from ..protocols.base import ProtocolFactory
-from ..rng import SeedLike, SeedTree, trial_seeds
+from ..rng import SeedLike, SeedTree, TrialSeedBatch
+from .backends import AUTO_BACKEND, STUDY_BACKEND, BatchedStudyKernel, available_study_backends
 from .engine import Simulator, SimulatorConfig
 from .results import SimulationResult
 
@@ -27,13 +43,58 @@ __all__ = ["TrialRunner", "TrialStudy", "run_trials"]
 
 AdversaryFactory = Callable[[], Adversary]
 
+MetricExtractor = Callable[[SimulationResult], float]
+MetricLike = Union[MetricExtractor, np.ndarray]
+
+
+def _extract_successes(result: SimulationResult) -> float:
+    return float(result.total_successes)
+
+
+def _extract_arrivals(result: SimulationResult) -> float:
+    return float(result.total_arrivals)
+
+
+def _extract_active_slots(result: SimulationResult) -> float:
+    return float(result.total_active_slots)
+
+
+def _extract_jammed_slots(result: SimulationResult) -> float:
+    return float(result.total_jammed_slots)
+
+
+def _extract_mean_latency(result: SimulationResult) -> float:
+    return result.mean_latency()
+
+
+def _extract_unfinished(result: SimulationResult) -> float:
+    return float(result.unfinished_nodes)
+
+
+def _extract_wall_time(result: SimulationResult) -> float:
+    return result.wall_time_seconds
+
+
+def _extract_slots_per_second(result: SimulationResult) -> float:
+    return result.slots_per_second
+
 
 @dataclass
 class TrialStudy:
-    """Results of a set of independent trials of the same configuration."""
+    """Results of a set of independent trials of the same configuration.
+
+    ``effective_workers`` records how many worker processes actually executed
+    the study (1 when a ``workers>1`` request fell back to serial execution on
+    a platform without ``fork``), so reports never claim parallelism that did
+    not happen.
+    """
 
     results: List[SimulationResult] = field(default_factory=list)
     label: str = ""
+    effective_workers: int = 1
+    _metric_cache: Dict[MetricExtractor, Tuple[int, np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.results)
@@ -45,22 +106,40 @@ class TrialStudy:
     def trials(self) -> int:
         return len(self.results)
 
-    def metric(self, extractor: Callable[[SimulationResult], float]) -> np.ndarray:
-        """Vector of a per-trial scalar metric."""
-        return np.asarray([extractor(result) for result in self.results], dtype=float)
+    def metric(self, extractor: MetricExtractor) -> np.ndarray:
+        """Vector of a per-trial scalar metric.
 
-    def mean(self, extractor: Callable[[SimulationResult], float]) -> float:
-        values = self.metric(extractor)
+        Vectors are memoized per extractor object, so repeated aggregations
+        (``mean`` + ``std`` + ``quantile`` over the same extractor) run the
+        extractor over the results only once.  Entries are invalidated when
+        ``results`` changes length (the runner appends to it after
+        construction).
+        """
+        entry = self._metric_cache.get(extractor)
+        if entry is not None and entry[0] == len(self.results):
+            return entry[1]
+        values = np.asarray(
+            [extractor(result) for result in self.results], dtype=float
+        )
+        self._metric_cache[extractor] = (len(self.results), values)
+        return values
+
+    def _values(self, metric: MetricLike) -> np.ndarray:
+        if isinstance(metric, np.ndarray):
+            return metric
+        return self.metric(metric)
+
+    def mean(self, metric: MetricLike) -> float:
+        """Mean of a metric (an extractor or a precomputed vector)."""
+        values = self._values(metric)
         return float(np.mean(values)) if values.size else float("nan")
 
-    def std(self, extractor: Callable[[SimulationResult], float]) -> float:
-        values = self.metric(extractor)
+    def std(self, metric: MetricLike) -> float:
+        values = self._values(metric)
         return float(np.std(values)) if values.size else float("nan")
 
-    def quantile(
-        self, extractor: Callable[[SimulationResult], float], q: float
-    ) -> float:
-        values = self.metric(extractor)
+    def quantile(self, metric: MetricLike, q: float) -> float:
+        values = self._values(metric)
         return float(np.quantile(values, q)) if values.size else float("nan")
 
     def fraction_satisfying(
@@ -71,38 +150,43 @@ class TrialStudy:
         return sum(1 for r in self.results if predicate(r)) / len(self.results)
 
     def summary_row(self) -> Dict[str, float]:
-        """Standard aggregate row used by experiment reports."""
+        """Standard aggregate row used by experiment reports.
+
+        Uses module-level extractors so repeated calls hit the metric cache
+        instead of accumulating fresh lambda keys in it.
+        """
         return {
             "trials": float(self.trials),
-            "mean_successes": self.mean(lambda r: r.total_successes),
-            "mean_arrivals": self.mean(lambda r: r.total_arrivals),
-            "mean_active_slots": self.mean(lambda r: r.total_active_slots),
-            "mean_jammed_slots": self.mean(lambda r: r.total_jammed_slots),
-            "mean_latency": self.mean(lambda r: r.mean_latency()),
-            "mean_unfinished": self.mean(lambda r: r.unfinished_nodes),
-            "mean_wall_time_s": self.mean(lambda r: r.wall_time_seconds),
-            "mean_slots_per_s": self.mean(lambda r: r.slots_per_second),
+            "workers": float(self.effective_workers),
+            "mean_successes": self.mean(_extract_successes),
+            "mean_arrivals": self.mean(_extract_arrivals),
+            "mean_active_slots": self.mean(_extract_active_slots),
+            "mean_jammed_slots": self.mean(_extract_jammed_slots),
+            "mean_latency": self.mean(_extract_mean_latency),
+            "mean_unfinished": self.mean(_extract_unfinished),
+            "mean_wall_time_s": self.mean(_extract_wall_time),
+            "mean_slots_per_s": self.mean(_extract_slots_per_second),
         }
 
 
 # Per-worker state, set by the pool initializer.  With the "fork" start
 # method initargs reach the child by memory copy, so unpicklable
 # protocol/adversary factories (closures) never cross a pickle boundary —
-# only the integer trial index travels through the task queue.  Binding the
+# only the chunk index travels through the task queue.  Binding the
 # state per pool (rather than in the parent before forking) keeps concurrent
 # TrialRunner.run calls from seeing each other's trials.
-_PARALLEL_STATE: Optional[Tuple["TrialRunner", List[SeedTree]]] = None
+_PARALLEL_STATE: Optional[Tuple["TrialRunner", List[List[SeedTree]]]] = None
 
 
-def _init_trial_worker(runner: "TrialRunner", seeds: List[SeedTree]) -> None:
+def _init_trial_worker(runner: "TrialRunner", chunks: List[List[SeedTree]]) -> None:
     global _PARALLEL_STATE
-    _PARALLEL_STATE = (runner, seeds)
+    _PARALLEL_STATE = (runner, chunks)
 
 
-def _run_trial_by_index(index: int) -> SimulationResult:
+def _run_trial_chunk(index: int) -> List[SimulationResult]:
     assert _PARALLEL_STATE is not None, "worker started without parallel state"
-    runner, seeds = _PARALLEL_STATE
-    return runner.run_single(seeds[index])
+    runner, chunks = _PARALLEL_STATE
+    return runner._run_chunk(chunks[index])
 
 
 class TrialRunner:
@@ -117,13 +201,16 @@ class TrialRunner:
     collectors:
         Metric collectors attached to every trial's simulator.  Collector
         instances are shared across trials (their ``on_run_start`` hook is
-        expected to reset them), which is why they require ``workers=1``.
+        expected to reset them), which is why they require ``workers=1``;
+        they also force the per-trial path (the batched study kernel emits no
+        per-slot records).
     backend:
-        Slot kernel selection forwarded to every :class:`Simulator`.
+        Study-level backend selection (see the module docstring).
     workers:
-        Number of forked worker processes; 1 means serial execution.  Results
-        are returned in trial order and are seed-for-seed identical to a
-        serial run.
+        Number of forked worker processes; 1 means serial execution.  Trials
+        are sharded contiguously across workers (batched within each shard
+        when the batched study kernel applies).  Results are returned in
+        trial order and are seed-for-seed identical to a serial run.
     """
 
     def __init__(
@@ -133,11 +220,16 @@ class TrialRunner:
         config: SimulatorConfig,
         label: str = "",
         collectors: Sequence = (),
-        backend: str = "auto",
+        backend: str = AUTO_BACKEND,
         workers: int = 1,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
+        if backend not in available_study_backends():
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; available: "
+                f"{', '.join(available_study_backends())}"
+            )
         self._protocol_factory = protocol_factory
         self._adversary_factory = adversary_factory
         self._config = config
@@ -154,14 +246,14 @@ class TrialRunner:
             config=self._config,
             collectors=self._collectors,
             seed=seed,
-            backend=self._backend,
+            backend=self._per_trial_backend(),
         )
         return simulator.run()
 
     def run(self, trials: int, seed: SeedLike = None) -> TrialStudy:
         if trials < 1:
             raise ConfigurationError("trials must be >= 1")
-        seeds = trial_seeds(seed, trials)
+        seeds = TrialSeedBatch(seed, trials)
         workers = min(self._workers, trials)
         study = TrialStudy(label=self._label)
         if workers > 1:
@@ -171,7 +263,8 @@ class TrialRunner:
                         "collectors require workers=1: collector instances "
                         "cannot be shared across worker processes"
                     )
-                study.results.extend(self._run_parallel(seeds, workers))
+                study.results.extend(self._run_parallel(seeds.trees, workers))
+                study.effective_workers = workers
                 return study
             warnings.warn(
                 "workers>1 requires the 'fork' start method, which this "
@@ -179,20 +272,72 @@ class TrialRunner:
                 RuntimeWarning,
                 stacklevel=2,
             )
-        for trial_seed in seeds:
-            study.results.append(self.run_single(trial_seed))
+        study.results.extend(self._run_chunk(seeds))
         return study
+
+    # ------------------------------------------------------------- internals
+
+    def _per_trial_backend(self) -> str:
+        """The Simulator backend used when a trial runs individually."""
+        return AUTO_BACKEND if self._backend == STUDY_BACKEND else self._backend
+
+    def _run_chunk(
+        self, seeds: Union[List[SeedTree], TrialSeedBatch]
+    ) -> List[SimulationResult]:
+        """Run a contiguous shard of trials, batched when eligible."""
+        if self._backend in (AUTO_BACKEND, STUDY_BACKEND):
+            kernel = BatchedStudyKernel()
+            reason = kernel.unsupported_reason(
+                self._protocol_factory,
+                self._adversary_factory,
+                self._config,
+                self._collectors,
+            )
+            if reason is None:
+                results = kernel.run_study(
+                    self._protocol_factory,
+                    self._adversary_factory,
+                    self._config,
+                    seeds,
+                    protocol_name=getattr(
+                        self._protocol_factory, "protocol_name", None
+                    )
+                    or "protocol",
+                )
+                if results is not None:
+                    return results
+                # The study bailed without consuming any trial seeds
+                # (oversized block, missing probability vector, ...): each
+                # trial escalates to the per-trial ladder below.
+            elif self._backend == STUDY_BACKEND:
+                raise ConfigurationError(
+                    f"backend {STUDY_BACKEND!r} unavailable: {reason}"
+                )
+        trees = seeds.trees if isinstance(seeds, TrialSeedBatch) else seeds
+        return [self.run_single(trial_seed) for trial_seed in trees]
 
     def _run_parallel(
         self, seeds: List[SeedTree], workers: int
     ) -> List[SimulationResult]:
+        chunks = _contiguous_chunks(seeds, workers)
         context = multiprocessing.get_context("fork")
         with context.Pool(
-            processes=workers,
+            processes=len(chunks),
             initializer=_init_trial_worker,
-            initargs=(self, seeds),
+            initargs=(self, chunks),
         ) as pool:
-            return pool.map(_run_trial_by_index, range(len(seeds)))
+            shards = pool.map(_run_trial_chunk, range(len(chunks)))
+        return [result for shard in shards for result in shard]
+
+
+def _contiguous_chunks(seeds: List[SeedTree], workers: int) -> List[List[SeedTree]]:
+    """Split seeds into at most ``workers`` contiguous, near-even shards."""
+    count = len(seeds)
+    workers = min(workers, count)
+    bounds = np.linspace(0, count, workers + 1).astype(int)
+    return [
+        list(seeds[lo:hi]) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+    ]
 
 
 def run_trials(
@@ -205,7 +350,7 @@ def run_trials(
     stop_when_drained: bool = False,
     label: str = "",
     collectors: Optional[Sequence] = None,
-    backend: str = "auto",
+    backend: str = AUTO_BACKEND,
     workers: int = 1,
 ) -> TrialStudy:
     """Convenience wrapper: build the config and runner and execute the trials."""

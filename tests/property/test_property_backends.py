@@ -182,3 +182,142 @@ class TestParallelTrialEquivalence:
         assert [sorted(r.node_stats) for r in serial] == [
             sorted(r.node_stats) for r in parallel
         ]
+
+
+def assert_studies_identical(reference_study, batched_study):
+    """Full seed-for-seed equality between two studies of the same seeds."""
+    assert len(reference_study) == len(batched_study)
+    for reference, batched in zip(reference_study, batched_study):
+        assert reference.summary == batched.summary
+        assert reference.horizon == batched.horizon
+        assert reference.prefix_active == batched.prefix_active
+        assert reference.prefix_arrivals == batched.prefix_arrivals
+        assert reference.prefix_jammed == batched.prefix_jammed
+        assert reference.prefix_successes == batched.prefix_successes
+        assert reference.node_stats == batched.node_stats
+
+
+class TestBatchedStudyEquivalence:
+    """backend="batched-study" is seed-for-seed identical to serial reference."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        named_factory=eligible_factories,
+        workload=workloads(),
+        trials=st.integers(min_value=1, max_value=6),
+    )
+    def test_scheduled_studies_identical(self, named_factory, workload, trials):
+        _, factory = named_factory
+        arrivals, jams, horizon, seed = workload
+
+        def study(backend):
+            return run_trials(
+                protocol_factory=factory,
+                adversary_factory=lambda: ScheduleAdversary(
+                    arrivals=arrivals, jammed_slots=jams
+                ),
+                horizon=horizon,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+            )
+
+        reference, batched = study("reference"), study("batched-study")
+        assert all(r.backend == "reference" for r in reference)
+        assert all(r.backend == "batched-study" for r in batched)
+        assert_studies_identical(reference, batched)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        named_factory=eligible_factories,
+        count=st.integers(min_value=0, max_value=16),
+        fraction=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**16),
+        trials=st.integers(min_value=2, max_value=5),
+    )
+    def test_random_jamming_studies_identical(
+        self, named_factory, count, fraction, seed, trials
+    ):
+        _, factory = named_factory
+
+        def study(backend):
+            return run_trials(
+                protocol_factory=factory,
+                adversary_factory=lambda: ComposedAdversary(
+                    BatchArrivals(count), RandomFractionJamming(fraction)
+                ),
+                horizon=180,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+            )
+
+        assert_studies_identical(study("reference"), study("batched-study"))
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        rate=st.floats(min_value=0.0, max_value=0.2),
+        seed=st.integers(min_value=0, max_value=2**16),
+        trials=st.integers(min_value=2, max_value=4),
+    )
+    def test_poisson_studies_identical(self, rate, seed, trials):
+        def study(backend):
+            return run_trials(
+                protocol_factory=make_factory(ProbabilityBackoff, 1.0),
+                adversary_factory=lambda: ComposedAdversary(
+                    PoissonArrivals(rate), PeriodicJamming(5)
+                ),
+                horizon=150,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+            )
+
+        assert_studies_identical(study("reference"), study("batched-study"))
+
+    @settings(max_examples=10, deadline=None)
+    @given(workload=workloads(), trials=st.integers(min_value=2, max_value=4))
+    def test_stop_when_drained_studies_identical(self, workload, trials):
+        arrivals, jams, horizon, seed = workload
+
+        def study(backend):
+            return run_trials(
+                protocol_factory=make_factory(SlottedAloha, 0.4),
+                adversary_factory=lambda: ScheduleAdversary(
+                    arrivals=arrivals, jammed_slots=jams
+                ),
+                horizon=horizon,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+                stop_when_drained=True,
+            )
+
+        assert_studies_identical(study("reference"), study("batched-study"))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        trials=st.integers(min_value=2, max_value=6),
+    )
+    def test_auto_equals_explicit_backends(self, seed, trials):
+        def study(backend):
+            return run_trials(
+                protocol_factory=make_factory(SlottedAloha, 0.25),
+                adversary_factory=lambda: ComposedAdversary(
+                    BatchArrivals(6), RandomFractionJamming(0.3)
+                ),
+                horizon=160,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+            )
+
+        auto, batched, vectorized = (
+            study("auto"),
+            study("batched-study"),
+            study("vectorized"),
+        )
+        assert all(r.backend == "batched-study" for r in auto)
+        assert_studies_identical(vectorized, auto)
+        assert_studies_identical(vectorized, batched)

@@ -23,7 +23,14 @@ from repro.protocols import (
     WindowedBinaryExponentialBackoff,
     make_factory,
 )
-from repro.sim import Simulator, SimulatorConfig, available_backends
+from repro.sim import (
+    Simulator,
+    SimulatorConfig,
+    available_backends,
+    available_study_backends,
+    run_trials,
+)
+from repro.sim.backends import batched as batched_module
 from repro.sim.backends import vectorized as vectorized_module
 
 
@@ -40,6 +47,22 @@ def make_simulator(factory, adversary, backend="auto", horizon=128, seed=1, **kw
 class TestBackendSelection:
     def test_available_backends(self):
         assert available_backends() == ("auto", "reference", "vectorized")
+
+    def test_available_study_backends(self):
+        assert available_study_backends() == (
+            "auto",
+            "batched-study",
+            "reference",
+            "vectorized",
+        )
+
+    def test_simulator_rejects_study_backend(self):
+        with pytest.raises(ConfigurationError, match="whole trial studies"):
+            make_simulator(
+                make_factory(SlottedAloha, 0.2),
+                ScheduleAdversary.single_batch(4),
+                backend="batched-study",
+            )
 
     def test_unknown_backend_rejected_at_construction(self):
         with pytest.raises(ConfigurationError):
@@ -276,3 +299,215 @@ class TestExhaustedHooks:
         assert not adversary.arrivals_exhausted(1)
         adversary.action_for_slot(1)  # injects the seed node, exhausting the budget
         assert adversary.arrivals_exhausted(1)
+
+
+def _reference_run(factory, adversary_factory, horizon=150, seed=5, **kwargs):
+    return make_simulator(
+        factory, adversary_factory(), backend="reference", horizon=horizon,
+        seed=seed, **kwargs
+    ).run()
+
+
+class _AgeVectorlessAloha(SlottedAloha):
+    """vector_eligible but without a usable age probability vector."""
+
+    def age_probability_vector(self, max_age):
+        return None
+
+
+class TestReplayFallback:
+    """The vectorized kernel's replay fallback is bit-identical to reference."""
+
+    def _adversary(self):
+        return ComposedAdversary(BatchArrivals(10), RandomFractionJamming(0.3))
+
+    def test_oversized_matrix_replay_is_bit_identical(self, monkeypatch):
+        reference = _reference_run(make_factory(SlottedAloha, 0.2), self._adversary)
+        monkeypatch.setattr(vectorized_module, "_MAX_MATRIX_BYTES", 1)
+        fallback = make_simulator(
+            make_factory(SlottedAloha, 0.2),
+            self._adversary(),
+            backend="vectorized",
+            horizon=150,
+            seed=5,
+        ).run()
+        assert fallback.backend == "reference"
+        assert fallback.summary == reference.summary
+        assert fallback.prefix_active == reference.prefix_active
+        assert fallback.prefix_arrivals == reference.prefix_arrivals
+        assert fallback.prefix_jammed == reference.prefix_jammed
+        assert fallback.prefix_successes == reference.prefix_successes
+        assert fallback.node_stats == reference.node_stats
+
+    def test_missing_age_vector_replay_is_bit_identical(self):
+        factory = make_factory(_AgeVectorlessAloha, 0.2)
+        reference = _reference_run(factory, self._adversary)
+        # Explicit vectorized accepts the protocol (it is vector-eligible)
+        # but must fall back to the replayed reference loop at run time.
+        fallback = make_simulator(
+            factory, self._adversary(), backend="vectorized", horizon=150, seed=5
+        ).run()
+        assert fallback.backend == "reference"
+        assert fallback.summary == reference.summary
+        assert fallback.prefix_successes == reference.prefix_successes
+        assert fallback.node_stats == reference.node_stats
+
+    def test_missing_age_vector_study_falls_back(self):
+        study = run_trials(
+            protocol_factory=make_factory(_AgeVectorlessAloha, 0.2),
+            adversary_factory=self._adversary,
+            horizon=80,
+            trials=3,
+            seed=2,
+            backend="batched-study",
+        )
+        reference = run_trials(
+            protocol_factory=make_factory(_AgeVectorlessAloha, 0.2),
+            adversary_factory=self._adversary,
+            horizon=80,
+            trials=3,
+            seed=2,
+            backend="reference",
+        )
+        assert [r.backend for r in study] == ["reference"] * 3
+        assert [r.summary for r in study] == [r.summary for r in reference]
+        assert [r.node_stats for r in study] == [r.node_stats for r in reference]
+
+
+class TestBatchedStudyBackend:
+    def test_explicit_batched_rejects_adaptive_protocol(self):
+        from repro.core import cjz_factory
+
+        with pytest.raises(ConfigurationError, match="vector-eligible"):
+            run_trials(
+                protocol_factory=cjz_factory(),
+                adversary_factory=lambda: ScheduleAdversary.single_batch(4),
+                horizon=50,
+                trials=2,
+                seed=1,
+                backend="batched-study",
+            )
+
+    def test_explicit_batched_rejects_adaptive_adversary(self):
+        with pytest.raises(ConfigurationError, match="adaptive"):
+            run_trials(
+                protocol_factory=make_factory(SlottedAloha, 0.2),
+                adversary_factory=lambda: AdaptiveSuccessChaser(),
+                horizon=50,
+                trials=2,
+                seed=1,
+                backend="batched-study",
+            )
+
+    def test_explicit_batched_rejects_collectors(self):
+        with pytest.raises(ConfigurationError, match="collectors"):
+            run_trials(
+                protocol_factory=make_factory(SlottedAloha, 0.2),
+                adversary_factory=lambda: ScheduleAdversary.single_batch(4),
+                horizon=50,
+                trials=2,
+                seed=1,
+                backend="batched-study",
+                collectors=[SuccessTimeline()],
+            )
+
+    def test_auto_with_collectors_falls_back_and_threads_them(self):
+        timeline = SuccessTimeline()
+        study = run_trials(
+            protocol_factory=make_factory(SlottedAloha, 1.0),
+            adversary_factory=lambda: ScheduleAdversary.single_batch(1, slot=3),
+            horizon=10,
+            trials=2,
+            seed=1,
+            backend="auto",
+            collectors=[timeline],
+        )
+        assert all(r.backend != "batched-study" for r in study)
+        assert timeline.success_slots == [3]
+
+    def test_auto_with_keep_trace_falls_back(self):
+        study = run_trials(
+            protocol_factory=make_factory(SlottedAloha, 0.3),
+            adversary_factory=lambda: ScheduleAdversary.single_batch(3),
+            horizon=40,
+            trials=2,
+            seed=1,
+            backend="auto",
+            keep_trace=True,
+        )
+        assert all(r.backend == "vectorized" for r in study)
+        assert all(r.trace is not None for r in study)
+
+    def test_adaptive_study_auto_uses_reference(self):
+        study = run_trials(
+            protocol_factory=make_factory(SlottedAloha, 0.2),
+            adversary_factory=lambda: ComposedAdversary(
+                BatchArrivals(4), ReactiveJamming(0.2)
+            ),
+            horizon=60,
+            trials=2,
+            seed=1,
+            backend="auto",
+        )
+        assert all(r.backend == "reference" for r in study)
+
+    def test_max_nodes_guard_matches_reference_message(self):
+        from repro.sim import TrialRunner
+
+        runner = TrialRunner(
+            make_factory(SlottedAloha, 0.2),
+            lambda: ScheduleAdversary(arrivals={3: 100}),
+            SimulatorConfig(horizon=20, max_nodes=10),
+            backend="batched-study",
+        )
+        with pytest.raises(ConfigurationError, match="max_nodes=10 at slot 3"):
+            runner.run(trials=2, seed=1)
+
+    def test_block_splitting_preserves_results(self, monkeypatch):
+        def study(backend):
+            return run_trials(
+                protocol_factory=make_factory(SlottedAloha, 0.3),
+                adversary_factory=lambda: ComposedAdversary(
+                    BatchArrivals(5), RandomFractionJamming(0.2)
+                ),
+                horizon=60,
+                trials=6,
+                seed=9,
+                backend=backend,
+            )
+
+        reference = study("reference")
+        # Force one trial per block (5 nodes x 61 slots = 305 elements).
+        monkeypatch.setattr(batched_module, "_MAX_BLOCK_ELEMENTS", 400)
+        batched = study("batched-study")
+        assert all(r.backend == "batched-study" for r in batched)
+        assert [r.summary for r in batched] == [r.summary for r in reference]
+        assert [r.node_stats for r in batched] == [
+            r.node_stats for r in reference
+        ]
+
+    def test_single_oversized_trial_falls_back_per_trial(self, monkeypatch):
+        monkeypatch.setattr(batched_module, "_MAX_BLOCK_ELEMENTS", 100)
+        study = run_trials(
+            protocol_factory=make_factory(SlottedAloha, 0.3),
+            adversary_factory=lambda: ScheduleAdversary.single_batch(5),
+            horizon=60,
+            trials=2,
+            seed=3,
+            backend="batched-study",
+        )
+        # The whole-study fast path bails; trials escalate to the per-trial
+        # ladder, which still produces identical results.
+        assert all(r.backend == "vectorized" for r in study)
+
+    def test_wall_time_recorded(self):
+        study = run_trials(
+            protocol_factory=make_factory(SlottedAloha, 0.2),
+            adversary_factory=lambda: ScheduleAdversary.single_batch(4),
+            horizon=50,
+            trials=3,
+            seed=1,
+            backend="batched-study",
+        )
+        assert all(r.wall_time_seconds > 0.0 for r in study)
+        assert all(r.slots_per_second > 0.0 for r in study)

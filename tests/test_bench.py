@@ -1,0 +1,127 @@
+"""Tests for the persistent benchmark harness (repro.bench)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    collect_bench,
+    compare_bench,
+    default_bench_path,
+    load_bench,
+    machine_info,
+    render_comparison,
+    run_micro_suite,
+    write_bench,
+)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def bench_data():
+    """One tiny real suite run shared by the module's tests."""
+    return collect_bench(
+        scale="smoke",
+        seed=7,
+        backends=("vectorized", "batched-study"),
+        include_experiments=False,
+        repeats=1,
+    )
+
+
+class TestMicroSuite:
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(ConfigurationError, match="scale"):
+            run_micro_suite(scale="galactic")
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            run_micro_suite(scale="smoke", backends=("warp-drive",))
+
+    def test_records_have_required_fields(self, bench_data):
+        micro = [b for b in bench_data["benchmarks"] if b["kind"] == "micro"]
+        assert micro, "micro suite produced no records"
+        for record in micro:
+            assert record["wall_time_s"] > 0
+            assert record["slots_per_second"] > 0
+            assert record["per_trial_s"] > 0
+            assert record["backend"] in ("vectorized", "batched-study")
+            assert record["params"]["trials"] >= 1
+
+    def test_batched_records_report_vectorized_speedup(self, bench_data):
+        batched = [
+            b
+            for b in bench_data["benchmarks"]
+            if b["kind"] == "micro" and b["backend"] == "batched-study"
+        ]
+        assert batched
+        for record in batched:
+            assert record["speedup_vs_vectorized"] > 0
+
+
+class TestDocument:
+    def test_schema_and_machine_fields(self, bench_data):
+        assert bench_data["schema_version"] == SCHEMA_VERSION
+        assert bench_data["machine"] == machine_info()
+        assert bench_data["scale"] == "smoke"
+
+    def test_roundtrip_through_file(self, tmp_path, bench_data):
+        path = write_bench(bench_data, tmp_path / "BENCH_test.json")
+        loaded = load_bench(path)
+        assert loaded == json.loads(json.dumps(bench_data))
+
+    def test_load_rejects_other_schema_versions(self, tmp_path, bench_data):
+        data = dict(bench_data, schema_version=999)
+        path = write_bench(data, tmp_path / "BENCH_bad.json")
+        with pytest.raises(ConfigurationError, match="schema_version"):
+            load_bench(path)
+
+    def test_default_path_is_dated(self, tmp_path):
+        path = default_bench_path(tmp_path)
+        assert path.name.startswith("BENCH_") and path.suffix == ".json"
+
+
+class TestComparison:
+    def test_identical_files_have_no_regressions(self, bench_data):
+        assert compare_bench(bench_data, bench_data) == []
+
+    def test_speedup_regression_detected(self, bench_data):
+        current = json.loads(json.dumps(bench_data))
+        for record in current["benchmarks"]:
+            if "speedup_vs_vectorized" in record:
+                record["speedup_vs_vectorized"] *= 0.5
+        regressions = compare_bench(bench_data, current, threshold=0.2)
+        assert regressions
+        assert all(r["metric"] == "speedup_vs_vectorized" for r in regressions)
+        report = render_comparison(regressions)
+        assert "regression" in report
+
+    def test_wall_time_ignored_across_machines(self, bench_data):
+        current = json.loads(json.dumps(bench_data))
+        current["machine"] = dict(current["machine"], platform="other-machine")
+        for record in current["benchmarks"]:
+            record["wall_time_s"] = record["wall_time_s"] * 100
+        # Wall time is machine-bound; only normalized speedups are compared.
+        assert compare_bench(bench_data, current, threshold=0.2) == []
+
+    def test_wall_time_regression_on_same_machine(self, bench_data):
+        current = json.loads(json.dumps(bench_data))
+        for record in current["benchmarks"]:
+            record["wall_time_s"] = record["wall_time_s"] * 10
+        regressions = compare_bench(bench_data, current, threshold=0.2)
+        assert any(r["metric"] == "wall_time_s" for r in regressions)
+
+    def test_missing_benchmark_is_flagged(self, bench_data):
+        current = json.loads(json.dumps(bench_data))
+        current["benchmarks"] = current["benchmarks"][1:]
+        regressions = compare_bench(bench_data, current)
+        assert any(r["metric"] == "missing_benchmark" for r in regressions)
+
+    def test_small_changes_within_threshold_pass(self, bench_data):
+        current = json.loads(json.dumps(bench_data))
+        for record in current["benchmarks"]:
+            record["wall_time_s"] *= 1.05
+            if "speedup_vs_vectorized" in record:
+                record["speedup_vs_vectorized"] *= 0.95
+        assert compare_bench(bench_data, current, threshold=0.2) == []

@@ -62,3 +62,89 @@ class TestCommands:
         assert code == 0
         assert output.exists()
         assert "E5" in output.read_text()
+
+
+class TestBenchCommand:
+    def test_bench_writes_json_and_compares_clean(self, tmp_path, capsys):
+        output = tmp_path / "BENCH_ci.json"
+        code = main(
+            [
+                "bench",
+                "--scale",
+                "smoke",
+                "--no-experiments",
+                "--repeats",
+                "1",
+                "--backends",
+                "vectorized",
+                "batched-study",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slots/s" in out and output.exists()
+
+        code = main(["bench", "--compare", str(output), str(output)])
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_bench_compare_fails_on_regression(self, tmp_path, capsys):
+        import json
+
+        output = tmp_path / "BENCH_base.json"
+        main(
+            [
+                "bench",
+                "--scale",
+                "smoke",
+                "--no-experiments",
+                "--repeats",
+                "1",
+                "--backends",
+                "vectorized",
+                "batched-study",
+                "--output",
+                str(output),
+            ]
+        )
+        capsys.readouterr()
+        data = json.loads(output.read_text())
+        for record in data["benchmarks"]:
+            if "speedup_vs_vectorized" in record:
+                record["speedup_vs_vectorized"] *= 0.3
+        worse = tmp_path / "BENCH_worse.json"
+        worse.write_text(json.dumps(data))
+        code = main(["bench", "--compare", str(output), str(worse)])
+        assert code == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_run_parses_batched_study_backend(self):
+        args = build_parser().parse_args(
+            ["run", "E5", "--backend", "batched-study"]
+        )
+        assert args.backend == "batched-study"
+
+    def test_run_explicit_batched_study_errors_for_ineligible_protocol(
+        self, capsys
+    ):
+        # The paper's algorithm is feedback-adaptive, so naming the batched
+        # backend explicitly fails fast (same contract as explicit
+        # "vectorized"); "auto" falls back instead.
+        code = main(
+            [
+                "run",
+                "E5",
+                "--trials",
+                "2",
+                "--scale",
+                "smoke",
+                "--seed",
+                "7",
+                "--backend",
+                "batched-study",
+            ]
+        )
+        assert code == 2
+        assert "not vector-eligible" in capsys.readouterr().err

@@ -59,3 +59,85 @@ class TestHelpers:
         a = coerce_generator(21)
         b = coerce_generator(21)
         assert a.integers(0, 1000) == b.integers(0, 1000)
+
+
+class TestBulkSeeding:
+    """The vectorized SeedSequence/PCG64 replication matches numpy exactly."""
+
+    def test_fast_seed_path_self_check(self):
+        from repro.rng import fast_seed_path_ok
+
+        assert fast_seed_path_ok() is True
+
+    def test_fast_bounded_pairs_self_check(self):
+        from repro.rng import fast_bounded_pairs_ok
+
+        assert fast_bounded_pairs_ok() is True
+
+    def test_bulk_seed_states_match_seed_sequences(self):
+        from repro.rng import assemble_seed_words, bulk_seed_states
+
+        entropy = 20210219
+        keys = [(0, 1, 5, 0), (3, 1, 0, 0), (7, 0, 2, 0)]
+        words = assemble_seed_words(entropy, keys)
+        states = bulk_seed_states(words)
+        for row, key in enumerate(keys):
+            expected = np.random.SeedSequence(
+                entropy, spawn_key=key
+            ).generate_state(4, np.uint64)
+            assert np.array_equal(states[row], expected)
+
+    def test_assemble_rejects_oversized_key_components(self):
+        from repro.rng import assemble_seed_words
+
+        assert assemble_seed_words(1, [(1 << 40,)]) is None
+
+    def test_reusable_generator_replays_default_rng_streams(self):
+        from repro.rng import (
+            ReusableGenerator,
+            assemble_seed_words,
+            bulk_seed_states,
+        )
+
+        reusable = ReusableGenerator()
+        for key in [(0, 0), (5, 1, 0), (2,)]:
+            sequence = np.random.SeedSequence(42, spawn_key=key)
+            expected = np.random.default_rng(sequence).random(32)
+            states = bulk_seed_states(assemble_seed_words(42, [key]))
+            replayed = reusable.reseed(states[0]).random(32)
+            assert np.array_equal(expected, replayed)
+
+    def test_seed_states_for_entropies_matches_numpy(self):
+        from repro.rng import seed_states_for_entropies
+
+        entropies = [0, 7, 2**32 + 5, 2**62 - 1]
+        states = seed_states_for_entropies(entropies)
+        for row, entropy in enumerate(entropies):
+            expected = np.random.SeedSequence(entropy).generate_state(4, np.uint64)
+            assert np.array_equal(states[row], expected)
+
+    def test_bulk_bounded_pairs_match_generator_integers(self):
+        from repro.rng import bulk_bounded_pairs63
+
+        sequences = [np.random.SeedSequence(9, spawn_key=(i, 0)) for i in range(50)]
+        words = np.stack(
+            [sequence.generate_state(4, np.uint64) for sequence in sequences]
+        )
+        pairs = bulk_bounded_pairs63(words)
+        for row, sequence in enumerate(sequences):
+            generator = np.random.default_rng(sequence)
+            assert int(pairs[row, 0]) == int(generator.integers(0, 2**63 - 1))
+            assert int(pairs[row, 1]) == int(generator.integers(0, 2**63 - 1))
+
+    def test_trial_seed_batch_matches_trial_seeds(self):
+        from repro.rng import TrialSeedBatch, trial_seeds
+
+        batch = TrialSeedBatch(123, 4)
+        eager = trial_seeds(123, 4)
+        assert len(batch) == 4
+        entropy, key, first = batch.spawn_descriptor()
+        assert entropy == 123 and key == () and first == 0
+        for lazy, expected in zip(batch.trees, eager):
+            assert np.array_equal(
+                lazy.sequence.generate_state(4), expected.sequence.generate_state(4)
+            )
