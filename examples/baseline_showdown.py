@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
 """Compare the paper's algorithm against classical backoff baselines.
 
-Two workloads are used:
+Every contender is a declarative :class:`ProtocolSpec` and both workloads
+are specs too, so each (protocol, workload) cell of the comparison is a
+complete, serializable :class:`StudySpec`:
 
 * the **lock-convoy** scenario (a large simultaneous batch with reactive
   stalls), where constant-probability senders collapse; and
@@ -15,49 +17,44 @@ formalize and why the adaptive ``backoff`` subroutine is necessary.
 Run it with::
 
     python examples/baseline_showdown.py
+
+Set ``REPRO_EXAMPLES_SCALE=smoke`` for a fast CI-sized run.
 """
 
-from repro import AlgorithmParameters, cjz_factory, constant_g
-from repro.adversary import LowerBoundAdversary
+import os
+
 from repro.analysis import compare_protocols
 from repro.analysis.comparison import comparison_table
 from repro.metrics import summarize_latencies
-from repro.protocols import (
-    ProbabilityBackoff,
-    SawtoothBackoff,
-    SlottedAloha,
-    WindowedBinaryExponentialBackoff,
-    make_factory,
-)
-from repro.sim import run_trials
-from repro.workloads import build_adversary_factory, get_scenario
+from repro.spec import AdversarySpec, ProtocolSpec, StudySpec
+from repro.workloads import get_scenario
 
-TRIALS = 3
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
+TRIALS = 2 if SMOKE else 3
+LOWER_BOUND_HORIZON = 1024 if SMOKE else 8192
 
 
 def contenders():
     return {
-        "chen-jiang-zheng": cjz_factory(AlgorithmParameters.from_g(constant_g(4.0))),
-        "binary-exponential": make_factory(WindowedBinaryExponentialBackoff),
-        "probability 1/i": make_factory(ProbabilityBackoff, 1.0),
-        "sawtooth": make_factory(SawtoothBackoff),
-        "aloha(0.05)": make_factory(SlottedAloha, 0.05),
+        "chen-jiang-zheng": ProtocolSpec(kind="cjz"),
+        "binary-exponential": ProtocolSpec(kind="binary-exponential-backoff"),
+        "probability 1/i": ProtocolSpec(kind="probability-backoff", params={"scale": 1.0}),
+        "sawtooth": ProtocolSpec(kind="sawtooth-backoff"),
+        "aloha(0.05)": ProtocolSpec(kind="slotted-aloha", params={"probability": 0.05}),
     }
 
 
 def lock_convoy() -> None:
     scenario = get_scenario("lock-convoy")
     print(f"Workload 1 — {scenario.key}: {scenario.description}")
-    studies = {
-        name: run_trials(
-            protocol_factory=factory,
-            adversary_factory=build_adversary_factory(scenario.spec),
-            horizon=scenario.spec.horizon,
-            trials=TRIALS,
-            seed=5,
-            label=scenario.key,
+    base = scenario.study_spec(trials=TRIALS, seed=5)
+    if SMOKE:
+        base = base.with_overrides(
+            {"horizon": 2048, "adversary.arrivals.params.count": 48}
         )
-        for name, factory in contenders().items()
+    studies = {
+        name: base.with_overrides({"protocol": protocol.to_dict()}).run()
+        for name, protocol in contenders().items()
     }
     rows = compare_protocols(studies, workload=scenario.key)
     print(comparison_table(rows, title="lock-convoy results").render())
@@ -65,21 +62,25 @@ def lock_convoy() -> None:
 
 
 def lower_bound_adversary() -> None:
-    horizon = 8192
+    horizon = LOWER_BOUND_HORIZON
     print("Workload 2 — Lemma 4.1 adversary: lone node behind a jammed prefix")
 
-    def adversary():
-        return LowerBoundAdversary(horizon=horizon, g=constant_g(4.0), initial_nodes=1)
-
-    for name, factory in contenders().items():
-        study = run_trials(
-            protocol_factory=factory,
-            adversary_factory=adversary,
+    adversary = AdversarySpec(
+        kind="lower-bound",
+        params={
+            "g": {"kind": "constant", "params": {"value": 4.0}},
+            "initial_nodes": 1,
+        },
+    )
+    for name, protocol in contenders().items():
+        study = StudySpec(
+            protocol=protocol,
+            adversary=adversary,
             horizon=horizon,
             trials=TRIALS,
             seed=6,
             label=name,
-        )
+        ).run()
         latency = summarize_latencies(list(study))
         unfinished = study.mean(lambda r: r.unfinished_nodes)
         latency_text = "never" if latency.count == 0 else f"{latency.mean:8.0f} slots"

@@ -2,25 +2,29 @@
 """Domain scenario: Ethernet-style bursty traffic with external interference.
 
 The paper motivates contention resolution with congestion control on shared
-media (Ethernet, 802.11).  This example uses the named workload scenarios in
-``repro.workloads`` to model stations waking up in bursts while a quarter of
-the slots are unusable due to interference, and shows how the system drains
-each burst — including a per-window success-rate timeline recorded with a
-metrics collector.
+media (Ethernet, 802.11).  This example starts from the named
+``ethernet-burst`` scenario (a first-class, JSON-serializable spec), derives
+a heavier variant with 25% interference by overriding two spec fields, and
+shows how the system drains each burst — including a per-window success-rate
+timeline recorded with a metrics collector (collectors ride on the same spec
+through ``StudySpec.run(collectors=...)``).
 
 Run it with::
 
     python examples/ethernet_burst.py
+
+Set ``REPRO_EXAMPLES_SCALE=smoke`` for a fast CI-sized run.
 """
 
-from repro import AlgorithmParameters, Simulator, SimulatorConfig, cjz_factory, constant_g
-from repro.adversary import BurstyArrivals, ComposedAdversary, RandomFractionJamming
+import os
+
 from repro.metrics import WindowedSuccessCounter, summarize_latencies
 from repro.workloads import get_scenario
 
-HORIZON = 16384
-BURST_SIZE = 32
-BURST_PERIOD = 2048
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
+HORIZON = 2048 if SMOKE else 16384
+BURST_SIZE = 8 if SMOKE else 32
+BURST_PERIOD = 256 if SMOKE else 2048
 JAM_FRACTION = 0.25
 
 
@@ -29,19 +33,21 @@ def main() -> None:
     print(f"Scenario '{scenario.key}': {scenario.description}")
     print("This example runs a heavier variant of it with 25% interference.\n")
 
-    adversary = ComposedAdversary(
-        BurstyArrivals(BURST_SIZE, period=BURST_PERIOD, jitter=True),
-        RandomFractionJamming(JAM_FRACTION),
+    # The scenario is a spec; the heavier variant is a few dotted-path
+    # overrides away (burst shape, horizon, and random-fraction jamming).
+    study = scenario.study_spec(trials=1, seed=99).with_overrides(
+        {
+            "horizon": HORIZON,
+            "adversary.arrivals.params.burst_size": BURST_SIZE,
+            "adversary.arrivals.params.period": BURST_PERIOD,
+            "adversary.jamming.kind": "random-fraction",
+            "adversary.jamming.params": {"fraction": JAM_FRACTION},
+            "label": "ethernet-burst-heavy",
+        }
     )
+
     window_counter = WindowedSuccessCounter(window=BURST_PERIOD)
-    simulator = Simulator(
-        protocol_factory=cjz_factory(AlgorithmParameters.from_g(constant_g(4.0))),
-        adversary=adversary,
-        config=SimulatorConfig(horizon=HORIZON),
-        collectors=[window_counter],
-        seed=99,
-    )
-    result = simulator.run()
+    result = study.run(collectors=[window_counter]).results[0]
 
     print(result.describe())
     latency = summarize_latencies([result])

@@ -1,40 +1,62 @@
 #!/usr/bin/env python3
 """Explore the throughput/jamming trade-off that gives the paper its title.
 
-The script sweeps the fraction of jammed slots from 0% to 40% and, for each
-level, measures what the paper's algorithm delivers within a fixed horizon:
+The script is one declarative grid sweep: a base :class:`StudySpec` (spread
+arrivals over a fixed horizon) plus a single axis over the fraction of
+jammed slots.  Each grid point measures what the paper's algorithm delivers:
 messages delivered, active slots per arrival (the inverse of throughput) and
-the time the last message needed.  The per-arrival overhead degrades from
-"a few slots" towards the Θ(log t) worst-case bound as jamming approaches the
-constant-fraction regime — the trade-off of Theorems 1.2 and 1.3 in action.
+mean latency.  The per-arrival overhead degrades from "a few slots" towards
+the Θ(log t) worst-case bound as jamming approaches the constant-fraction
+regime — the trade-off of Theorems 1.2 and 1.3 in action.
+
+The same sweep is available from the shell::
+
+    python -m repro.cli sweep --spec <(python examples/jamming_tradeoff.py --emit-spec) \\
+        --axis adversary.jamming.params.fraction=0.0,0.1,0.25,0.4
 
 Run it with::
 
     python examples/jamming_tradeoff.py
+
+Set ``REPRO_EXAMPLES_SCALE=smoke`` for a fast CI-sized run.
 """
 
-from repro import AlgorithmParameters, cjz_factory, constant_g
-from repro.adversary import ComposedAdversary, NoJamming, RandomFractionJamming, UniformRandomArrivals
+import os
+import sys
+
 from repro.analysis import Table
-from repro.sim import run_trials
+from repro.spec import AdversarySpec, ProtocolSpec, StudyPlan, StudySpec, Sweep
 
-HORIZON = 16384
-ARRIVALS = 256
-TRIALS = 3
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
+HORIZON = 2048 if SMOKE else 16384
+ARRIVALS = 32 if SMOKE else 256
+TRIALS = 2 if SMOKE else 3
 
 
-def adversary_factory(jam_fraction: float):
-    def _factory():
-        jamming = RandomFractionJamming(jam_fraction) if jam_fraction else NoJamming()
-        return ComposedAdversary(
-            UniformRandomArrivals(ARRIVALS, (1, HORIZON // 2)), jamming
-        )
-
-    return _factory
+def base_spec() -> StudySpec:
+    # The base uses the random-fraction jamming kind (fraction 0.25) so the
+    # sweep axis can rebind the fraction — including to 0.0, the clean channel.
+    return StudySpec(
+        protocol=ProtocolSpec(kind="cjz"),
+        adversary=AdversarySpec.spread(ARRIVALS, end=HORIZON // 2, jam_fraction=0.25),
+        horizon=HORIZON,
+        trials=TRIALS,
+        seed=7,
+        label="jamming-tradeoff",
+    )
 
 
 def main() -> None:
-    parameters = AlgorithmParameters.from_g(constant_g(4.0))
+    if "--emit-spec" in sys.argv:
+        print(base_spec().to_json(indent=2))
+        return
+
+    sweep = Sweep(
+        base_spec(),
+        {"adversary.jamming.params.fraction": [0.0, 0.10, 0.25, 0.40]},
+    )
+    results = StudyPlan.from_sweep(sweep).run()
+
     table = Table(
         title=f"Jamming sweep: {ARRIVALS} arrivals over {HORIZON} slots ({TRIALS} trials)",
         columns=[
@@ -45,15 +67,9 @@ def main() -> None:
             "mean latency",
         ],
     )
-    for fraction in (0.0, 0.10, 0.25, 0.40):
-        study = run_trials(
-            protocol_factory=cjz_factory(parameters),
-            adversary_factory=adversary_factory(fraction),
-            horizon=HORIZON,
-            trials=TRIALS,
-            seed=7,
-            label=f"jam={fraction:.0%}",
-        )
+    for point in results:
+        study = point.study
+        fraction = point.overrides["adversary.jamming.params.fraction"]
         table.add_row(
             f"{fraction:.0%}",
             study.mean(lambda r: r.total_successes),

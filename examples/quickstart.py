@@ -1,40 +1,57 @@
 #!/usr/bin/env python3
 """Quickstart: run the paper's algorithm on a jammed batch workload.
 
-This is the smallest end-to-end use of the public API:
+This is the smallest end-to-end use of the declarative spec API:
 
-1. choose the jamming budget function ``g`` (here: constant, i.e. the
-   adversary may jam a constant fraction of all slots — the worst case the
-   paper considers);
-2. build the algorithm's parameters and a protocol factory;
-3. describe an adversary (a batch of nodes plus random jamming);
-4. run the simulator and inspect the result.
+1. describe the protocol (the paper's algorithm with a constant jamming
+   budget ``g`` — the worst case it considers) as a :class:`ProtocolSpec`;
+2. describe the adversary (a batch of nodes plus random jamming) as an
+   :class:`AdversarySpec`;
+3. bundle both with horizon/seed into a :class:`StudySpec` — plain JSON
+   data that can be saved, diffed, shipped or swept;
+4. run it and inspect the result.
 
 Run it with::
 
     python examples/quickstart.py
+
+Set ``REPRO_EXAMPLES_SCALE=smoke`` for a fast CI-sized run.
 """
 
-from repro import AlgorithmParameters, SimulatorConfig, Simulator, cjz_factory, constant_g
-from repro.adversary import BatchArrivals, ComposedAdversary, RandomFractionJamming
+import os
+
+from repro import AlgorithmParameters, constant_g
 from repro.metrics import check_fg_throughput, summarize_energy, summarize_latencies
+from repro.spec import AdversarySpec, ProtocolSpec, StudySpec
+
+SMOKE = os.environ.get("REPRO_EXAMPLES_SCALE") == "smoke"
+HORIZON = 1024 if SMOKE else 8192
+ARRIVALS = 16 if SMOKE else 64
 
 
 def main() -> None:
     # The algorithm is parameterized by how much jamming it should tolerate.
     # A constant g means "a constant fraction of all slots may be jammed".
-    parameters = AlgorithmParameters.from_g(constant_g(4.0))
-
-    # 64 nodes arrive simultaneously in slot 1; 25% of slots are jammed.
-    adversary = ComposedAdversary(BatchArrivals(64), RandomFractionJamming(0.25))
-
-    simulator = Simulator(
-        protocol_factory=cjz_factory(parameters),
-        adversary=adversary,
-        config=SimulatorConfig(horizon=8192),
-        seed=2021,
+    protocol = ProtocolSpec(
+        kind="cjz", params={"g": {"kind": "constant", "params": {"value": 4.0}}}
     )
-    result = simulator.run()
+
+    # ARRIVALS nodes arrive simultaneously in slot 1; 25% of slots are jammed.
+    adversary = AdversarySpec.batch(ARRIVALS, jam_fraction=0.25)
+
+    study = StudySpec(
+        protocol=protocol,
+        adversary=adversary,
+        horizon=HORIZON,
+        trials=1,
+        seed=2021,
+        label="quickstart",
+    )
+    print("The full study description, as JSON:")
+    print(study.to_json(indent=2))
+    print()
+
+    result = study.run().results[0]
 
     print(result.describe())
     print(f"classical throughput n_t/a_t at the horizon: {result.classical_throughput():.3f}")
@@ -44,7 +61,9 @@ def main() -> None:
     print(f"latency (slots to success): mean {latency.mean:.0f}, p95 {latency.p95:.0f}")
     print(f"channel accesses per node:  mean {energy.mean:.1f}, p95 {energy.p95:.1f}")
 
-    # Check the paper's (f, g)-throughput bound (Definition 1.1) on every prefix.
+    # Check the paper's (f, g)-throughput bound (Definition 1.1) on every
+    # prefix, using the same parameters the protocol spec builds.
+    parameters = AlgorithmParameters.from_g(constant_g(4.0))
     report = check_fg_throughput(
         result, parameters.f, parameters.g, slack=8.0, min_prefix=64, additive_grace=128.0
     )

@@ -32,6 +32,7 @@ from typing import Optional
 
 from .channel import MultipleAccessChannel, NoCollisionDetection, WithCollisionDetection
 from .core import AlgorithmParameters, ChenJiangZhengProtocol, cjz_factory
+from .errors import ConfigurationError, ReproError
 from .functions import (
     GFamily,
     RateFunction,
@@ -44,10 +45,26 @@ from .functions import (
 )
 from .metrics import check_fg_throughput, summarize_energy, summarize_latencies
 from .sim import SimulationResult, Simulator, SimulatorConfig, run_trials
+from .spec import (
+    AdversarySpec,
+    ProtocolSpec,
+    StudyPlan,
+    StudySpec,
+    StudyStore,
+    Sweep,
+)
 from .version import __version__
 
 __all__ = [
     "__version__",
+    "ReproError",
+    "ConfigurationError",
+    "AdversarySpec",
+    "ProtocolSpec",
+    "StudySpec",
+    "StudyPlan",
+    "StudyStore",
+    "Sweep",
     "MultipleAccessChannel",
     "NoCollisionDetection",
     "WithCollisionDetection",
@@ -75,29 +92,52 @@ __all__ = [
 
 def quick_run(
     arrivals: int = 64,
-    horizon: int = 4096,
+    horizon: Optional[int] = None,
     jam_fraction: float = 0.0,
     seed: Optional[int] = None,
     keep_trace: bool = False,
     backend: str = "auto",
+    scenario: Optional[str] = None,
+    adversary_spec=None,
+    protocol_spec=None,
 ) -> SimulationResult:
     """Run the paper's algorithm once on a simple workload and return the result.
 
-    ``arrivals`` nodes are injected as a batch in slot 1 and every slot is
-    independently jammed with probability ``jam_fraction``.  This is the
-    one-call entry point used by the README quickstart.
-    """
-    from .adversary import BatchArrivals, ComposedAdversary, NoJamming, RandomFractionJamming
+    By default ``arrivals`` nodes are injected as a batch in slot 1 and every
+    slot is independently jammed with probability ``jam_fraction``.  This is
+    the one-call entry point used by the README quickstart.
 
-    def adversary_factory():
-        jamming = (
-            RandomFractionJamming(jam_fraction) if jam_fraction > 0 else NoJamming()
-        )
-        return ComposedAdversary(BatchArrivals(arrivals), jamming)
+    The workload can instead come from the declarative spec layer:
+
+    * ``scenario`` — a named scenario key (``"ethernet-burst"``, ...); its
+      workload and horizon are used (``horizon`` still overrides).
+    * ``adversary_spec`` — a :class:`repro.spec.AdversarySpec`.
+    * ``protocol_spec`` — a :class:`repro.spec.ProtocolSpec` to run instead
+      of the paper's algorithm with default parameters.
+
+    ``arrivals``/``jam_fraction`` are ignored when a scenario or adversary
+    spec supplies the workload.
+    """
+    from .spec import AdversarySpec
+
+    if scenario is not None:
+        if adversary_spec is not None:
+            raise ConfigurationError(
+                "pass either scenario or adversary_spec, not both"
+            )
+        from .workloads import get_scenario
+
+        named = get_scenario(scenario)
+        adversary_spec = named.adversary_spec()
+        horizon = horizon or named.spec.horizon
+    horizon = horizon or 4096
+    if adversary_spec is None:
+        adversary_spec = AdversarySpec.batch(arrivals, jam_fraction=jam_fraction)
+    protocol_factory = protocol_spec.build() if protocol_spec is not None else cjz_factory()
 
     simulator = Simulator(
-        protocol_factory=cjz_factory(),
-        adversary=adversary_factory(),
+        protocol_factory=protocol_factory,
+        adversary=adversary_spec.build(horizon),
         config=SimulatorConfig(horizon=horizon, keep_trace=keep_trace),
         seed=seed,
         backend=backend,

@@ -38,6 +38,7 @@ class AdaptiveSuccessChaser(Adversary):
     """
 
     name = "adaptive-success-chaser"
+    spec_kind = "adaptive-success-chaser"
 
     def __init__(
         self,
@@ -109,3 +110,12 @@ class AdaptiveSuccessChaser(Adversary):
     @property
     def jammed_slots(self) -> int:
         return self._jammed
+
+    def spec_params(self) -> dict:
+        return {
+            "jam_fraction": self._jam_fraction,
+            "arrival_budget_per_success": self._per_success,
+            "total_arrival_budget": self._total_budget,
+            "jam_burst": self._jam_burst,
+            "seed_arrivals": self._seed_arrivals,
+        }

@@ -24,6 +24,7 @@ class NoArrivals(ArrivalStrategy):
     """No nodes ever arrive (useful when the simulator pre-seeds a batch)."""
 
     name = "no-arrivals"
+    spec_kind = "no-arrivals"
     transient_rng = True
     consumes_rng = False
 
@@ -41,6 +42,7 @@ class BatchArrivals(ArrivalStrategy):
     """Inject ``count`` nodes simultaneously at ``slot`` (the paper's batch setting)."""
 
     name = "batch"
+    spec_kind = "batch"
     transient_rng = True
     consumes_rng = False
 
@@ -65,6 +67,9 @@ class BatchArrivals(ArrivalStrategy):
             arrivals[self._slot] = self._count
         return arrivals
 
+    def spec_params(self) -> dict:
+        return {"count": self._count, "slot": self._slot}
+
 
 class PoissonArrivals(ArrivalStrategy):
     """Independent Poisson arrivals with mean ``rate`` per slot.
@@ -75,6 +80,7 @@ class PoissonArrivals(ArrivalStrategy):
     """
 
     name = "poisson"
+    spec_kind = "poisson"
     transient_rng = True
 
     def __init__(self, rate: float, last_slot: Optional[int] = None) -> None:
@@ -117,11 +123,15 @@ class PoissonArrivals(ArrivalStrategy):
         self._rng = None
         return arrivals
 
+    def spec_params(self) -> dict:
+        return {"rate": self._rate, "last_slot": self._last_slot}
+
 
 class UniformRandomArrivals(ArrivalStrategy):
     """Scatter a fixed total number of arrivals uniformly at random over a window."""
 
     name = "uniform-random"
+    spec_kind = "uniform-random"
     transient_rng = True
 
     def __init__(self, total: int, window: Tuple[int, int]) -> None:
@@ -152,6 +162,13 @@ class UniformRandomArrivals(ArrivalStrategy):
     def precompile(self, horizon: int) -> np.ndarray:
         return _schedule_to_array(self._per_slot, horizon)
 
+    def spec_params(self) -> dict:
+        return {
+            "total": self._total,
+            "start": self._window[0],
+            "end": self._window[1],
+        }
+
 
 class BurstyArrivals(ArrivalStrategy):
     """Alternating quiet periods and bursts (Ethernet-like traffic).
@@ -161,6 +178,7 @@ class BurstyArrivals(ArrivalStrategy):
     """
 
     name = "bursty"
+    spec_kind = "bursty"
     transient_rng = True
 
     def __init__(
@@ -205,11 +223,21 @@ class BurstyArrivals(ArrivalStrategy):
     def precompile(self, horizon: int) -> np.ndarray:
         return _schedule_to_array(self._burst_slots, horizon)
 
+    def spec_params(self) -> dict:
+        return {
+            "burst_size": self._burst_size,
+            "period": self._period,
+            "jitter": self._jitter,
+            "first_burst_slot": self._first,
+            "last_slot": self._last_slot,
+        }
+
 
 class ScheduledArrivals(ArrivalStrategy):
     """Replay an explicit mapping from slot index to arrival count."""
 
     name = "scheduled"
+    spec_kind = "scheduled"
     transient_rng = True
     consumes_rng = False
 
@@ -238,6 +266,11 @@ class ScheduledArrivals(ArrivalStrategy):
 
     def observe(self, observation: SlotObservation) -> None:  # pragma: no cover - oblivious
         return None
+
+    def spec_params(self) -> dict:
+        return {
+            "schedule": [[slot, count] for slot, count in sorted(self._schedule.items())]
+        }
 
 
 def _schedule_to_array(schedule: Mapping[int, int], horizon: int) -> np.ndarray:

@@ -63,6 +63,10 @@ class Adversary(abc.ABC):
     #: schedule up front via :meth:`precompile`.
     precompilable: bool = False
 
+    #: registry key of this adversary in :data:`repro.spec.ADVERSARIES`, or
+    #: ``None`` for adversaries without a declarative description.
+    spec_kind: Optional[str] = None
+
     def setup(self, rng: np.random.Generator, horizon: Optional[int] = None) -> None:
         """Prepare internal state; ``horizon`` is the planned number of slots, if known."""
 
@@ -104,11 +108,54 @@ class Adversary(abc.ABC):
     def describe(self) -> str:
         return self.name
 
+    # ------------------------------------------------------------ spec layer
+
+    def spec_params(self) -> dict:
+        """JSON-serializable constructor parameters of this instance.
+
+        The reconstruction contract matches
+        :meth:`repro.protocols.base.Protocol.spec_params`: rebuilding from
+        ``(spec_kind, spec_params())`` must yield an adversary that consumes
+        randomness and acts identically.
+        """
+        return {}
+
+    def to_spec(self):
+        """The declarative :class:`~repro.spec.AdversarySpec` for this instance."""
+        from ..errors import SpecError
+        from ..spec.adversary import AdversarySpec
+
+        if self.spec_kind is None:
+            raise SpecError(
+                f"adversary {self.name!r} has no registered spec kind and "
+                "cannot be serialized"
+            )
+        return AdversarySpec(kind=self.spec_kind, params=self.spec_params())
+
+    @staticmethod
+    def from_spec(spec, horizon: Optional[int] = None) -> "Adversary":
+        """Build a fresh instance from a :class:`~repro.spec.AdversarySpec`.
+
+        Inverse of :meth:`to_spec` up to instance identity.  ``horizon``
+        resolves horizon-dependent defaults and the proof adversaries'
+        mandatory horizon argument.  Accepts a spec object or its
+        ``to_dict`` mapping.
+        """
+        from ..spec.adversary import AdversarySpec
+
+        if not isinstance(spec, AdversarySpec):
+            spec = AdversarySpec.from_dict(spec)
+        return spec.build(horizon)
+
 
 class ArrivalStrategy(abc.ABC):
     """Produces the number of node injections for each slot."""
 
     name: str = "arrivals"
+
+    #: registry key in :data:`repro.spec.ARRIVAL_STRATEGIES` (``None`` when
+    #: the strategy has no declarative description).
+    spec_kind: Optional[str] = None
 
     #: True for strategies whose decisions depend on :meth:`observe`.
     adaptive: bool = False
@@ -156,11 +203,19 @@ class ArrivalStrategy(abc.ABC):
             arrivals[slot] = self.arrivals_for_slot(slot)
         return arrivals
 
+    def spec_params(self) -> dict:
+        """JSON-serializable constructor parameters (see :class:`Adversary`)."""
+        return {}
+
 
 class JammingStrategy(abc.ABC):
     """Decides which slots are jammed."""
 
     name: str = "jamming"
+
+    #: registry key in :data:`repro.spec.JAMMING_STRATEGIES` (``None`` when
+    #: the strategy has no declarative description).
+    spec_kind: Optional[str] = None
 
     #: True for strategies whose decisions depend on :meth:`observe`.
     adaptive: bool = False
@@ -192,6 +247,10 @@ class JammingStrategy(abc.ABC):
         for slot in range(1, horizon + 1):
             jammed[slot] = self.jam_slot(slot)
         return jammed
+
+    def spec_params(self) -> dict:
+        """JSON-serializable constructor parameters (see :class:`Adversary`)."""
+        return {}
 
 
 class ComposedAdversary(Adversary):
@@ -253,3 +312,28 @@ class ComposedAdversary(Adversary):
         if arrivals is None or jammed is None:
             return None
         return PrecompiledSchedule(arrivals=arrivals, jammed=jammed)
+
+    def to_spec(self):
+        """Composed adversaries serialize as their two strategy specs."""
+        from ..errors import SpecError
+        from ..spec.adversary import AdversarySpec, StrategySpec
+
+        if self._arrivals.spec_kind is None or self._jamming.spec_kind is None:
+            missing = (
+                self._arrivals.name
+                if self._arrivals.spec_kind is None
+                else self._jamming.name
+            )
+            raise SpecError(
+                f"strategy {missing!r} has no registered spec kind; the "
+                "composed adversary cannot be serialized"
+            )
+        return AdversarySpec(
+            arrivals=StrategySpec(
+                kind=self._arrivals.spec_kind, params=self._arrivals.spec_params()
+            ),
+            jamming=StrategySpec(
+                kind=self._jamming.spec_kind, params=self._jamming.spec_params()
+            ),
+            label=self.name,
+        )

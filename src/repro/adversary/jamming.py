@@ -26,6 +26,7 @@ class NoJamming(JammingStrategy):
     """The benign channel: no slot is ever jammed."""
 
     name = "no-jamming"
+    spec_kind = "no-jamming"
     transient_rng = True
     consumes_rng = False
 
@@ -44,6 +45,7 @@ class RandomFractionJamming(JammingStrategy):
     """
 
     name = "random-fraction"
+    spec_kind = "random-fraction"
     transient_rng = True
 
     def __init__(self, fraction: float, last_slot: Optional[int] = None) -> None:
@@ -88,11 +90,15 @@ class RandomFractionJamming(JammingStrategy):
         self._rng = None
         return jammed
 
+    def spec_params(self) -> dict:
+        return {"fraction": self._fraction, "last_slot": self._last_slot}
+
 
 class PeriodicJamming(JammingStrategy):
     """Jam every ``period``-th slot (deterministic constant fraction)."""
 
     name = "periodic"
+    spec_kind = "periodic"
     transient_rng = True
     consumes_rng = False
 
@@ -111,6 +117,9 @@ class PeriodicJamming(JammingStrategy):
         jammed[0] = False
         return jammed
 
+    def spec_params(self) -> dict:
+        return {"period": self._period, "offset": self._offset}
+
 
 class FrontLoadedJamming(JammingStrategy):
     """Jam the first ``count`` slots and nothing afterwards.
@@ -121,6 +130,7 @@ class FrontLoadedJamming(JammingStrategy):
     """
 
     name = "front-loaded"
+    spec_kind = "front-loaded"
     transient_rng = True
     consumes_rng = False
 
@@ -138,6 +148,9 @@ class FrontLoadedJamming(JammingStrategy):
         jammed[1 : min(self._count, horizon) + 1] = True
         return jammed
 
+    def spec_params(self) -> dict:
+        return {"count": self._count}
+
 
 class BudgetedJamming(JammingStrategy):
     """Jam uniformly at random subject to the paper's budget ``d_t <= t / (c · g(t))``.
@@ -147,6 +160,7 @@ class BudgetedJamming(JammingStrategy):
     """
 
     name = "budgeted"
+    spec_kind = "budgeted"
     transient_rng = True
 
     def __init__(self, g: RateFunction, budget_constant: float = 4.0) -> None:
@@ -182,6 +196,14 @@ class BudgetedJamming(JammingStrategy):
                 jammed[slot] = True
         return jammed
 
+    def spec_params(self) -> dict:
+        from ..spec.rates import rate_function_to_spec
+
+        return {
+            "g": rate_function_to_spec(self._g),
+            "budget_constant": self._constant,
+        }
+
 
 class ReactiveJamming(JammingStrategy):
     """Adaptive jamming that spends its budget right after observed successes.
@@ -195,6 +217,7 @@ class ReactiveJamming(JammingStrategy):
     """
 
     name = "reactive"
+    spec_kind = "reactive"
     adaptive = True
 
     def __init__(self, fraction: float, burst: int = 8) -> None:
@@ -226,3 +249,6 @@ class ReactiveJamming(JammingStrategy):
     def observe(self, observation: SlotObservation) -> None:
         if observation.feedback is Feedback.SUCCESS:
             self._pending = self._burst
+
+    def spec_params(self) -> dict:
+        return {"fraction": self._fraction, "burst": self._burst}

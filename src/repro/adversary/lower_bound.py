@@ -35,6 +35,7 @@ class LowerBoundAdversary(Adversary):
     """Adversary of Lemma 4.1 / Theorem 1.3 (front-loaded + random jamming)."""
 
     name = "lower-bound"
+    spec_kind = "lower-bound"
     precompilable = True  # all randomness is realized in setup()
 
     def __init__(
@@ -83,11 +84,23 @@ class LowerBoundAdversary(Adversary):
     def arrivals_exhausted(self, slot: int) -> bool:
         return True  # all arrivals happen in slot 1
 
+    def spec_params(self) -> dict:
+        from ..spec.rates import rate_function_to_spec
+
+        # ``horizon`` is intentionally absent: adversary specs are
+        # horizon-free, the study supplies it at build time.
+        return {
+            "g": rate_function_to_spec(self._g),
+            "initial_nodes": self._initial_nodes,
+            "jam_constant": self._jam_constant,
+        }
+
 
 class NonAdaptiveKillerAdversary(Adversary):
     """Adversary of Theorem 4.2 against fixed-probability (non-adaptive) protocols."""
 
     name = "non-adaptive-killer"
+    spec_kind = "non-adaptive-killer"
     precompilable = True  # all randomness is realized in setup()
 
     def __init__(
@@ -142,3 +155,15 @@ class NonAdaptiveKillerAdversary(Adversary):
     def expected_contention_bound(horizon: int, g_value: float) -> float:
         """Helper used by tests: size of the jammed prefix for a given g(t)."""
         return math.floor(horizon / (4.0 * g_value))
+
+    def spec_params(self) -> dict:
+        from ..spec.rates import rate_function_to_spec
+
+        # ``horizon`` is intentionally absent (as in LowerBoundAdversary):
+        # adversary specs are horizon-free, the study supplies it at build.
+        return {
+            "g": rate_function_to_spec(self._g),
+            "f": rate_function_to_spec(self._f),
+            "jam_constant": self._jam_constant,
+            "arrival_constant": self._arrival_constant,
+        }

@@ -21,6 +21,7 @@ class ScheduleAdversary(Adversary):
     """
 
     name = "schedule"
+    spec_kind = "schedule"
     precompilable = True
 
     def __init__(
@@ -64,3 +65,9 @@ class ScheduleAdversary(Adversary):
 
     def arrivals_exhausted(self, slot: int) -> bool:
         return not self._arrivals or slot >= max(self._arrivals)
+
+    def spec_params(self) -> dict:
+        return {
+            "arrivals": [[slot, count] for slot, count in sorted(self._arrivals.items())],
+            "jammed_slots": sorted(self._jammed),
+        }

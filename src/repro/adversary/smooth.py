@@ -30,6 +30,7 @@ class SmoothAdversary(Adversary):
     """Evenly spread arrivals and jamming satisfying the Corollary 3.6 budgets."""
 
     name = "smooth"
+    spec_kind = "smooth"
     precompilable = True  # schedules are fully materialized in setup()
 
     def __init__(
@@ -120,3 +121,13 @@ class SmoothAdversary(Adversary):
             if self.jams_in_suffix(j) > jam_budget:
                 return False
         return True
+
+    def spec_params(self) -> dict:
+        from ..spec.rates import rate_function_to_spec
+
+        return {
+            "f": rate_function_to_spec(self._f),
+            "g": rate_function_to_spec(self._g),
+            "arrival_constant": self._arrival_constant,
+            "jam_constant": self._jam_constant,
+        }

@@ -11,9 +11,21 @@ Run every experiment and (re)generate EXPERIMENTS.md::
 
     python -m repro.cli report --scale full --output EXPERIMENTS.md
 
-Simulate one workload interactively::
+Simulate one workload interactively (ad hoc or a named scenario)::
 
     python -m repro.cli simulate --arrivals 128 --horizon 16384 --jam 0.25
+    python -m repro.cli simulate --scenario ethernet-burst
+
+List the named scenarios and their specs::
+
+    python -m repro.cli scenarios --format json
+
+Sweep a parameter grid over a declarative study spec (results are cached in
+a content-addressed store keyed by spec hash)::
+
+    python -m repro.cli sweep --scenario adversarial-jam \\
+        --axis adversary.jamming.params.fraction=0.0,0.1,0.25,0.4 \\
+        --axis horizon=4096,8192,16384 --trials 3 --format csv
 
 Run the benchmark suite and persist the performance trajectory::
 
@@ -24,11 +36,15 @@ Run the benchmark suite and persist the performance trajectory::
 from __future__ import annotations
 
 import argparse
+import csv
+import io
+import json
 import sys
-from typing import Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
 
 from . import quick_run
-from .errors import ReproError
+from .errors import ReproError, SpecError
 from .experiments import ExperimentConfig, all_experiments, get_experiment
 from .experiments.report import run_all, write_report
 from .sim.backends import available_backends, available_study_backends
@@ -68,9 +84,15 @@ def build_parser() -> argparse.ArgumentParser:
         "simulate", help="run the paper's algorithm once on a simple workload"
     )
     simulate_parser.add_argument("--arrivals", type=int, default=64)
-    simulate_parser.add_argument("--horizon", type=int, default=8192)
+    simulate_parser.add_argument("--horizon", type=int, default=None)
     simulate_parser.add_argument("--jam", type=float, default=0.0)
     simulate_parser.add_argument("--seed", type=int, default=None)
+    simulate_parser.add_argument(
+        "--scenario",
+        default=None,
+        help="run a named scenario workload instead of --arrivals/--jam "
+        "(see `repro scenarios`)",
+    )
     simulate_parser.add_argument(
         "--backend",
         choices=available_backends(),
@@ -78,6 +100,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation slot kernel (auto picks vectorized when eligible)",
     )
     simulate_parser.set_defaults(func=_cmd_simulate)
+
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list the named workload scenarios and their specs"
+    )
+    scenarios_parser.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    scenarios_parser.set_defaults(func=_cmd_scenarios)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="expand a parameter grid over a study spec and run every point "
+        "(cached by spec hash)",
+    )
+    base = sweep_parser.add_mutually_exclusive_group(required=True)
+    base.add_argument(
+        "--spec", default=None, help="path to a StudySpec JSON file ('-' for stdin)"
+    )
+    base.add_argument(
+        "--scenario", default=None, help="use a named scenario's study spec as the base"
+    )
+    sweep_parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2,...",
+        help="sweep axis: dotted spec path and comma-separated values "
+        "(repeatable; cartesian product)",
+    )
+    sweep_parser.add_argument("--trials", type=int, default=None)
+    sweep_parser.add_argument("--seed", type=int, default=None)
+    sweep_parser.add_argument(
+        "--backend", choices=available_study_backends(), default=None
+    )
+    sweep_parser.add_argument("--workers", type=int, default=None)
+    sweep_parser.add_argument(
+        "--store",
+        default=".repro-store",
+        help="result cache directory (default: .repro-store)",
+    )
+    sweep_parser.add_argument(
+        "--no-store", action="store_true", help="disable the result cache"
+    )
+    sweep_parser.add_argument(
+        "--format", choices=["table", "json", "csv"], default="table"
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -182,12 +251,18 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    # Without a scenario the historical default horizon (8192) applies; a
+    # scenario supplies its own horizon unless --horizon overrides it.
+    horizon = args.horizon
+    if horizon is None and args.scenario is None:
+        horizon = 8192
     result = quick_run(
         arrivals=args.arrivals,
-        horizon=args.horizon,
+        horizon=horizon,
         jam_fraction=args.jam,
         seed=args.seed,
         backend=args.backend,
+        scenario=args.scenario,
     )
     print(result.describe())
     print(f"classical throughput at horizon: {result.classical_throughput():.3f}")
@@ -197,6 +272,114 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"({result.slots_per_second:,.0f} slots/s, "
         f"{result.wall_time_seconds * 1000:.1f} ms)"
     )
+    return 0
+
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from .workloads import STANDARD_SCENARIOS
+
+    if args.format == "json":
+        payload = [
+            {
+                "key": scenario.key,
+                "description": scenario.description,
+                "study": scenario.study_spec().to_dict(),
+            }
+            for scenario in STANDARD_SCENARIOS.values()
+        ]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for scenario in STANDARD_SCENARIOS.values():
+        spec = scenario.spec
+        print(f"{scenario.key}")
+        print(f"  {scenario.description}")
+        print(
+            f"  workload: {spec.arrival_kind} arrivals + {spec.jamming_kind} "
+            f"jamming over {spec.horizon} slots"
+        )
+    print(
+        "\nrun one with: repro simulate --scenario <key>   "
+        "or sweep it with: repro sweep --scenario <key> --axis ..."
+    )
+    return 0
+
+
+def _parse_axis_value(text: str):
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_axes(axis_args: Sequence[str]) -> Dict[str, List[Any]]:
+    axes: Dict[str, List[Any]] = {}
+    for axis in axis_args:
+        path, sep, values = axis.partition("=")
+        if not sep or not path or not values:
+            raise SpecError(
+                f"invalid --axis {axis!r}; expected PATH=V1,V2,... "
+                "(e.g. adversary.jamming.params.fraction=0.0,0.25)"
+            )
+        axes[path] = [_parse_axis_value(v) for v in values.split(",")]
+    return axes
+
+
+def _sweep_base_spec(args: argparse.Namespace):
+    from .spec import StudySpec
+    from .workloads import scenario_study
+
+    if args.scenario is not None:
+        spec = scenario_study(args.scenario)
+    elif args.spec == "-":
+        spec = StudySpec.from_json(sys.stdin.read())
+    else:
+        spec = StudySpec.from_json(Path(args.spec).read_text())
+    overrides: Dict[str, Any] = {}
+    for name in ("trials", "seed", "backend", "workers"):
+        value = getattr(args, name)
+        if value is not None:
+            overrides[name] = value
+    return spec.with_overrides(overrides)
+
+
+def _render_sweep_rows(rows: List[Dict[str, Any]], fmt: str) -> str:
+    if fmt == "json":
+        return json.dumps(rows, indent=2, sort_keys=True)
+    if fmt == "csv":
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+        writer.writeheader()
+        writer.writerows(rows)
+        return buffer.getvalue().rstrip("\n")
+    from .analysis.tables import Table
+
+    columns = list(rows[0])
+    table = Table(title=f"sweep ({len(rows)} points)", columns=columns)
+    for row in rows:
+        table.add_row(*[row[c] for c in columns])
+    return table.render()
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .spec import StudyPlan, StudyStore, Sweep, sweep_rows
+
+    base = _sweep_base_spec(args)
+    sweep = Sweep(base, _parse_axes(args.axis))
+    plan = StudyPlan.from_sweep(sweep)
+    store = None if args.no_store else StudyStore(args.store)
+    results = plan.run(store=store)
+    rows = sweep_rows(results)
+    print(_render_sweep_rows(rows, args.format))
+    if args.format == "table":
+        cached = sum(1 for r in results if r.cached)
+        dispatch = sum(r.dispatch_seconds for r in results)
+        run_time = sum(r.run_seconds for r in results)
+        where = "disabled" if store is None else str(store.root)
+        print(
+            f"{len(results)} points ({cached} cached), "
+            f"simulation {run_time:.2f}s + dispatch {dispatch * 1000:.0f}ms; "
+            f"store: {where}"
+        )
     return 0
 
 

@@ -101,3 +101,42 @@ class AlgorithmParameters:
             f"AlgorithmParameters(g={self.g.name}, f={self.f.name}, "
             f"a={self.a:g}, c2={self.c2:g}, c3={self.c3:g})"
         )
+
+    # ------------------------------------------------------------ spec layer
+
+    def to_spec_params(self) -> dict:
+        """Serializable recipe, defined for :meth:`from_g`-style instances.
+
+        The declarative protocol spec stores ``g`` plus the constants and
+        rebuilds everything else through :meth:`from_g`; instances whose ``f``
+        was chosen independently (``from_f`` ablations, hand-assembled
+        bundles) have no faithful recipe and raise ``SpecError``.
+        """
+        # Imported lazily: repro.spec imports this module at package-init time.
+        from ..errors import SpecError
+        from ..spec.rates import rate_function_to_spec
+
+        g_spec = rate_function_to_spec(self.g)
+        expected_f = {
+            "kind": "derived-f",
+            "params": {"g": g_spec, "a": self.a, "c2": self.c2, "floor": 1.0},
+        }
+        if self.f.spec != expected_f:
+            raise SpecError(
+                f"{self.describe()} was not built via AlgorithmParameters.from_g "
+                "and cannot be serialized (its f is not the one derived from g)"
+            )
+        return {"g": g_spec, "a": self.a, "c2": self.c2, "c3": self.c3}
+
+    @classmethod
+    def from_spec_params(cls, params: dict) -> "AlgorithmParameters":
+        """Inverse of :meth:`to_spec_params` (rebuilds through :meth:`from_g`)."""
+        from ..spec.rates import rate_function_from_spec
+
+        g = rate_function_from_spec(params["g"]) if "g" in params else None
+        return cls.from_g(
+            g,
+            a=float(params.get("a", 1.0)),
+            c2=float(params.get("c2", 1.0)),
+            c3=float(params.get("c3", 4.0)),
+        )

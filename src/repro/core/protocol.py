@@ -45,6 +45,7 @@ class ChenJiangZhengProtocol(Protocol):
     """The paper's algorithm, parameterized by the jamming budget function ``g``."""
 
     name = "chen-jiang-zheng"
+    spec_kind = "cjz"
 
     def __init__(self, parameters: Optional[AlgorithmParameters] = None) -> None:
         self._params = parameters or AlgorithmParameters.from_g()
@@ -76,6 +77,9 @@ class ChenJiangZhengProtocol(Protocol):
     @property
     def phase3_restarts(self) -> int:
         return self._phase3_restarts
+
+    def spec_params(self) -> dict:
+        return self._params.to_spec_params()
 
     @property
     def control_parity(self) -> Optional[ChannelParity]:
@@ -202,6 +206,7 @@ class GlobalClockVariant(ChenJiangZhengProtocol):
     """
 
     name = "cjz-global-clock"
+    spec_kind = "cjz-global-clock"
 
     def on_arrival(self, slot: int, rng: np.random.Generator) -> None:
         super().on_arrival(slot, rng)

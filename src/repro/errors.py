@@ -11,6 +11,14 @@ class ConfigurationError(ReproError):
     """Raised when a simulation, protocol or adversary is misconfigured."""
 
 
+class SpecError(ConfigurationError):
+    """Raised when a declarative spec is invalid or an object is not spec-able.
+
+    Subclasses :class:`ConfigurationError` so existing ``except
+    ConfigurationError`` handlers (CLI, experiments) also cover spec problems.
+    """
+
+
 class ProtocolError(ReproError):
     """Raised when a protocol implementation violates the channel contract."""
 

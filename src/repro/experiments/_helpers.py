@@ -1,30 +1,37 @@
-"""Shared helpers for the experiment modules."""
+"""Shared helpers for the experiment modules.
+
+Experiments describe their workloads declaratively: the adversary helpers
+return :class:`~repro.spec.AdversarySpec`-backed factories and the study
+helpers assemble full :class:`~repro.spec.StudySpec` values, so every
+experiment configuration is serializable, hashable and sweepable.  Raw
+callables remain accepted everywhere (`run_trials`'s escape hatch) for the
+few configurations with no declarative form.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
-from ..adversary import (
-    Adversary,
-    BatchArrivals,
-    ComposedAdversary,
-    NoJamming,
-    RandomFractionJamming,
-    UniformRandomArrivals,
-)
-from ..core import AlgorithmParameters, cjz_factory
-from ..functions import RateFunction, constant_g
+from ..adversary import Adversary
+from ..errors import SpecError
+from ..functions import RateFunction
 from ..protocols.base import ProtocolFactory
 from ..sim import TrialStudy, run_trials
+from ..spec import AdversarySpec, ProtocolSpec, StudySpec, rate_function_to_spec
 
 __all__ = [
     "batch_jam_adversary",
     "spread_jam_adversary",
+    "cjz_protocol_spec",
     "cjz_study",
     "protocol_study",
+    "study_spec",
     "log2",
 ]
+
+AdversaryLike = Union[AdversarySpec, Callable[[], Adversary]]
+ProtocolLike = Union[ProtocolSpec, ProtocolFactory]
 
 
 def log2(x: float) -> float:
@@ -34,35 +41,63 @@ def log2(x: float) -> float:
 def batch_jam_adversary(
     count: int, jam_fraction: float = 0.0, slot: int = 1
 ) -> Callable[[], Adversary]:
-    """Factory for a batch-arrival adversary with optional random jamming."""
+    """Factory for a batch-arrival adversary with optional random jamming.
 
-    def _factory() -> Adversary:
-        jamming = (
-            RandomFractionJamming(jam_fraction) if jam_fraction > 0 else NoJamming()
-        )
-        return ComposedAdversary(BatchArrivals(count, slot=slot), jamming)
-
-    return _factory
+    Spec-backed: the declarative description is on the factory's ``spec``
+    attribute (an :class:`~repro.spec.AdversarySpec`).
+    """
+    return AdversarySpec.batch(count, jam_fraction=jam_fraction, slot=slot).factory()
 
 
 def spread_jam_adversary(
     total: int, horizon: int, jam_fraction: float = 0.0
 ) -> Callable[[], Adversary]:
     """Factory for uniformly spread arrivals with optional random jamming."""
+    spec = AdversarySpec.spread(
+        total, end=max(1, horizon // 2), jam_fraction=jam_fraction
+    )
+    return spec.factory(horizon)
 
-    def _factory() -> Adversary:
-        jamming = (
-            RandomFractionJamming(jam_fraction) if jam_fraction > 0 else NoJamming()
-        )
-        return ComposedAdversary(
-            UniformRandomArrivals(total, (1, max(1, horizon // 2))), jamming
-        )
 
-    return _factory
+def cjz_protocol_spec(
+    g: Optional[RateFunction] = None, c3: Optional[float] = None
+) -> ProtocolSpec:
+    """ProtocolSpec for the paper's algorithm parameterized by ``g`` (and ``c3``)."""
+    params = {}
+    if g is not None:
+        params["g"] = rate_function_to_spec(g)
+    if c3 is not None:
+        params["c3"] = c3
+    return ProtocolSpec(kind="cjz", params=params)
+
+
+def study_spec(
+    protocol: ProtocolSpec,
+    adversary: AdversarySpec,
+    horizon: int,
+    trials: int,
+    seed: Optional[int],
+    stop_when_drained: bool = False,
+    label: str = "",
+    backend: str = "auto",
+    workers: int = 1,
+) -> StudySpec:
+    """Assemble a StudySpec from experiment-level arguments."""
+    return StudySpec(
+        protocol=protocol,
+        adversary=adversary,
+        horizon=horizon,
+        trials=trials,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        stop_when_drained=stop_when_drained,
+        label=label,
+    )
 
 
 def cjz_study(
-    adversary_factory: Callable[[], Adversary],
+    adversary: AdversaryLike,
     horizon: int,
     trials: int,
     seed: int,
@@ -72,11 +107,33 @@ def cjz_study(
     backend: str = "auto",
     workers: int = 1,
 ) -> TrialStudy:
-    """Run the paper's algorithm (parameterized by ``g``) across trials."""
-    parameters = AlgorithmParameters.from_g(g or constant_g(4.0))
+    """Run the paper's algorithm (parameterized by ``g``) across trials.
+
+    Falls back to the callable-factory path when ``g`` has no serializable
+    family spec or the adversary is a raw factory.
+    """
+    try:
+        protocol: ProtocolLike = cjz_protocol_spec(g)
+    except SpecError:
+        from ..core import AlgorithmParameters, cjz_factory
+        from ..functions import constant_g
+
+        protocol = cjz_factory(AlgorithmParameters.from_g(g or constant_g(4.0)))
+    if isinstance(adversary, AdversarySpec) and isinstance(protocol, ProtocolSpec):
+        return study_spec(
+            protocol,
+            adversary,
+            horizon,
+            trials,
+            seed,
+            stop_when_drained=stop_when_drained,
+            label=label,
+            backend=backend,
+            workers=workers,
+        ).run()
     return run_trials(
-        protocol_factory=cjz_factory(parameters),
-        adversary_factory=adversary_factory,
+        protocol_factory=protocol,
+        adversary_factory=adversary,
         horizon=horizon,
         trials=trials,
         seed=seed,
@@ -88,8 +145,8 @@ def cjz_study(
 
 
 def protocol_study(
-    protocol_factory: ProtocolFactory,
-    adversary_factory: Callable[[], Adversary],
+    protocol: ProtocolLike,
+    adversary: AdversaryLike,
     horizon: int,
     trials: int,
     seed: int,
@@ -98,10 +155,22 @@ def protocol_study(
     backend: str = "auto",
     workers: int = 1,
 ) -> TrialStudy:
-    """Run an arbitrary protocol across trials (thin wrapper for symmetry)."""
+    """Run an arbitrary protocol (spec or factory) across trials."""
+    if isinstance(protocol, ProtocolSpec) and isinstance(adversary, AdversarySpec):
+        return study_spec(
+            protocol,
+            adversary,
+            horizon,
+            trials,
+            seed,
+            stop_when_drained=stop_when_drained,
+            label=label,
+            backend=backend,
+            workers=workers,
+        ).run()
     return run_trials(
-        protocol_factory=protocol_factory,
-        adversary_factory=adversary_factory,
+        protocol_factory=protocol,
+        adversary_factory=adversary,
         horizon=horizon,
         trials=trials,
         seed=seed,

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from ..errors import ConfigurationError
@@ -67,13 +68,9 @@ class ExperimentConfig:
         return max(minimum, int(base * self.scale_factor))
 
     def with_scale(self, scale: str) -> "ExperimentConfig":
-        return ExperimentConfig(
-            trials=self.trials,
-            seed=self.seed,
-            scale=scale,
-            backend=self.backend,
-            workers=self.workers,
-        )
+        # dataclasses.replace copies every field, so new config fields can
+        # never be silently dropped here.
+        return dataclasses.replace(self, scale=scale)
 
     @property
     def execution_kwargs(self) -> dict:

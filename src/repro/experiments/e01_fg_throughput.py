@@ -15,23 +15,14 @@ checks it stays below a fixed constant.
 
 from __future__ import annotations
 
-from typing import Callable, List, Tuple
+from typing import List, Tuple
 
-from ..adversary import (
-    Adversary,
-    BatchArrivals,
-    BurstyArrivals,
-    ComposedAdversary,
-    NoJamming,
-    RandomFractionJamming,
-    ReactiveJamming,
-    UniformRandomArrivals,
-)
 from ..analysis.tables import Table
-from ..core import AlgorithmParameters, cjz_factory
+from ..core import AlgorithmParameters
 from ..functions import constant_g
 from ..metrics import FGThroughputChecker
-from ..sim import run_trials
+from ..spec import AdversarySpec
+from ._helpers import cjz_protocol_spec, study_spec
 from .base import Experiment, ExperimentResult, register
 from .config import ExperimentConfig
 
@@ -46,34 +37,28 @@ SLACK = 8.0
 GRACE = 128.0
 
 
-def _workloads(config: ExperimentConfig, horizon: int) -> List[Tuple[str, Callable[[], Adversary]]]:
+def _workloads(config: ExperimentConfig, horizon: int) -> List[Tuple[str, AdversarySpec]]:
+    """The experiment's workload mix as declarative adversary specs."""
     batch_size = config.count(96)
     spread_total = config.count(128)
     burst_size = config.count(24)
 
-    def batch_none() -> Adversary:
-        return ComposedAdversary(BatchArrivals(batch_size), NoJamming())
-
-    def batch_jam() -> Adversary:
-        return ComposedAdversary(BatchArrivals(batch_size), RandomFractionJamming(0.25))
-
-    def spread_jam() -> Adversary:
-        return ComposedAdversary(
-            UniformRandomArrivals(spread_total, (1, horizon // 2)),
-            RandomFractionJamming(0.2),
-        )
-
-    def bursty_reactive() -> Adversary:
-        return ComposedAdversary(
-            BurstyArrivals(burst_size, period=max(64, horizon // 8)),
-            ReactiveJamming(0.15, burst=6),
-        )
-
     return [
-        ("batch / no jamming", batch_none),
-        ("batch / 25% random jamming", batch_jam),
-        ("spread / 20% random jamming", spread_jam),
-        ("bursty / reactive jamming", bursty_reactive),
+        ("batch / no jamming", AdversarySpec.batch(batch_size)),
+        ("batch / 25% random jamming", AdversarySpec.batch(batch_size, jam_fraction=0.25)),
+        (
+            "spread / 20% random jamming",
+            AdversarySpec.spread(spread_total, end=horizon // 2, jam_fraction=0.2),
+        ),
+        (
+            "bursty / reactive jamming",
+            AdversarySpec.composed(
+                "bursty",
+                "reactive",
+                {"burst_size": burst_size, "period": max(64, horizon // 8)},
+                {"fraction": 0.15, "burst": 6},
+            ),
+        ),
     ]
 
 
@@ -111,16 +96,16 @@ class FGThroughputExperiment(Experiment):
         )
         worst_ratio_overall = 0.0
         all_satisfied = True
-        for label, adversary_factory in _workloads(config, horizon):
-            study = run_trials(
-                protocol_factory=cjz_factory(parameters),
-                adversary_factory=adversary_factory,
+        for label, adversary in _workloads(config, horizon):
+            study = study_spec(
+                cjz_protocol_spec(g),
+                adversary,
                 horizon=horizon,
                 trials=config.trials,
                 seed=config.seed,
                 label=label,
                 **config.execution_kwargs,
-            )
+            ).run()
             reports = [checker.check(r) for r in study]
             satisfied = sum(1 for r in reports if r.satisfied)
             worst = max(r.worst_ratio for r in reports)

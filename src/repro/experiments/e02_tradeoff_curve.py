@@ -24,22 +24,15 @@ supporting the paper's "sufficiently large constant" treatment.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import List
 
-from ..adversary import (
-    Adversary,
-    ComposedAdversary,
-    NoJamming,
-    RandomFractionJamming,
-    UniformRandomArrivals,
-)
 from ..analysis.fitting import fit_shape, growth_exponent
 from ..analysis.tables import Table
-from ..core import AlgorithmParameters, cjz_factory
+from ..core import AlgorithmParameters
 from ..functions import constant_g
 from ..metrics import FGThroughputChecker
-from ..sim import run_trials
-from ._helpers import log2
+from ..spec import AdversarySpec
+from ._helpers import cjz_protocol_spec, log2, study_spec
 from .base import Experiment, ExperimentResult, register
 from .config import ExperimentConfig
 
@@ -49,16 +42,10 @@ SLACK = 8.0
 GRACE = 128.0
 
 
-def _spread_adversary(total: int, horizon: int, jam_fraction: float) -> Callable[[], Adversary]:
-    def _factory() -> Adversary:
-        jamming = (
-            RandomFractionJamming(jam_fraction) if jam_fraction > 0 else NoJamming()
-        )
-        return ComposedAdversary(
-            UniformRandomArrivals(total, (1, max(2, horizon // 2))), jamming
-        )
-
-    return _factory
+def _spread_adversary(total: int, horizon: int, jam_fraction: float) -> AdversarySpec:
+    return AdversarySpec.spread(
+        total, end=max(2, horizon // 2), jam_fraction=jam_fraction
+    )
 
 
 def _overhead(study) -> float:
@@ -80,7 +67,9 @@ class TradeoffCurveExperiment(Experiment):
 
     def run(self, config: ExperimentConfig) -> ExperimentResult:
         result = self.make_result()
-        parameters = AlgorithmParameters.from_g(constant_g(4.0))
+        g = constant_g(4.0)
+        parameters = AlgorithmParameters.from_g(g)
+        protocol = cjz_protocol_spec(g)
         checker = FGThroughputChecker(
             parameters.f, parameters.g, slack=SLACK, min_prefix=64, additive_grace=GRACE
         )
@@ -95,15 +84,15 @@ class TradeoffCurveExperiment(Experiment):
         overheads: List[float] = []
         for horizon in horizons:
             arrivals = max(8, int(horizon / (8.0 * log2(horizon))))
-            study = run_trials(
-                protocol_factory=cjz_factory(parameters),
-                adversary_factory=_spread_adversary(arrivals, horizon, 0.25),
+            study = study_spec(
+                protocol,
+                _spread_adversary(arrivals, horizon, 0.25),
                 horizon=horizon,
                 trials=config.trials,
                 seed=config.seed,
                 label=f"t={horizon}",
                 **config.execution_kwargs,
-            )
+            ).run()
             overhead = _overhead(study)
             overheads.append(overhead)
             satisfied = all(checker.check(r).satisfied for r in study)
@@ -134,15 +123,15 @@ class TradeoffCurveExperiment(Experiment):
         )
         delivered_fractions: List[float] = []
         for fraction in (0.0, 0.1, 0.25, 0.4):
-            study = run_trials(
-                protocol_factory=cjz_factory(parameters),
-                adversary_factory=_spread_adversary(arrivals, horizon, fraction),
+            study = study_spec(
+                protocol,
+                _spread_adversary(arrivals, horizon, fraction),
                 horizon=horizon,
                 trials=config.trials,
                 seed=config.seed + 3,
                 label=f"jam={fraction:.0%}",
                 **config.execution_kwargs,
-            )
+            ).run()
             delivered = study.mean(lambda r: r.total_successes)
             fraction_delivered = delivered / arrivals
             delivered_fractions.append(fraction_delivered)
@@ -167,16 +156,15 @@ class TradeoffCurveExperiment(Experiment):
         )
         ablation_overheads: List[float] = []
         for c3 in (2.0, 4.0, 8.0):
-            ab_params = AlgorithmParameters.from_g(constant_g(4.0), c3=c3)
-            study = run_trials(
-                protocol_factory=cjz_factory(ab_params),
-                adversary_factory=_spread_adversary(arrivals, horizon, 0.25),
+            study = study_spec(
+                cjz_protocol_spec(g, c3=c3),
+                _spread_adversary(arrivals, horizon, 0.25),
                 horizon=horizon,
                 trials=max(2, config.trials // 2),
                 seed=config.seed + 5,
                 label=f"c3={c3:g}",
                 **config.execution_kwargs,
-            )
+            ).run()
             overhead = _overhead(study)
             ablation_overheads.append(overhead)
             ablation.add_row(

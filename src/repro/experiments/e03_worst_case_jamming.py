@@ -13,21 +13,13 @@ overestimates growth.
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import List
 
-from ..adversary import (
-    Adversary,
-    ComposedAdversary,
-    RandomFractionJamming,
-    ReactiveJamming,
-    UniformRandomArrivals,
-)
 from ..analysis.fitting import fit_shape, growth_exponent
 from ..analysis.tables import Table
-from ..core import AlgorithmParameters, cjz_factory
 from ..functions import constant_g
-from ..sim import run_trials
-from ._helpers import log2
+from ..spec import AdversarySpec
+from ._helpers import cjz_protocol_spec, log2, study_spec
 from .base import Experiment, ExperimentResult, register
 from .config import ExperimentConfig
 
@@ -36,24 +28,19 @@ __all__ = ["WorstCaseJammingExperiment"]
 JAM_FRACTION = 0.25
 
 
-def _oblivious(total: int, horizon: int) -> Callable[[], Adversary]:
-    def _factory() -> Adversary:
-        return ComposedAdversary(
-            UniformRandomArrivals(total, (1, max(2, horizon // 2))),
-            RandomFractionJamming(JAM_FRACTION),
-        )
-
-    return _factory
+def _oblivious(total: int, horizon: int) -> AdversarySpec:
+    return AdversarySpec.spread(
+        total, end=max(2, horizon // 2), jam_fraction=JAM_FRACTION
+    )
 
 
-def _reactive(total: int, horizon: int) -> Callable[[], Adversary]:
-    def _factory() -> Adversary:
-        return ComposedAdversary(
-            UniformRandomArrivals(total, (1, max(2, horizon // 2))),
-            ReactiveJamming(JAM_FRACTION, burst=8),
-        )
-
-    return _factory
+def _reactive(total: int, horizon: int) -> AdversarySpec:
+    return AdversarySpec.composed(
+        "uniform-random",
+        "reactive",
+        {"total": total, "start": 1, "end": max(2, horizon // 2)},
+        {"fraction": JAM_FRACTION, "burst": 8},
+    )
 
 
 @register
@@ -72,7 +59,7 @@ class WorstCaseJammingExperiment(Experiment):
         result = self.make_result()
         base = config.horizon(2048)
         horizons = [base, base * 2, base * 4, base * 8]
-        parameters = AlgorithmParameters.from_g(constant_g(4.0))
+        protocol = cjz_protocol_spec(constant_g(4.0))
 
         table = Table(
             title=f"Deliveries within t slots, {JAM_FRACTION:.0%} of slots jammed",
@@ -93,15 +80,15 @@ class WorstCaseJammingExperiment(Experiment):
         ):
             for horizon in horizons:
                 injected = max(8, int(horizon / (2.0 * log2(horizon))))
-                study = run_trials(
-                    protocol_factory=cjz_factory(parameters),
-                    adversary_factory=factory_builder(injected, horizon),
+                study = study_spec(
+                    protocol,
+                    factory_builder(injected, horizon),
                     horizon=horizon,
                     trials=config.trials,
                     seed=config.seed,
                     label=f"{jammer_label}@{horizon}",
                     **config.execution_kwargs,
-                )
+                ).run()
                 delivered = study.mean(lambda r: r.total_successes)
                 normalizer = horizon / log2(horizon)
                 ratio = delivered / normalizer

@@ -23,8 +23,8 @@ This module provides:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
 
 from .errors import ConfigurationError
 
@@ -50,10 +50,18 @@ class RateFunction:
 
     Instances are lightweight callables; the name is carried along so that
     experiment reports can label sweeps (e.g. ``g(x) = log x``).
+
+    ``spec`` holds the JSON-serializable description of the function when it
+    was built by one of the standard family constructors below (``{"kind":
+    ..., "params": {...}}``).  It is what lets protocol and adversary specs
+    that embed a rate function round-trip through JSON; hand-rolled
+    ``RateFunction`` instances leave it ``None`` and are simply not
+    serializable.
     """
 
     name: str
     func: Callable[[float], float]
+    spec: Optional[Mapping[str, Any]] = field(default=None, compare=False)
 
     def __call__(self, x: float) -> float:
         if x <= 0:
@@ -75,7 +83,11 @@ def constant_g(value: float = 4.0) -> RateFunction:
     """Constant jamming budget: the adversary may jam a constant fraction of slots."""
     if value <= 1:
         raise ConfigurationError("constant g must exceed 1")
-    return RateFunction(f"g(x)={value:g}", lambda x: value)
+    return RateFunction(
+        f"g(x)={value:g}",
+        lambda x: value,
+        spec={"kind": "constant", "params": {"value": value}},
+    )
 
 
 def log_g(base: float = 2.0, floor: float = 2.0) -> RateFunction:
@@ -85,6 +97,7 @@ def log_g(base: float = 2.0, floor: float = 2.0) -> RateFunction:
     return RateFunction(
         f"g(x)=log_{base:g}(x)",
         lambda x: max(floor, math.log(x, base)),
+        spec={"kind": "log", "params": {"base": base, "floor": floor}},
     )
 
 
@@ -95,6 +108,7 @@ def polylog_g(power: float = 2.0, floor: float = 2.0) -> RateFunction:
     return RateFunction(
         f"g(x)=log^{power:g}(x)",
         lambda x: max(floor, math.log2(max(x, 2.0)) ** power),
+        spec={"kind": "polylog", "params": {"power": power, "floor": floor}},
     )
 
 
@@ -110,6 +124,7 @@ def exp_sqrt_log_g(scale: float = 1.0, floor: float = 2.0) -> RateFunction:
     return RateFunction(
         f"g(x)=2^({scale:g}*sqrt(log2 x))",
         lambda x: max(floor, 2.0 ** (scale * math.sqrt(math.log2(max(x, 2.0))))),
+        spec={"kind": "exp-sqrt-log", "params": {"scale": scale, "floor": floor}},
     )
 
 
@@ -128,7 +143,13 @@ def derive_f(g: RateFunction, a: float = 1.0, c2: float = 1.0, floor: float = 1.
         value = a * c2 * math.log2(max(x, 2.0)) / (math.log2(gx) ** 2)
         return max(floor, value)
 
-    return RateFunction(f"f from {g.name}", _f)
+    spec = None
+    if g.spec is not None:
+        spec = {
+            "kind": "derived-f",
+            "params": {"g": dict(g.spec), "a": a, "c2": c2, "floor": floor},
+        }
+    return RateFunction(f"f from {g.name}", _f, spec=spec)
 
 
 def h_ctrl(c3: float = 4.0) -> RateFunction:

@@ -23,6 +23,7 @@ class SlottedAloha(Protocol):
 
     name = "slotted-aloha"
     vector_eligible = True
+    spec_kind = "slotted-aloha"
 
     def __init__(self, probability: float = 0.1) -> None:
         if not 0.0 < probability <= 1.0:
@@ -50,3 +51,6 @@ class SlottedAloha(Protocol):
         probabilities = np.full(max_age + 1, self._p)
         probabilities[0] = 0.0
         return probabilities
+
+    def spec_params(self) -> dict:
+        return {"probability": self._p}

@@ -54,6 +54,11 @@ class Protocol(abc.ABC):
     #: human-readable protocol name used in reports
     name: str = "protocol"
 
+    #: registry key of this protocol in :data:`repro.spec.PROTOCOLS`, or
+    #: ``None`` for protocols that cannot be described declaratively (e.g.
+    #: ones constructed around arbitrary callables).
+    spec_kind: Optional[str] = None
+
     #: True only when broadcast decisions are independent Bernoulli draws whose
     #: probability is a pure function of the node's age, feedback is ignored,
     #: and exactly one uniform is drawn per active slot (see module docstring).
@@ -121,6 +126,44 @@ class Protocol(abc.ABC):
                 return None
             probabilities[age] = p
         return probabilities
+
+    # ------------------------------------------------------------ spec layer
+
+    def spec_params(self) -> dict:
+        """JSON-serializable constructor parameters of this instance.
+
+        Together with :attr:`spec_kind` this must reconstruct an instance
+        that behaves identically (same RNG consumption, same decisions) —
+        the round-trip contract ``from_spec(to_spec())`` relies on it.
+        """
+        return {}
+
+    def to_spec(self):
+        """The declarative :class:`~repro.spec.ProtocolSpec` for this instance."""
+        from ..spec.protocol import ProtocolSpec
+
+        if self.spec_kind is None:
+            from ..errors import SpecError
+
+            raise SpecError(
+                f"protocol {self.name!r} has no registered spec kind and "
+                "cannot be serialized"
+            )
+        return ProtocolSpec(kind=self.spec_kind, params=self.spec_params())
+
+    @staticmethod
+    def from_spec(spec) -> "Protocol":
+        """Build a fresh instance from a :class:`~repro.spec.ProtocolSpec`.
+
+        Inverse of :meth:`to_spec` up to instance identity: the result
+        behaves identically (same constructor parameters, same RNG
+        consumption).  Accepts a spec object or its ``to_dict`` mapping.
+        """
+        from ..spec.protocol import ProtocolSpec
+
+        if not isinstance(spec, ProtocolSpec):
+            spec = ProtocolSpec.from_dict(spec)
+        return spec.build()()
 
 
 ProtocolFactory = Callable[[], Protocol]

@@ -35,6 +35,7 @@ class WindowedBinaryExponentialBackoff(Protocol):
     """Ethernet-style binary exponential backoff with a doubling contention window."""
 
     name = "binary-exponential-backoff"
+    spec_kind = "binary-exponential-backoff"
 
     def __init__(self, initial_window: int = 2, max_window: Optional[int] = None) -> None:
         if initial_window < 1:
@@ -83,6 +84,12 @@ class WindowedBinaryExponentialBackoff(Protocol):
         # state the decision is deterministic.
         return 1.0 if slot == self._next_attempt_slot else 0.0
 
+    def spec_params(self) -> dict:
+        return {
+            "initial_window": self._initial_window,
+            "max_window": self._max_window,
+        }
+
 
 class ProbabilityBackoff(Protocol):
     """Broadcast with probability ``min(1, scale / i)`` in the ``i``-th slot since arrival.
@@ -94,6 +101,7 @@ class ProbabilityBackoff(Protocol):
 
     name = "probability-backoff"
     vector_eligible = True
+    spec_kind = "probability-backoff"
 
     def __init__(self, scale: float = 1.0) -> None:
         if scale <= 0:
@@ -130,6 +138,9 @@ class ProbabilityBackoff(Protocol):
         probabilities = np.minimum(1.0, self._scale / ages)
         probabilities[0] = 0.0
         return probabilities
+
+    def spec_params(self) -> dict:
+        return {"scale": self._scale}
 
 
 BinaryExponentialBackoff = WindowedBinaryExponentialBackoff

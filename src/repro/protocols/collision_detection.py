@@ -37,6 +37,7 @@ class BackonBackoffCD(Protocol):
     """Multiplicative backon/backoff driven by silence-vs-collision feedback."""
 
     name = "backon-backoff-cd"
+    spec_kind = "backon-backoff-cd"
 
     def __init__(
         self,
@@ -86,3 +87,12 @@ class BackonBackoffCD(Protocol):
             # to adjust; it conservatively backs off (the classical choice).
             self._p = max(self._min_p, self._p * self._backoff)
         # SUCCESS (someone else's): contention estimate is adequate; keep p.
+
+    def spec_params(self) -> dict:
+        return {
+            "initial_probability": self._initial,
+            "backoff_factor": self._backoff,
+            "backon_factor": self._backon,
+            "min_probability": self._min_p,
+            "max_probability": self._max_p,
+        }

@@ -71,6 +71,7 @@ class LogUniformFixedProtocol(FixedProbabilityProtocol):
     """
 
     name = "log-uniform-fixed"
+    spec_kind = "log-uniform-fixed"
 
     def __init__(self, scale: float = 1.0) -> None:
         if scale <= 0:
@@ -80,3 +81,7 @@ class LogUniformFixedProtocol(FixedProbabilityProtocol):
             return min(1.0, scale * math.log2(i + 1) / (i + 1))
 
         super().__init__(_sequence, label=self.name)
+        self._scale = scale
+
+    def spec_params(self) -> dict:
+        return {"scale": self._scale}

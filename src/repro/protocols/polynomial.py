@@ -25,6 +25,7 @@ class PolynomialBackoff(Protocol):
     """Windowed backoff whose window grows as ``(failures + 1) ** degree``."""
 
     name = "polynomial-backoff"
+    spec_kind = "polynomial-backoff"
 
     def __init__(self, degree: float = 2.0, initial_window: int = 2) -> None:
         if degree <= 0:
@@ -64,3 +65,6 @@ class PolynomialBackoff(Protocol):
             self._schedule_next(slot + 1)
         elif not broadcast and slot >= self._next_attempt_slot:
             self._schedule_next(slot + 1)
+
+    def spec_params(self) -> dict:
+        return {"degree": self._degree, "initial_window": self._initial_window}

@@ -27,6 +27,7 @@ class SawtoothBackoff(Protocol):
     """Repeated doubling runs, each ramping its sending probability up to 1/2."""
 
     name = "sawtooth-backoff"
+    spec_kind = "sawtooth-backoff"
 
     def __init__(self, initial_window: int = 4, max_window: Optional[int] = None) -> None:
         if initial_window < 2:
@@ -86,3 +87,9 @@ class SawtoothBackoff(Protocol):
         # The run schedule is time-driven; feedback only matters through the
         # simulator removing the node once its own message succeeds.
         return None
+
+    def spec_params(self) -> dict:
+        return {
+            "initial_window": self._initial_window,
+            "max_window": self._max_window,
+        }

@@ -41,6 +41,7 @@ class TwoChannelNoJamming(ChenJiangZhengProtocol):
     """
 
     name = "two-channel-no-jamming"
+    spec_kind = "two-channel-no-jamming"
 
     def __init__(self, backoff_sends_per_stage: float = 2.0, c3: float = 4.0) -> None:
         parameters = AlgorithmParameters.from_f(
@@ -48,3 +49,14 @@ class TwoChannelNoJamming(ChenJiangZhengProtocol):
         )
         super().__init__(parameters)
         self.name = "two-channel-no-jamming"
+        self._backoff_sends_per_stage = backoff_sends_per_stage
+        self._c3 = c3
+
+    def spec_params(self) -> dict:
+        # The inherited implementation serializes AlgorithmParameters via
+        # from_g, which does not describe this from_f-based variant; its own
+        # constructor arguments are the faithful recipe.
+        return {
+            "backoff_sends_per_stage": self._backoff_sends_per_stage,
+            "c3": self._c3,
+        }

@@ -86,12 +86,15 @@ class TrialStudy:
     ``effective_workers`` records how many worker processes actually executed
     the study (1 when a ``workers>1`` request fell back to serial execution on
     a platform without ``fork``), so reports never claim parallelism that did
-    not happen.
+    not happen.  ``from_cache`` marks studies loaded from a
+    :class:`~repro.spec.StudyStore` rather than simulated; their ``results``
+    are summary-level :class:`~repro.spec.CachedResult` objects.
     """
 
     results: List[SimulationResult] = field(default_factory=list)
     label: str = ""
     effective_workers: int = 1
+    from_cache: bool = False
     _metric_cache: Dict[MetricExtractor, Tuple[int, np.ndarray]] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -169,6 +172,25 @@ class TrialStudy:
         }
 
 
+def _coerce_factories(protocol_factory, adversary_factory, horizon: int):
+    """Accept declarative specs wherever factories are expected.
+
+    :class:`~repro.spec.ProtocolSpec` / :class:`~repro.spec.AdversarySpec`
+    inputs are built into the equivalent factories (the adversary spec gets
+    the study horizon so horizon-dependent defaults and the proof
+    adversaries resolve); plain callables pass through untouched.  Imported
+    lazily — the spec package imports this module's public API.
+    """
+    from ..spec.adversary import AdversarySpec
+    from ..spec.protocol import ProtocolSpec
+
+    if isinstance(protocol_factory, ProtocolSpec):
+        protocol_factory = protocol_factory.build()
+    if isinstance(adversary_factory, AdversarySpec):
+        adversary_factory = adversary_factory.factory(horizon)
+    return protocol_factory, adversary_factory
+
+
 # Per-worker state, set by the pool initializer.  With the "fork" start
 # method initargs reach the child by memory copy, so unpicklable
 # protocol/adversary factories (closures) never cross a pickle boundary —
@@ -192,18 +214,22 @@ def _run_trial_chunk(index: int) -> List[SimulationResult]:
 class TrialRunner:
     """Runs the same (protocol, adversary, config) combination across seeds.
 
-    The adversary is supplied as a factory because many adversaries hold
-    per-run mutable state (schedules, budgets); each trial gets a fresh
-    instance and an independent seed.
+    The protocol and adversary are supplied either as factories (the
+    callable escape hatch — adversaries hold per-run mutable state, so each
+    trial gets a fresh instance) or as declarative specs
+    (:class:`~repro.spec.ProtocolSpec` / :class:`~repro.spec.AdversarySpec`),
+    which the runner builds into factories itself.  Both paths construct the
+    same classes with the same parameters, so they are seed-for-seed
+    identical.
 
     Parameters
     ----------
     collectors:
         Metric collectors attached to every trial's simulator.  Collector
         instances are shared across trials (their ``on_run_start`` hook is
-        expected to reset them), which is why they require ``workers=1``;
-        they also force the per-trial path (the batched study kernel emits no
-        per-slot records).
+        expected to reset them), which is why they require ``workers=1``
+        (rejected here, at construction time); they also force the per-trial
+        path (the batched study kernel emits no per-slot records).
     backend:
         Study-level backend selection (see the module docstring).
     workers:
@@ -230,6 +256,14 @@ class TrialRunner:
                 f"unknown backend {backend!r}; available: "
                 f"{', '.join(available_study_backends())}"
             )
+        if collectors and workers > 1:
+            raise ConfigurationError(
+                "collectors require workers=1: collector instances cannot be "
+                "shared across worker processes"
+            )
+        protocol_factory, adversary_factory = _coerce_factories(
+            protocol_factory, adversary_factory, config.horizon
+        )
         self._protocol_factory = protocol_factory
         self._adversary_factory = adversary_factory
         self._config = config
@@ -258,11 +292,6 @@ class TrialRunner:
         study = TrialStudy(label=self._label)
         if workers > 1:
             if "fork" in multiprocessing.get_all_start_methods():
-                if self._collectors:
-                    raise ConfigurationError(
-                        "collectors require workers=1: collector instances "
-                        "cannot be shared across worker processes"
-                    )
                 study.results.extend(self._run_parallel(seeds.trees, workers))
                 study.effective_workers = workers
                 return study
@@ -353,7 +382,13 @@ def run_trials(
     backend: str = AUTO_BACKEND,
     workers: int = 1,
 ) -> TrialStudy:
-    """Convenience wrapper: build the config and runner and execute the trials."""
+    """Convenience wrapper: build the config and runner and execute the trials.
+
+    ``protocol_factory`` / ``adversary_factory`` accept either plain
+    callables or declarative specs (:class:`~repro.spec.ProtocolSpec` /
+    :class:`~repro.spec.AdversarySpec`); see :class:`TrialRunner`.  For a
+    fully declarative entry point use :meth:`repro.spec.StudySpec.run`.
+    """
     config = SimulatorConfig(
         horizon=horizon,
         keep_trace=keep_trace,

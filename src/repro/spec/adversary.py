@@ -1,0 +1,489 @@
+"""Declarative adversary specs: composable arrivals + jamming, or whole adversaries.
+
+Two shapes are supported, mirroring how the library builds adversaries:
+
+* **Composed** (the default, ``kind="composed"``): an arrival-strategy spec
+  plus a jamming-strategy spec, assembled into a
+  :class:`~repro.adversary.ComposedAdversary`.  This is the serialized form
+  of every workload the old ``repro.workloads.WorkloadSpec`` could express.
+* **Monolithic**: one of the paper's proof adversaries (``lower-bound``,
+  ``non-adaptive-killer``, ``smooth``, ``adaptive-success-chaser``,
+  ``schedule``), registered in :data:`ADVERSARIES`.
+
+Adversary specs are *horizon-free*: strategies whose constructors need the
+horizon (the proof adversaries, window/period defaults) receive it at
+:meth:`AdversarySpec.build` time from the study that runs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from ..adversary import (
+    AdaptiveSuccessChaser,
+    Adversary,
+    BatchArrivals,
+    BudgetedJamming,
+    BurstyArrivals,
+    ComposedAdversary,
+    FrontLoadedJamming,
+    LowerBoundAdversary,
+    NoArrivals,
+    NoJamming,
+    NonAdaptiveKillerAdversary,
+    PeriodicJamming,
+    PoissonArrivals,
+    RandomFractionJamming,
+    ReactiveJamming,
+    ScheduleAdversary,
+    ScheduledArrivals,
+    SmoothAdversary,
+    UniformRandomArrivals,
+)
+from ..errors import SpecError
+from ..functions import derive_f
+from .rates import rate_function_from_spec
+from .registry import ParamField, SpecRegistry
+
+__all__ = [
+    "ADVERSARIES",
+    "ARRIVAL_STRATEGIES",
+    "COMPOSED_KIND",
+    "JAMMING_STRATEGIES",
+    "AdversarySpec",
+    "StrategySpec",
+]
+
+COMPOSED_KIND = "composed"
+
+ARRIVAL_STRATEGIES = SpecRegistry("arrival strategy")
+JAMMING_STRATEGIES = SpecRegistry("jamming strategy")
+ADVERSARIES = SpecRegistry("adversary")
+
+
+def _optional_int(value: Any) -> Optional[int]:
+    return None if value is None else int(value)
+
+
+# --------------------------------------------------------------- arrivals
+
+ARRIVAL_STRATEGIES.register(
+    "no-arrivals",
+    lambda p, horizon=None: NoArrivals(),
+    description="no nodes ever arrive",
+)
+ARRIVAL_STRATEGIES.register(
+    "batch",
+    lambda p, horizon=None: BatchArrivals(
+        count=int(p.get("count", 32)), slot=int(p.get("slot", 1))
+    ),
+    params=(ParamField("count", "int", 32), ParamField("slot", "int", 1)),
+    description="inject `count` nodes simultaneously at `slot` (the paper's batch setting)",
+)
+ARRIVAL_STRATEGIES.register(
+    "poisson",
+    lambda p, horizon=None: PoissonArrivals(
+        rate=float(p.get("rate", 0.05)), last_slot=_optional_int(p.get("last_slot"))
+    ),
+    params=(ParamField("rate", "float", 0.05), ParamField("last_slot", "int", None)),
+    description="independent Poisson arrivals with mean `rate` per slot",
+)
+ARRIVAL_STRATEGIES.register(
+    "uniform-random",
+    lambda p, horizon=None: UniformRandomArrivals(
+        total=int(p.get("total", 32)),
+        window=(
+            int(p.get("start", 1)),
+            int(p["end"]) if p.get("end") is not None else int(horizon or 1),
+        ),
+    ),
+    params=(
+        ParamField("total", "int", 32),
+        ParamField("start", "int", 1),
+        ParamField("end", "int", None),
+    ),
+    description="scatter `total` arrivals uniformly over [start, end] (end defaults to the horizon)",
+)
+ARRIVAL_STRATEGIES.register(
+    "bursty",
+    lambda p, horizon=None: BurstyArrivals(
+        burst_size=int(p.get("burst_size", 16)),
+        period=(
+            int(p["period"])
+            if p.get("period") is not None
+            else max(2, int(horizon or 16) // 8)
+        ),
+        jitter=bool(p.get("jitter", True)),
+        first_burst_slot=int(p.get("first_burst_slot", 1)),
+        last_slot=_optional_int(p.get("last_slot")),
+    ),
+    params=(
+        ParamField("burst_size", "int", 16),
+        ParamField("period", "int", None),
+        ParamField("jitter", "bool", True),
+        ParamField("first_burst_slot", "int", 1),
+        ParamField("last_slot", "int", None),
+    ),
+    description="a burst of `burst_size` nodes every `period` slots (Ethernet-like)",
+)
+ARRIVAL_STRATEGIES.register(
+    "scheduled",
+    lambda p, horizon=None: ScheduledArrivals(
+        schedule=[(int(slot), int(count)) for slot, count in p.get("schedule", [])]
+    ),
+    params=(ParamField("schedule", "list", ()),),
+    description="replay an explicit [[slot, count], ...] arrival schedule",
+)
+
+# ---------------------------------------------------------------- jamming
+
+JAMMING_STRATEGIES.register(
+    "no-jamming",
+    lambda p, horizon=None: NoJamming(),
+    description="the benign channel",
+)
+JAMMING_STRATEGIES.register(
+    "random-fraction",
+    lambda p, horizon=None: RandomFractionJamming(
+        fraction=float(p.get("fraction", 0.25)),
+        last_slot=_optional_int(p.get("last_slot")),
+    ),
+    params=(
+        ParamField("fraction", "float", 0.25),
+        ParamField("last_slot", "int", None),
+    ),
+    description="jam each slot independently with probability `fraction` (worst-case regime)",
+)
+JAMMING_STRATEGIES.register(
+    "periodic",
+    lambda p, horizon=None: PeriodicJamming(
+        period=int(p.get("period", 4)), offset=int(p.get("offset", 0))
+    ),
+    params=(ParamField("period", "int", 4), ParamField("offset", "int", 0)),
+    description="jam every `period`-th slot deterministically",
+)
+JAMMING_STRATEGIES.register(
+    "front-loaded",
+    lambda p, horizon=None: FrontLoadedJamming(count=int(p.get("count", 0))),
+    params=(ParamField("count", "int", 0),),
+    description="jam the first `count` slots (the lower-bound proofs' opening move)",
+)
+JAMMING_STRATEGIES.register(
+    "budgeted",
+    lambda p, horizon=None: BudgetedJamming(
+        g=rate_function_from_spec(
+            p.get("g", {"kind": "constant", "params": {"value": 4.0}})
+        ),
+        budget_constant=float(p.get("budget_constant", 4.0)),
+    ),
+    params=(
+        ParamField("g", "rate", {"kind": "constant", "params": {"value": 4.0}}),
+        ParamField("budget_constant", "float", 4.0),
+    ),
+    description="random jamming within the paper's budget t/(c*g(t))",
+)
+JAMMING_STRATEGIES.register(
+    "reactive",
+    lambda p, horizon=None: ReactiveJamming(
+        fraction=float(p.get("fraction", 0.2)), burst=int(p.get("burst", 8))
+    ),
+    params=(ParamField("fraction", "float", 0.2), ParamField("burst", "int", 8)),
+    description="adaptive: jam a burst after every observed success, fraction-capped",
+)
+
+# ------------------------------------------------------- whole adversaries
+
+
+def _require_horizon(horizon: Optional[int], kind: str) -> int:
+    if horizon is None:
+        raise SpecError(
+            f"adversary kind {kind!r} needs the study horizon at build time"
+        )
+    return int(horizon)
+
+
+def _g_param(p: Mapping[str, Any]):
+    return rate_function_from_spec(
+        p.get("g", {"kind": "constant", "params": {"value": 4.0}})
+    )
+
+
+def _f_param(p: Mapping[str, Any]):
+    if "f" in p and p["f"] is not None:
+        return rate_function_from_spec(p["f"])
+    return derive_f(_g_param(p))
+
+
+ADVERSARIES.register(
+    "lower-bound",
+    lambda p, horizon=None: LowerBoundAdversary(
+        horizon=_require_horizon(horizon, "lower-bound"),
+        g=_g_param(p),
+        initial_nodes=int(p.get("initial_nodes", 1)),
+        jam_constant=float(p.get("jam_constant", 4.0)),
+    ),
+    params=(
+        ParamField("g", "rate", {"kind": "constant", "params": {"value": 4.0}}),
+        ParamField("initial_nodes", "int", 1),
+        ParamField("jam_constant", "float", 4.0),
+    ),
+    description="Lemma 4.1 / Theorem 1.3 adversary: jammed prefix + random tail jamming",
+)
+ADVERSARIES.register(
+    "non-adaptive-killer",
+    lambda p, horizon=None: NonAdaptiveKillerAdversary(
+        horizon=_require_horizon(horizon, "non-adaptive-killer"),
+        g=_g_param(p),
+        f=_f_param(p),
+        jam_constant=float(p.get("jam_constant", 4.0)),
+        arrival_constant=float(p.get("arrival_constant", 4.0)),
+    ),
+    params=(
+        ParamField("g", "rate", {"kind": "constant", "params": {"value": 4.0}}),
+        ParamField("f", "rate", None),
+        ParamField("jam_constant", "float", 4.0),
+        ParamField("arrival_constant", "float", 4.0),
+    ),
+    description="Theorem 4.2 adversary against pre-defined sending sequences",
+)
+ADVERSARIES.register(
+    "smooth",
+    lambda p, horizon=None: SmoothAdversary(
+        horizon=_require_horizon(horizon, "smooth"),
+        f=_f_param(p),
+        g=_g_param(p),
+        arrival_constant=float(p.get("arrival_constant", 8.0)),
+        jam_constant=float(p.get("jam_constant", 8.0)),
+    ),
+    params=(
+        ParamField("g", "rate", {"kind": "constant", "params": {"value": 4.0}}),
+        ParamField("f", "rate", None),
+        ParamField("arrival_constant", "float", 8.0),
+        ParamField("jam_constant", "float", 8.0),
+    ),
+    description="Corollary 3.6 smooth adversary: evenly spread arrivals and jamming",
+)
+ADVERSARIES.register(
+    "adaptive-success-chaser",
+    lambda p, horizon=None: AdaptiveSuccessChaser(
+        jam_fraction=float(p.get("jam_fraction", 0.2)),
+        arrival_budget_per_success=int(p.get("arrival_budget_per_success", 2)),
+        total_arrival_budget=_optional_int(p.get("total_arrival_budget")),
+        jam_burst=int(p.get("jam_burst", 4)),
+        seed_arrivals=int(p.get("seed_arrivals", 1)),
+    ),
+    params=(
+        ParamField("jam_fraction", "float", 0.2),
+        ParamField("arrival_budget_per_success", "int", 2),
+        ParamField("total_arrival_budget", "int", None),
+        ParamField("jam_burst", "int", 4),
+        ParamField("seed_arrivals", "int", 1),
+    ),
+    description="adaptive adversary injecting nodes and jamming after each success",
+)
+ADVERSARIES.register(
+    "schedule",
+    lambda p, horizon=None: ScheduleAdversary(
+        arrivals=[(int(s), int(c)) for s, c in p.get("arrivals", [])],
+        jammed_slots=[int(s) for s in p.get("jammed_slots", [])],
+    ),
+    params=(
+        ParamField("arrivals", "list", ()),
+        ParamField("jammed_slots", "list", ()),
+    ),
+    description="replay explicit arrival and jamming schedules (fully deterministic)",
+)
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """One composable strategy: registry kind + parameters."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        # params is a dict (unhashable); hash the canonical serialized form.
+        from .study import canonical_json
+
+        return hash(canonical_json(self.to_dict()))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StrategySpec":
+        if not isinstance(data, Mapping) or "kind" not in data:
+            raise SpecError(f"strategy spec must be a mapping with a 'kind': {data!r}")
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """Declarative adversary: composed strategies or a monolithic proof adversary.
+
+    Exactly one shape is populated: composed specs carry ``arrivals`` and
+    ``jamming`` (``kind`` stays ``"composed"``, ``params`` empty); monolithic
+    specs carry ``kind``/``params`` and leave the strategy fields ``None``.
+    """
+
+    arrivals: Optional[StrategySpec] = None
+    jamming: Optional[StrategySpec] = None
+    kind: str = COMPOSED_KIND
+    params: Mapping[str, Any] = field(default_factory=dict)
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind == COMPOSED_KIND:
+            arrivals = self.arrivals or StrategySpec("batch")
+            jamming = self.jamming or StrategySpec("no-jamming")
+            ARRIVAL_STRATEGIES.get(arrivals.kind).validate(arrivals.params)
+            JAMMING_STRATEGIES.get(jamming.kind).validate(jamming.params)
+            object.__setattr__(self, "arrivals", arrivals)
+            object.__setattr__(self, "jamming", jamming)
+            if self.params:
+                raise SpecError("composed adversary specs take no top-level params")
+        else:
+            if self.arrivals is not None or self.jamming is not None:
+                raise SpecError(
+                    f"adversary kind {self.kind!r} does not compose arrival/jamming "
+                    "strategies"
+                )
+            ADVERSARIES.get(self.kind).validate(self.params)
+        object.__setattr__(self, "params", dict(self.params))
+
+    def __hash__(self) -> int:
+        # params is a dict (unhashable); hash the canonical serialized form.
+        from .study import canonical_json
+
+        return hash(canonical_json(self.to_dict()))
+
+    # ------------------------------------------------------------- building
+
+    def build(self, horizon: Optional[int] = None) -> Adversary:
+        """Construct a fresh adversary instance.
+
+        ``horizon`` resolves horizon-dependent defaults (uniform window end,
+        burst period) and the proof adversaries' mandatory horizon argument.
+        """
+        if self.kind == COMPOSED_KIND:
+            assert self.arrivals is not None and self.jamming is not None
+            adversary = ComposedAdversary(
+                ARRIVAL_STRATEGIES.build(
+                    self.arrivals.kind, self.arrivals.params, horizon=horizon
+                ),
+                JAMMING_STRATEGIES.build(
+                    self.jamming.kind, self.jamming.params, horizon=horizon
+                ),
+            )
+        else:
+            adversary = ADVERSARIES.build(self.kind, self.params, horizon=horizon)
+        if self.label:
+            adversary.name = self.label
+        return adversary
+
+    def factory(self, horizon: Optional[int] = None) -> Callable[[], Adversary]:
+        """An adversary factory (fresh instance per trial) for the runner."""
+
+        def _factory() -> Adversary:
+            return self.build(horizon)
+
+        _factory.spec = self  # type: ignore[attr-defined]
+        return _factory
+
+    @property
+    def name(self) -> str:
+        """Report-facing name (label, or the composed strategies' names)."""
+        if self.label:
+            return self.label
+        if self.kind == COMPOSED_KIND:
+            assert self.arrivals is not None and self.jamming is not None
+            return f"{self.arrivals.kind}+{self.jamming.kind}"
+        return self.kind
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.kind == COMPOSED_KIND:
+            assert self.arrivals is not None and self.jamming is not None
+            data["arrivals"] = self.arrivals.to_dict()
+            data["jamming"] = self.jamming.to_dict()
+        else:
+            data["params"] = dict(self.params)
+        if self.label:
+            data["label"] = self.label
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversarySpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"adversary spec must be a mapping: {data!r}")
+        kind = str(data.get("kind", COMPOSED_KIND))
+        label = str(data.get("label", ""))
+        if kind == COMPOSED_KIND:
+            return cls(
+                arrivals=(
+                    StrategySpec.from_dict(data["arrivals"])
+                    if "arrivals" in data
+                    else None
+                ),
+                jamming=(
+                    StrategySpec.from_dict(data["jamming"])
+                    if "jamming" in data
+                    else None
+                ),
+                label=label,
+            )
+        return cls(kind=kind, params=dict(data.get("params", {})), label=label)
+
+    # ------------------------------------------------------------- builders
+
+    @classmethod
+    def composed(
+        cls,
+        arrivals: str,
+        jamming: str = "no-jamming",
+        arrival_params: Optional[Mapping[str, Any]] = None,
+        jamming_params: Optional[Mapping[str, Any]] = None,
+        label: str = "",
+    ) -> "AdversarySpec":
+        """Shorthand for the common composed form."""
+        return cls(
+            arrivals=StrategySpec(arrivals, dict(arrival_params or {})),
+            jamming=StrategySpec(jamming, dict(jamming_params or {})),
+            label=label,
+        )
+
+    @classmethod
+    def batch(
+        cls, count: int, jam_fraction: float = 0.0, slot: int = 1, label: str = ""
+    ) -> "AdversarySpec":
+        """Batch arrivals with optional random jamming (the paper's base workload)."""
+        return cls.composed(
+            "batch",
+            "random-fraction" if jam_fraction > 0 else "no-jamming",
+            {"count": count, "slot": slot},
+            {"fraction": jam_fraction} if jam_fraction > 0 else {},
+            label=label,
+        )
+
+    @classmethod
+    def spread(
+        cls,
+        total: int,
+        end: int,
+        jam_fraction: float = 0.0,
+        start: int = 1,
+        label: str = "",
+    ) -> "AdversarySpec":
+        """Uniformly spread arrivals with optional random jamming."""
+        return cls.composed(
+            "uniform-random",
+            "random-fraction" if jam_fraction > 0 else "no-jamming",
+            {"total": total, "start": start, "end": end},
+            {"fraction": jam_fraction} if jam_fraction > 0 else {},
+            label=label,
+        )
+

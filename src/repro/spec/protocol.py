@@ -1,0 +1,198 @@
+"""Declarative protocol specs and the protocol registry.
+
+A :class:`ProtocolSpec` is a ``(kind, params)`` pair naming one entry of
+:data:`PROTOCOLS`.  Building it yields the protocol *factory* the simulator
+consumes (fresh instance per arriving node); the factory carries the spec on
+its ``spec`` attribute so downstream code (result provenance, sweep labels)
+can recover it without re-deriving anything.
+
+Every protocol class in :mod:`repro.protocols` / :mod:`repro.core` that can
+be described by JSON data registers here and implements
+``Protocol.spec_params()``; the only exception is
+:class:`~repro.protocols.fixed_probability.FixedProbabilityProtocol`, whose
+constructor takes an arbitrary Python callable (use the registered
+``log-uniform-fixed`` variant, or the callable escape hatch of
+:func:`repro.sim.run_trials`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from ..core import AlgorithmParameters, cjz_factory
+from ..errors import SpecError
+from ..protocols import (
+    BackonBackoffCD,
+    LogUniformFixedProtocol,
+    PolynomialBackoff,
+    ProbabilityBackoff,
+    SawtoothBackoff,
+    SlottedAloha,
+    TwoChannelNoJamming,
+    WindowedBinaryExponentialBackoff,
+    make_factory,
+)
+from ..protocols.base import ProtocolFactory
+from .registry import ParamField, SpecRegistry
+
+__all__ = ["PROTOCOLS", "ProtocolSpec"]
+
+PROTOCOLS = SpecRegistry("protocol")
+
+
+def _optional_int(value: Any) -> Any:
+    return None if value is None else int(value)
+
+
+PROTOCOLS.register(
+    "cjz",
+    lambda p: cjz_factory(AlgorithmParameters.from_spec_params(p)),
+    params=(
+        ParamField("g", "rate", {"kind": "constant", "params": {"value": 4.0}}),
+        ParamField("a", "float", 1.0),
+        ParamField("c2", "float", 1.0),
+        ParamField("c3", "float", 4.0),
+    ),
+    description="the paper's three-phase algorithm, parameterized by the jamming budget g",
+)
+PROTOCOLS.register(
+    "cjz-global-clock",
+    lambda p: cjz_factory(AlgorithmParameters.from_spec_params(p), global_clock=True),
+    params=(
+        ParamField("g", "rate", {"kind": "constant", "params": {"value": 4.0}}),
+        ParamField("a", "float", 1.0),
+        ParamField("c2", "float", 1.0),
+        ParamField("c3", "float", 4.0),
+    ),
+    description="global-clock ablation of the paper's algorithm (skips Phase 1)",
+)
+PROTOCOLS.register(
+    "two-channel-no-jamming",
+    lambda p: make_factory(
+        TwoChannelNoJamming,
+        backoff_sends_per_stage=float(p.get("backoff_sends_per_stage", 2.0)),
+        c3=float(p.get("c3", 4.0)),
+    ),
+    params=(
+        ParamField("backoff_sends_per_stage", "float", 2.0),
+        ParamField("c3", "float", 4.0),
+    ),
+    description="the framework with a constant per-stage budget (no-jamming regime)",
+)
+PROTOCOLS.register(
+    "binary-exponential-backoff",
+    lambda p: make_factory(
+        WindowedBinaryExponentialBackoff,
+        initial_window=int(p.get("initial_window", 2)),
+        max_window=_optional_int(p.get("max_window")),
+    ),
+    params=(
+        ParamField("initial_window", "int", 2),
+        ParamField("max_window", "int", None),
+    ),
+    description="Ethernet-style windowed binary exponential backoff",
+)
+PROTOCOLS.register(
+    "probability-backoff",
+    lambda p: make_factory(ProbabilityBackoff, scale=float(p.get("scale", 1.0))),
+    params=(ParamField("scale", "float", 1.0),),
+    description="broadcast with probability min(1, scale/i) in the i-th active slot",
+)
+PROTOCOLS.register(
+    "polynomial-backoff",
+    lambda p: make_factory(
+        PolynomialBackoff,
+        degree=float(p.get("degree", 2.0)),
+        initial_window=int(p.get("initial_window", 2)),
+    ),
+    params=(
+        ParamField("degree", "float", 2.0),
+        ParamField("initial_window", "int", 2),
+    ),
+    description="windowed backoff with window (failures+1)^degree",
+)
+PROTOCOLS.register(
+    "sawtooth-backoff",
+    lambda p: make_factory(
+        SawtoothBackoff,
+        initial_window=int(p.get("initial_window", 4)),
+        max_window=_optional_int(p.get("max_window")),
+    ),
+    params=(
+        ParamField("initial_window", "int", 4),
+        ParamField("max_window", "int", None),
+    ),
+    description="repeated doubling runs ramping the sending probability to 1/2",
+)
+PROTOCOLS.register(
+    "slotted-aloha",
+    lambda p: make_factory(SlottedAloha, probability=float(p.get("probability", 0.1))),
+    params=(ParamField("probability", "float", 0.1),),
+    description="constant sending probability (the naive baseline)",
+)
+PROTOCOLS.register(
+    "log-uniform-fixed",
+    lambda p: make_factory(LogUniformFixedProtocol, scale=float(p.get("scale", 1.0))),
+    params=(ParamField("scale", "float", 1.0),),
+    description="non-adaptive slow-decay sequence min(1, scale*log(i+1)/(i+1))",
+)
+PROTOCOLS.register(
+    "backon-backoff-cd",
+    lambda p: make_factory(
+        BackonBackoffCD,
+        initial_probability=float(p.get("initial_probability", 0.5)),
+        backoff_factor=float(p.get("backoff_factor", 0.5)),
+        backon_factor=float(p.get("backon_factor", 1.2)),
+        min_probability=float(p.get("min_probability", 1e-6)),
+        max_probability=float(p.get("max_probability", 1.0)),
+    ),
+    params=(
+        ParamField("initial_probability", "float", 0.5),
+        ParamField("backoff_factor", "float", 0.5),
+        ParamField("backon_factor", "float", 1.2),
+        ParamField("min_probability", "float", 1e-6),
+        ParamField("max_probability", "float", 1.0),
+    ),
+    description="multiplicative backon/backoff driven by collision-detection feedback",
+)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Declarative description of a protocol: registry kind + parameters."""
+
+    kind: str = "cjz"
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        entry = PROTOCOLS.get(self.kind)
+        entry.validate(self.params)
+        object.__setattr__(self, "params", dict(self.params))
+
+    def __hash__(self) -> int:
+        # params is a dict (unhashable), so the generated frozen-dataclass
+        # hash would raise; hash the canonical serialized form instead.
+        from .study import canonical_json
+
+        return hash(canonical_json(self.to_dict()))
+
+    def build(self) -> ProtocolFactory:
+        """The protocol factory for this spec (fresh instance per node)."""
+        factory = PROTOCOLS.build(self.kind, self.params)
+        factory.spec = self  # type: ignore[attr-defined]
+        return factory
+
+    @property
+    def protocol_name(self) -> str:
+        """Report-facing name of the described protocol (builds one instance)."""
+        return self.build()().name
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolSpec":
+        if not isinstance(data, Mapping) or "kind" not in data:
+            raise SpecError(f"protocol spec must be a mapping with a 'kind': {data!r}")
+        return cls(kind=str(data["kind"]), params=dict(data.get("params", {})))

@@ -1,0 +1,126 @@
+"""Generic key → builder registries backing the declarative spec layer.
+
+Every spec-able family (protocols, arrival strategies, jamming strategies,
+whole adversaries, rate functions) is described by one :class:`SpecRegistry`:
+a mapping from a stable string *kind* to a :class:`RegistryEntry` holding the
+builder, the declared parameter schema and a one-line description.  The
+registries are what make specs *data*: validation, listing (``repro
+scenarios`` / docs) and construction all go through them, and nothing in the
+execution path needs to import concrete classes to interpret a spec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
+
+from ..errors import SpecError
+
+__all__ = ["ParamField", "RegistryEntry", "SpecRegistry"]
+
+
+@dataclass(frozen=True)
+class ParamField:
+    """Schema of one spec parameter: name, JSON type tag and default.
+
+    ``kind`` is a documentation-level tag (``"int"``, ``"float"``, ``"bool"``,
+    ``"str"``, ``"rate"`` for a nested rate-function spec, ``"list"`` for
+    schedule-style payloads); builders remain the source of truth for strict
+    validation.  ``required`` fields have no usable default.
+    """
+
+    name: str
+    kind: str = "float"
+    default: Any = None
+    required: bool = False
+
+    def describe(self) -> str:
+        tag = f"{self.name}: {self.kind}"
+        if self.required:
+            return f"{tag} (required)"
+        return f"{tag} = {self.default!r}"
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One registered kind: how to build it and what parameters it takes."""
+
+    kind: str
+    builder: Callable[..., Any]
+    params: Tuple[ParamField, ...] = ()
+    description: str = ""
+
+    def param_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.params)
+
+    def validate(self, params: Mapping[str, Any]) -> None:
+        known = set(self.param_names())
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise SpecError(
+                f"unknown parameter(s) {', '.join(unknown)} for kind "
+                f"{self.kind!r}; known: {', '.join(sorted(known)) or '(none)'}"
+            )
+        missing = sorted(
+            f.name for f in self.params if f.required and f.name not in params
+        )
+        if missing:
+            raise SpecError(
+                f"kind {self.kind!r} requires parameter(s): {', '.join(missing)}"
+            )
+
+
+class SpecRegistry:
+    """Name-indexed collection of :class:`RegistryEntry` values."""
+
+    def __init__(self, label: str) -> None:
+        self._label = label
+        self._entries: Dict[str, RegistryEntry] = {}
+
+    @property
+    def label(self) -> str:
+        return self._label
+
+    def register(
+        self,
+        kind: str,
+        builder: Callable[..., Any],
+        params: Tuple[ParamField, ...] = (),
+        description: str = "",
+    ) -> RegistryEntry:
+        if kind in self._entries:
+            raise SpecError(f"duplicate {self._label} kind {kind!r}")
+        entry = RegistryEntry(
+            kind=kind, builder=builder, params=params, description=description
+        )
+        self._entries[kind] = entry
+        return entry
+
+    def get(self, kind: str) -> RegistryEntry:
+        try:
+            return self._entries[kind]
+        except KeyError as exc:
+            raise SpecError(
+                f"unknown {self._label} kind {kind!r}; known: "
+                f"{', '.join(sorted(self._entries))}"
+            ) from exc
+
+    def build(self, kind: str, params: Optional[Mapping[str, Any]] = None, **extra):
+        """Validate ``params`` against the schema and invoke the builder.
+
+        ``extra`` carries context the spec itself does not store (currently
+        only ``horizon`` for adversaries whose constructors need it).
+        """
+        entry = self.get(kind)
+        params = dict(params or {})
+        entry.validate(params)
+        return entry.builder(params, **extra)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self._entries
+
+    def __iter__(self):
+        return iter(self.kinds())

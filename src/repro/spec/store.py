@@ -1,0 +1,214 @@
+"""Content-addressed on-disk cache of study results.
+
+Studies are keyed by :meth:`repro.spec.StudySpec.spec_hash` — the hash of
+the spec's semantic fields — so re-running the same spec (from a sweep, a
+CLI invocation, another process) loads the stored result instead of
+simulating again.  The store keeps the per-trial *summary* surface of a
+study (counters, latencies, energy counts), which is everything the
+aggregation API of :class:`~repro.sim.TrialStudy` consumes; per-slot prefix
+arrays and traces are deliberately not cached (they are horizon-sized and
+only needed by bound-checking experiments, which run uncached).
+
+Layout: ``<root>/<hash[:2]>/<hash>.json``, written atomically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from ..errors import SpecError
+from .study import StudySpec
+
+__all__ = ["CachedResult", "StudyStore"]
+
+_SCHEMA_VERSION = 1
+
+
+@dataclass
+class CachedResult:
+    """Summary-level stand-in for a :class:`~repro.sim.SimulationResult`.
+
+    Implements the scalar surface the study aggregation API uses
+    (``total_*`` counters, latency/energy summaries, provenance).  Accessing
+    per-slot data (prefix arrays, traces) is impossible by construction —
+    cached studies are for metric aggregation, not bound replay.
+    """
+
+    total_successes: int
+    total_arrivals: int
+    total_active_slots: int
+    total_jammed_slots: int
+    unfinished_nodes: int
+    horizon: int
+    protocol_name: str = "protocol"
+    adversary_name: str = "adversary"
+    backend: str = "cached"
+    wall_time_seconds: float = 0.0
+    latency_values: List[int] = field(default_factory=list)
+    broadcast_count_values: List[int] = field(default_factory=list)
+
+    def latencies(self) -> List[int]:
+        return list(self.latency_values)
+
+    def broadcast_counts(self) -> List[int]:
+        return list(self.broadcast_count_values)
+
+    def mean_latency(self) -> float:
+        if not self.latency_values:
+            return float("nan")
+        return float(np.mean(self.latency_values))
+
+    def max_latency(self) -> Optional[int]:
+        return max(self.latency_values) if self.latency_values else None
+
+    @property
+    def slots_per_second(self) -> float:
+        if self.wall_time_seconds <= 0.0:
+            return 0.0
+        return self.horizon / self.wall_time_seconds
+
+    def classical_throughput(self, t: Optional[int] = None) -> float:
+        """Classical throughput at the horizon only (no prefixes are cached)."""
+        if t is not None and t != self.horizon:
+            raise SpecError(
+                "cached results carry no per-slot prefixes; "
+                "classical_throughput is only defined at the horizon "
+                f"(t={t}, horizon={self.horizon})"
+            )
+        if self.total_active_slots == 0:
+            return float("inf")
+        return self.total_arrivals / self.total_active_slots
+
+    def describe(self) -> str:
+        return (
+            f"{self.protocol_name} vs {self.adversary_name} [cached]: "
+            f"{self.total_successes}/{self.total_arrivals} messages delivered "
+            f"in {self.horizon} slots"
+        )
+
+
+def _result_record(result) -> Dict[str, Any]:
+    return {
+        "successes": int(result.total_successes),
+        "arrivals": int(result.total_arrivals),
+        "active_slots": int(result.total_active_slots),
+        "jammed_slots": int(result.total_jammed_slots),
+        "unfinished": int(result.unfinished_nodes),
+        "horizon": int(result.horizon),
+        "protocol": result.protocol_name,
+        "adversary": result.adversary_name,
+        "backend": result.backend,
+        "wall_time_seconds": float(result.wall_time_seconds),
+        "latencies": [int(v) for v in result.latencies()],
+        "broadcast_counts": [int(v) for v in result.broadcast_counts()],
+    }
+
+
+def _record_result(record: Dict[str, Any]) -> CachedResult:
+    return CachedResult(
+        total_successes=int(record["successes"]),
+        total_arrivals=int(record["arrivals"]),
+        total_active_slots=int(record["active_slots"]),
+        total_jammed_slots=int(record["jammed_slots"]),
+        unfinished_nodes=int(record["unfinished"]),
+        horizon=int(record["horizon"]),
+        protocol_name=str(record.get("protocol", "protocol")),
+        adversary_name=str(record.get("adversary", "adversary")),
+        backend=str(record.get("backend", "cached")),
+        wall_time_seconds=float(record.get("wall_time_seconds", 0.0)),
+        latency_values=[int(v) for v in record.get("latencies", [])],
+        broadcast_count_values=[int(v) for v in record.get("broadcast_counts", [])],
+    )
+
+
+class StudyStore:
+    """Directory-backed, content-addressed store of study summaries."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+
+    @property
+    def root(self) -> Path:
+        return self._root
+
+    def path_for(self, spec_or_hash: Union[StudySpec, str]) -> Path:
+        digest = (
+            spec_or_hash.spec_hash()
+            if isinstance(spec_or_hash, StudySpec)
+            else str(spec_or_hash)
+        )
+        return self._root / digest[:2] / f"{digest}.json"
+
+    def __contains__(self, spec_or_hash: Union[StudySpec, str]) -> bool:
+        return self.path_for(spec_or_hash).exists()
+
+    def get(self, spec: StudySpec):
+        """The cached :class:`~repro.sim.TrialStudy`, or ``None`` on a miss.
+
+        Corrupt or schema-incompatible entries read as misses (the caller
+        re-runs and overwrites them) rather than failing the study.
+        """
+        from ..sim.runner import TrialStudy
+
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if payload.get("schema") != _SCHEMA_VERSION:
+            return None
+        study = TrialStudy(
+            results=[_record_result(r) for r in payload.get("results", [])],
+            label=str(payload.get("label", "")),
+            effective_workers=int(payload.get("effective_workers", 1)),
+            from_cache=True,
+        )
+        return study
+
+    def put(self, spec: StudySpec, study) -> Path:
+        """Persist a study summary; returns the written path."""
+        if getattr(study, "from_cache", False):
+            # Re-serializing a cached study is a no-op by construction.
+            return self.path_for(spec)
+        for result in study.results:
+            if not hasattr(result, "latencies"):
+                raise SpecError("study results lack the summary surface to cache")
+        payload = {
+            "schema": _SCHEMA_VERSION,
+            "hash": spec.spec_hash(),
+            "spec": spec.to_dict(),
+            "label": study.label,
+            "effective_workers": study.effective_workers,
+            "results": [_result_record(r) for r in study.results],
+        }
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Atomic publish: a concurrent reader sees either nothing or a
+        # complete entry, never a torn write.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self) -> List[str]:
+        """Hashes of all stored studies (sorted, for inspection/tests)."""
+        if not self._root.exists():
+            return []
+        return sorted(p.stem for p in self._root.glob("*/*.json"))

@@ -1,0 +1,233 @@
+"""StudySpec: the complete, serializable description of a trial study.
+
+A :class:`StudySpec` bundles *what* to run (a protocol spec and an adversary
+spec) with *how* to run it (horizon, trial count, seed, early-stop policy)
+and *where* (backend, workers).  It round-trips through JSON, hashes stably
+(:meth:`StudySpec.spec_hash`) for content-addressed result caching, and
+executes through the exact same :func:`repro.sim.run_trials` ladder as the
+callable-factory API — a spec-built study is seed-for-seed identical to one
+assembled by hand from the same classes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence
+
+from ..errors import SpecError
+from .adversary import AdversarySpec
+from .protocol import ProtocolSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.runner import TrialStudy
+    from .store import StudyStore
+
+__all__ = ["StudySpec", "canonical_json"]
+
+#: Fields that describe execution placement, not the experiment itself.
+#: They are excluded from :meth:`StudySpec.spec_hash` because every backend /
+#: worker combination is seed-for-seed identical by the simulator's core
+#: invariant — results may be cached across them.
+_NON_SEMANTIC_FIELDS = ("backend", "workers", "label")
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON encoding used for spec hashing and storage keys."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class StudySpec:
+    """Declarative description of a multi-trial study."""
+
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    adversary: AdversarySpec = field(default_factory=AdversarySpec)
+    horizon: int = 4096
+    trials: int = 5
+    seed: Optional[int] = 20210219
+    backend: str = "auto"
+    workers: int = 1
+    stop_when_drained: bool = False
+    keep_trace: bool = False
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise SpecError("horizon must be >= 1")
+        if self.trials < 1:
+            raise SpecError("trials must be >= 1")
+        if self.workers < 1:
+            raise SpecError("workers must be >= 1")
+        if self.seed is not None and not isinstance(self.seed, int):
+            raise SpecError("seed must be an int or None (specs are JSON data)")
+        from ..sim.backends import available_study_backends
+
+        if self.backend not in available_study_backends():
+            raise SpecError(
+                f"unknown backend {self.backend!r}; available: "
+                f"{', '.join(available_study_backends())}"
+            )
+
+    def __hash__(self) -> int:
+        # Nested specs hold dicts, so the generated frozen-dataclass hash
+        # would raise; hash the canonical serialized form (consistent with
+        # __eq__, which compares the same content).
+        return hash(canonical_json(self.to_dict()))
+
+    # ------------------------------------------------------------ execution
+
+    def run(
+        self,
+        collectors: Sequence = (),
+        store: Optional["StudyStore"] = None,
+    ) -> "TrialStudy":
+        """Execute the study (or return the cached result from ``store``).
+
+        Cache lookups key on :meth:`spec_hash`; collector-carrying runs are
+        never served from (or written to) the cache because collectors have
+        side effects the cached summary cannot replay.
+        """
+        from ..sim.runner import run_trials
+
+        if store is not None and not collectors:
+            cached = store.get(self)
+            if cached is not None:
+                return cached
+        study = run_trials(
+            protocol_factory=self.protocol.build(),
+            adversary_factory=self.adversary.factory(self.horizon),
+            horizon=self.horizon,
+            trials=self.trials,
+            seed=self.seed,
+            keep_trace=self.keep_trace,
+            stop_when_drained=self.stop_when_drained,
+            label=self.display_label,
+            collectors=collectors,
+            backend=self.backend,
+            workers=self.workers,
+        )
+        if store is not None and not collectors:
+            store.put(self, study)
+        return study
+
+    @property
+    def display_label(self) -> str:
+        return self.label or f"{self.protocol.kind} vs {self.adversary.name}"
+
+    # -------------------------------------------------------- serialization
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "protocol": self.protocol.to_dict(),
+            "adversary": self.adversary.to_dict(),
+            "horizon": self.horizon,
+            "trials": self.trials,
+            "seed": self.seed,
+            "backend": self.backend,
+            "workers": self.workers,
+            "stop_when_drained": self.stop_when_drained,
+            "keep_trace": self.keep_trace,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
+        if not isinstance(data, Mapping):
+            raise SpecError(f"study spec must be a mapping: {data!r}")
+        unknown = sorted(
+            set(data)
+            - {
+                "protocol",
+                "adversary",
+                "horizon",
+                "trials",
+                "seed",
+                "backend",
+                "workers",
+                "stop_when_drained",
+                "keep_trace",
+                "label",
+            }
+        )
+        if unknown:
+            raise SpecError(f"unknown study spec field(s): {', '.join(unknown)}")
+        seed = data.get("seed", 20210219)
+        return cls(
+            protocol=ProtocolSpec.from_dict(data.get("protocol", {"kind": "cjz"})),
+            adversary=AdversarySpec.from_dict(data.get("adversary", {})),
+            horizon=int(data.get("horizon", 4096)),
+            trials=int(data.get("trials", 5)),
+            seed=None if seed is None else int(seed),
+            backend=str(data.get("backend", "auto")),
+            workers=int(data.get("workers", 1)),
+            stop_when_drained=bool(data.get("stop_when_drained", False)),
+            keep_trace=bool(data.get("keep_trace", False)),
+            label=str(data.get("label", "")),
+        )
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "StudySpec":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(f"invalid study spec JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def spec_hash(self) -> str:
+        """Content address of the study's *semantic* identity.
+
+        Execution-placement fields (backend, workers) and the cosmetic label
+        are excluded: they cannot change results, so caching across them is
+        sound and lets e.g. a parallel sweep reuse a serial run's results.
+        """
+        data = self.to_dict()
+        for key in _NON_SEMANTIC_FIELDS:
+            data.pop(key, None)
+        return hashlib.sha256(canonical_json(data).encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------ overrides
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "StudySpec":
+        """A copy with dotted-path overrides applied.
+
+        Paths address the :meth:`to_dict` representation, e.g.
+        ``"adversary.jamming.params.fraction"``, ``"protocol.params.c3"`` or
+        plain ``"horizon"``.  This is the primitive the sweep engine expands
+        grids with.
+        """
+        if not overrides:
+            return self
+        data = self.to_dict()
+        for path, value in overrides.items():
+            _set_dotted(data, path, value)
+        return self.from_dict(data)
+
+    def with_execution(
+        self, backend: Optional[str] = None, workers: Optional[int] = None
+    ) -> "StudySpec":
+        """A copy with execution placement changed (hash-neutral)."""
+        updates: Dict[str, Any] = {}
+        if backend is not None:
+            updates["backend"] = backend
+        if workers is not None:
+            updates["workers"] = workers
+        return replace(self, **updates) if updates else self
+
+
+def _set_dotted(data: Dict[str, Any], path: str, value: Any) -> None:
+    parts = path.split(".")
+    if not all(parts):
+        raise SpecError(f"invalid override path {path!r}")
+    cursor: Dict[str, Any] = data
+    for part in parts[:-1]:
+        nxt = cursor.get(part)
+        if not isinstance(nxt, dict):
+            nxt = {}
+            cursor[part] = nxt
+        cursor = nxt
+    cursor[parts[-1]] = value

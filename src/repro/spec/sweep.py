@@ -1,0 +1,183 @@
+"""Grid sweeps over StudySpecs: declarative expansion + cached execution.
+
+:class:`Sweep` turns a base :class:`~repro.spec.StudySpec` and a mapping of
+dotted-path axes (``{"adversary.jamming.params.fraction": [0.0, 0.1, 0.25]}``)
+into the cartesian grid of concrete specs; :class:`StudyPlan` executes any
+list of specs through the standard backend ladder, consulting a
+:class:`~repro.spec.StudyStore` so previously computed points are served
+from disk.  Per-point dispatch bookkeeping (expansion, hashing, cache
+lookup) is timed separately from simulation so the overhead stays
+observable — the design target is dispatch < 10% of study runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SpecError
+from .store import StudyStore
+from .study import StudySpec
+
+__all__ = ["PlanResult", "StudyPlan", "Sweep", "sweep_rows"]
+
+
+@dataclass(frozen=True)
+class Sweep:
+    """A parameter grid over one base spec.
+
+    ``axes`` maps dotted override paths (see
+    :meth:`~repro.spec.StudySpec.with_overrides`) to the values each axis
+    takes; expansion is the cartesian product in axis order, first axis
+    slowest (row-major).
+    """
+
+    base: StudySpec
+    axes: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        axes: Dict[str, Tuple[Any, ...]] = {}
+        for path, values in dict(self.axes).items():
+            values = tuple(values)
+            if not values:
+                raise SpecError(f"sweep axis {path!r} has no values")
+            axes[str(path)] = values
+        object.__setattr__(self, "axes", axes)
+
+    @property
+    def size(self) -> int:
+        total = 1
+        for values in self.axes.values():
+            total *= len(values)
+        return total
+
+    def points(self) -> List[Dict[str, Any]]:
+        """The grid as a list of {path: value} override mappings."""
+        if not self.axes:
+            return [{}]
+        paths = list(self.axes)
+        return [
+            dict(zip(paths, combo))
+            for combo in itertools.product(*(self.axes[p] for p in paths))
+        ]
+
+    def expand(self) -> List[StudySpec]:
+        """Concrete specs for every grid point, with point labels attached."""
+        specs = []
+        for overrides in self.points():
+            spec = self.base.with_overrides(overrides)
+            specs.append(
+                spec.with_overrides({"label": _point_label(self.base, overrides)})
+            )
+        return specs
+
+    def plan(self) -> "StudyPlan":
+        return StudyPlan(self.expand())
+
+
+def _point_label(base: StudySpec, overrides: Mapping[str, Any]) -> str:
+    if not overrides:
+        return base.display_label
+    parts = [f"{path.rsplit('.', 1)[-1]}={value}" for path, value in overrides.items()]
+    prefix = f"{base.label} " if base.label else ""
+    return prefix + " ".join(parts)
+
+
+@dataclass
+class PlanResult:
+    """One executed grid point: spec, study, provenance and timing."""
+
+    spec: StudySpec
+    study: Any
+    overrides: Dict[str, Any] = field(default_factory=dict)
+    cached: bool = False
+    dispatch_seconds: float = 0.0
+    run_seconds: float = 0.0
+
+
+class StudyPlan:
+    """An ordered list of StudySpecs executed (and cached) as one unit."""
+
+    def __init__(
+        self,
+        specs: Sequence[StudySpec],
+        overrides: Optional[Sequence[Mapping[str, Any]]] = None,
+    ) -> None:
+        if not specs:
+            raise SpecError("a study plan needs at least one spec")
+        if overrides is not None and len(overrides) != len(specs):
+            raise SpecError("overrides must align one-to-one with specs")
+        self._specs = list(specs)
+        self._overrides = [dict(o) for o in overrides] if overrides else [
+            {} for _ in specs
+        ]
+
+    @classmethod
+    def from_sweep(cls, sweep: Sweep) -> "StudyPlan":
+        return cls(sweep.expand(), overrides=sweep.points())
+
+    @property
+    def specs(self) -> List[StudySpec]:
+        return list(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def run(
+        self,
+        store: Optional[StudyStore] = None,
+        progress: Optional[Callable[[PlanResult], None]] = None,
+    ) -> List[PlanResult]:
+        """Execute every point in order, consulting ``store`` first.
+
+        ``dispatch_seconds`` covers everything the plan adds on top of the
+        study itself (hashing, cache lookup, result registration);
+        ``run_seconds`` is the study execution (zero for cache hits).
+        """
+        results: List[PlanResult] = []
+        for spec, overrides in zip(self._specs, self._overrides):
+            dispatch_start = time.perf_counter()
+            study = store.get(spec) if store is not None else None
+            cached = study is not None
+            dispatch_elapsed = time.perf_counter() - dispatch_start
+            run_elapsed = 0.0
+            if study is None:
+                run_start = time.perf_counter()
+                study = spec.run()
+                run_elapsed = time.perf_counter() - run_start
+                if store is not None:
+                    publish_start = time.perf_counter()
+                    store.put(spec, study)
+                    dispatch_elapsed += time.perf_counter() - publish_start
+            result = PlanResult(
+                spec=spec,
+                study=study,
+                overrides=dict(overrides),
+                cached=cached,
+                dispatch_seconds=dispatch_elapsed,
+                run_seconds=run_elapsed,
+            )
+            results.append(result)
+            if progress is not None:
+                progress(result)
+        return results
+
+
+def sweep_rows(results: Sequence[PlanResult]) -> List[Dict[str, Any]]:
+    """Flat per-point rows (overrides + aggregates) for tables/CSV/JSON."""
+    rows = []
+    for result in results:
+        row: Dict[str, Any] = {
+            "label": result.spec.display_label,
+            "hash": result.spec.spec_hash()[:12],
+            "cached": result.cached,
+        }
+        for path, value in result.overrides.items():
+            row[path] = value
+        row.update(result.study.summary_row())
+        row["dispatch_seconds"] = result.dispatch_seconds
+        row["run_seconds"] = result.run_seconds
+        rows.append(row)
+    return rows

@@ -1,12 +1,19 @@
-"""Named workload scenarios motivated by the paper's introduction."""
+"""Named workload scenarios motivated by the paper's introduction.
 
-from .scenarios import Scenario, STANDARD_SCENARIOS, get_scenario
+Scenarios fold into the unified spec layer (:mod:`repro.spec`): each one
+exposes its adversary as an :class:`~repro.spec.AdversarySpec` and a
+complete runnable :class:`~repro.spec.StudySpec` via
+:func:`scenario_study` / :meth:`Scenario.study_spec`.
+"""
+
+from .scenarios import Scenario, STANDARD_SCENARIOS, get_scenario, scenario_study
 from .generator import WorkloadSpec, build_adversary_factory
 
 __all__ = [
     "Scenario",
     "STANDARD_SCENARIOS",
     "get_scenario",
+    "scenario_study",
     "WorkloadSpec",
     "build_adversary_factory",
 ]

@@ -1,36 +1,44 @@
 """Workload specification: declarative description of an adversary to build.
 
-Experiments describe their workloads as :class:`WorkloadSpec` values (arrival
-pattern + jamming pattern + horizon), and :func:`build_adversary_factory`
-turns a spec into the adversary factory the trial runner needs.  Keeping the
-description declarative makes experiment configurations serializable and
-keeps the sweep code free of adversary-construction details.
+.. deprecated-shape::
+    :class:`WorkloadSpec` predates the unified spec layer and is kept as a
+    thin, stable veneer: it folds directly into a
+    :class:`~repro.spec.AdversarySpec` (:meth:`WorkloadSpec.to_adversary_spec`)
+    and every build goes through the :data:`repro.spec.ARRIVAL_STRATEGIES` /
+    :data:`repro.spec.JAMMING_STRATEGIES` registries, so a workload is the
+    same first-class, JSON-round-trippable data as any other adversary spec.
+    New code should construct :class:`~repro.spec.AdversarySpec` (or a full
+    :class:`~repro.spec.StudySpec`) directly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
-from ..adversary import (
-    Adversary,
-    BatchArrivals,
-    BurstyArrivals,
-    ComposedAdversary,
-    NoArrivals,
-    NoJamming,
-    PeriodicJamming,
-    PoissonArrivals,
-    RandomFractionJamming,
-    ReactiveJamming,
-    UniformRandomArrivals,
-)
+from ..adversary import Adversary
 from ..errors import ConfigurationError
+from ..spec.adversary import AdversarySpec, StrategySpec
 
 __all__ = ["WorkloadSpec", "build_adversary_factory"]
 
-ARRIVAL_KINDS = ("none", "batch", "poisson", "uniform", "bursty")
-JAMMING_KINDS = ("none", "random", "periodic", "reactive")
+#: legacy workload kind -> spec-layer strategy kind
+_ARRIVAL_KINDS = {
+    "none": "no-arrivals",
+    "batch": "batch",
+    "poisson": "poisson",
+    "uniform": "uniform-random",
+    "bursty": "bursty",
+}
+_JAMMING_KINDS = {
+    "none": "no-jamming",
+    "random": "random-fraction",
+    "periodic": "periodic",
+    "reactive": "reactive",
+}
+
+ARRIVAL_KINDS = tuple(_ARRIVAL_KINDS)
+JAMMING_KINDS = tuple(_JAMMING_KINDS)
 
 
 @dataclass(frozen=True)
@@ -62,67 +70,33 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         if self.horizon < 1:
             raise ConfigurationError("horizon must be >= 1")
-        if self.arrival_kind not in ARRIVAL_KINDS:
+        if self.arrival_kind not in _ARRIVAL_KINDS:
             raise ConfigurationError(f"unknown arrival kind {self.arrival_kind!r}")
-        if self.jamming_kind not in JAMMING_KINDS:
+        if self.jamming_kind not in _JAMMING_KINDS:
             raise ConfigurationError(f"unknown jamming kind {self.jamming_kind!r}")
 
     @property
     def name(self) -> str:
         return self.label or f"{self.arrival_kind}+{self.jamming_kind}"
 
+    def to_adversary_spec(self) -> AdversarySpec:
+        """The equivalent first-class :class:`~repro.spec.AdversarySpec`.
 
-def _build_arrivals(spec: WorkloadSpec):
-    params = spec.arrival_params
-    if spec.arrival_kind == "none":
-        return NoArrivals()
-    if spec.arrival_kind == "batch":
-        return BatchArrivals(
-            count=int(params.get("count", 32)), slot=int(params.get("slot", 1))
-        )
-    if spec.arrival_kind == "poisson":
-        return PoissonArrivals(
-            rate=float(params.get("rate", 0.05)),
-            last_slot=int(params["last_slot"]) if "last_slot" in params else None,
-        )
-    if spec.arrival_kind == "uniform":
-        return UniformRandomArrivals(
-            total=int(params.get("total", 32)),
-            window=(
-                int(params.get("start", 1)),
-                int(params.get("end", spec.horizon)),
+        Horizon-dependent defaults (uniform window end, burst period) stay
+        unresolved in the spec; they are filled from the horizon at build
+        time, exactly as the registries define.
+        """
+        return AdversarySpec(
+            arrivals=StrategySpec(
+                _ARRIVAL_KINDS[self.arrival_kind], dict(self.arrival_params)
             ),
+            jamming=StrategySpec(
+                _JAMMING_KINDS[self.jamming_kind], dict(self.jamming_params)
+            ),
+            label=self.name,
         )
-    if spec.arrival_kind == "bursty":
-        return BurstyArrivals(
-            burst_size=int(params.get("burst_size", 16)),
-            period=int(params.get("period", max(2, spec.horizon // 8))),
-        )
-    raise ConfigurationError(f"unknown arrival kind {spec.arrival_kind!r}")
-
-
-def _build_jamming(spec: WorkloadSpec):
-    params = spec.jamming_params
-    if spec.jamming_kind == "none":
-        return NoJamming()
-    if spec.jamming_kind == "random":
-        return RandomFractionJamming(fraction=float(params.get("fraction", 0.25)))
-    if spec.jamming_kind == "periodic":
-        return PeriodicJamming(period=int(params.get("period", 4)))
-    if spec.jamming_kind == "reactive":
-        return ReactiveJamming(
-            fraction=float(params.get("fraction", 0.2)),
-            burst=int(params.get("burst", 8)),
-        )
-    raise ConfigurationError(f"unknown jamming kind {spec.jamming_kind!r}")
 
 
 def build_adversary_factory(spec: WorkloadSpec) -> Callable[[], Adversary]:
     """Return a factory producing a fresh adversary instance for each trial."""
-
-    def _factory() -> Adversary:
-        adversary = ComposedAdversary(_build_arrivals(spec), _build_jamming(spec))
-        adversary.name = spec.name
-        return adversary
-
-    return _factory
+    return spec.to_adversary_spec().factory(spec.horizon)

@@ -9,21 +9,59 @@ settings onto a :class:`~repro.workloads.generator.WorkloadSpec`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .generator import WorkloadSpec
 
-__all__ = ["Scenario", "STANDARD_SCENARIOS", "get_scenario"]
+__all__ = ["Scenario", "STANDARD_SCENARIOS", "get_scenario", "scenario_study"]
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named workload with a short story explaining what it models."""
+    """A named workload with a short story explaining what it models.
+
+    Scenarios are first-class runnable specs: :meth:`adversary_spec` is the
+    serializable adversary description and :meth:`study_spec` the complete
+    :class:`~repro.spec.StudySpec` (paper's algorithm by default), ready for
+    ``.run()``, JSON export or a sweep.
+    """
 
     key: str
     description: str
     spec: WorkloadSpec
+
+    def adversary_spec(self):
+        """The scenario's workload as a first-class AdversarySpec."""
+        return self.spec.to_adversary_spec()
+
+    def study_spec(
+        self,
+        protocol: Optional[Any] = None,
+        trials: int = 5,
+        seed: Optional[int] = 20210219,
+        backend: str = "auto",
+        workers: int = 1,
+        stop_when_drained: bool = False,
+    ):
+        """A complete runnable StudySpec for this scenario.
+
+        ``protocol`` is a :class:`~repro.spec.ProtocolSpec` (default: the
+        paper's algorithm with constant ``g``).
+        """
+        from ..spec import ProtocolSpec, StudySpec
+
+        return StudySpec(
+            protocol=protocol or ProtocolSpec(),
+            adversary=self.adversary_spec(),
+            horizon=self.spec.horizon,
+            trials=trials,
+            seed=seed,
+            backend=backend,
+            workers=workers,
+            stop_when_drained=stop_when_drained,
+            label=self.key,
+        )
 
 
 def _make_standard_scenarios() -> Tuple[Scenario, ...]:
@@ -109,3 +147,8 @@ def get_scenario(key: str) -> Scenario:
     except KeyError as exc:
         known = ", ".join(sorted(STANDARD_SCENARIOS))
         raise ConfigurationError(f"unknown scenario {key!r}; known: {known}") from exc
+
+
+def scenario_study(key: str, **overrides):
+    """Shorthand: the named scenario's StudySpec (see :meth:`Scenario.study_spec`)."""
+    return get_scenario(key).study_spec(**overrides)

@@ -1,0 +1,99 @@
+"""Property tests: spec serialization is lossless and execution-neutral.
+
+For any randomly drawn study configuration, the JSON round trip preserves
+the spec exactly, the spec hash keys only semantic fields, and running
+``from_json(to_json(spec))`` is seed-for-seed identical to handing the
+spec-built factories to :func:`repro.sim.run_trials` directly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import run_trials
+from repro.spec import AdversarySpec, ProtocolSpec, StudySpec
+
+protocol_specs = st.one_of(
+    st.builds(
+        lambda p: ProtocolSpec(kind="slotted-aloha", params={"probability": p}),
+        st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+    ),
+    st.builds(
+        lambda s: ProtocolSpec(kind="probability-backoff", params={"scale": s}),
+        st.floats(min_value=0.25, max_value=4.0, allow_nan=False),
+    ),
+    st.builds(
+        lambda w: ProtocolSpec(
+            kind="binary-exponential-backoff", params={"initial_window": w}
+        ),
+        st.integers(min_value=1, max_value=8),
+    ),
+)
+
+adversary_specs = st.one_of(
+    st.builds(
+        lambda count, fraction: AdversarySpec.batch(count, jam_fraction=fraction),
+        st.integers(min_value=1, max_value=24),
+        st.floats(min_value=0.0, max_value=0.6, allow_nan=False),
+    ),
+    st.builds(
+        lambda total, fraction: AdversarySpec.spread(
+            total, end=96, jam_fraction=fraction
+        ),
+        st.integers(min_value=1, max_value=24),
+        st.floats(min_value=0.0, max_value=0.6, allow_nan=False),
+    ),
+    st.builds(
+        lambda rate, period: AdversarySpec.composed(
+            "poisson", "periodic", {"rate": rate}, {"period": period}
+        ),
+        st.floats(min_value=0.0, max_value=0.2, allow_nan=False),
+        st.integers(min_value=2, max_value=16),
+    ),
+)
+
+study_specs = st.builds(
+    lambda protocol, adversary, horizon, trials, seed: StudySpec(
+        protocol=protocol,
+        adversary=adversary,
+        horizon=horizon,
+        trials=trials,
+        seed=seed,
+    ),
+    protocol_specs,
+    adversary_specs,
+    st.integers(min_value=32, max_value=256),
+    st.integers(min_value=1, max_value=3),
+    st.integers(min_value=0, max_value=2**31),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(study_specs)
+def test_json_round_trip_is_lossless(spec):
+    assert StudySpec.from_json(spec.to_json()) == spec
+    assert StudySpec.from_json(spec.to_json()).spec_hash() == spec.spec_hash()
+
+
+@settings(max_examples=10, deadline=None)
+@given(study_specs)
+def test_round_tripped_spec_runs_seed_identical_to_callable_path(spec):
+    via_spec = StudySpec.from_json(spec.to_json()).run()
+    via_callables = run_trials(
+        protocol_factory=spec.protocol.build(),
+        adversary_factory=spec.adversary.factory(spec.horizon),
+        horizon=spec.horizon,
+        trials=spec.trials,
+        seed=spec.seed,
+    )
+    for a, b in zip(via_spec, via_callables):
+        assert a.total_successes == b.total_successes
+        assert a.total_arrivals == b.total_arrivals
+        assert a.prefix_active == b.prefix_active
+        assert a.prefix_jammed == b.prefix_jammed
+
+
+@settings(max_examples=25, deadline=None)
+@given(study_specs, st.sampled_from(["reference", "auto"]), st.integers(1, 4))
+def test_hash_ignores_execution_placement(spec, backend, workers):
+    moved = spec.with_execution(backend=backend, workers=workers)
+    assert moved.spec_hash() == spec.spec_hash()

@@ -1,0 +1,411 @@
+"""Tests for the declarative spec layer (repro.spec).
+
+The heart of the suite is the round-trip property the API redesign promises:
+for every registered protocol and adversary kind, ``to_json -> from_json``
+preserves the spec exactly and the spec path runs seed-for-seed identical to
+the callable-factory path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    BatchArrivals,
+    ComposedAdversary,
+    RandomFractionJamming,
+)
+from repro.core import AlgorithmParameters, cjz_factory
+from repro.errors import ConfigurationError, SpecError
+from repro.functions import RateFunction, constant_g, log_g, polylog_g
+from repro.sim import TrialRunner, SimulatorConfig, run_trials
+from repro.spec import (
+    ADVERSARIES,
+    ARRIVAL_STRATEGIES,
+    JAMMING_STRATEGIES,
+    PROTOCOLS,
+    AdversarySpec,
+    ProtocolSpec,
+    StrategySpec,
+    StudySpec,
+    rate_function_from_spec,
+    rate_function_to_spec,
+)
+
+HORIZON = 384
+TRIALS = 2
+SEED = 20210219
+
+
+def small_adversary() -> AdversarySpec:
+    return AdversarySpec.batch(12, jam_fraction=0.2)
+
+
+#: one spec per registered adversary kind (composed kinds via StrategySpec)
+ADVERSARY_CASES = {
+    "composed/batch+random": AdversarySpec.batch(10, jam_fraction=0.25),
+    "composed/uniform+none": AdversarySpec.spread(10, end=HORIZON // 2),
+    "composed/poisson+periodic": AdversarySpec.composed(
+        "poisson", "periodic", {"rate": 0.02}, {"period": 5}
+    ),
+    "composed/bursty+reactive": AdversarySpec.composed(
+        "bursty", "reactive", {"burst_size": 6, "period": 96}, {"fraction": 0.1, "burst": 4}
+    ),
+    "composed/scheduled+front-loaded": AdversarySpec.composed(
+        "scheduled", "front-loaded", {"schedule": [[2, 4], [50, 4]]}, {"count": 16}
+    ),
+    "composed/none+budgeted": AdversarySpec.composed(
+        "no-arrivals",
+        "budgeted",
+        {},
+        {"g": {"kind": "constant", "params": {"value": 4.0}}, "budget_constant": 4.0},
+    ),
+    "lower-bound": AdversarySpec(
+        kind="lower-bound",
+        params={"g": {"kind": "constant", "params": {"value": 4.0}}, "initial_nodes": 2},
+    ),
+    "non-adaptive-killer": AdversarySpec(
+        kind="non-adaptive-killer",
+        params={"g": {"kind": "constant", "params": {"value": 4.0}}},
+    ),
+    "smooth": AdversarySpec(
+        kind="smooth", params={"g": {"kind": "constant", "params": {"value": 4.0}}}
+    ),
+    "adaptive-success-chaser": AdversarySpec(
+        kind="adaptive-success-chaser", params={"jam_fraction": 0.1, "seed_arrivals": 4}
+    ),
+    "schedule": AdversarySpec(
+        kind="schedule", params={"arrivals": [[1, 8]], "jammed_slots": [3, 4]}
+    ),
+}
+
+
+class TestRateFunctionSpecs:
+    def test_standard_families_round_trip(self):
+        for rate in (constant_g(3.0), log_g(2.0), polylog_g(1.5)):
+            rebuilt = rate_function_from_spec(rate_function_to_spec(rate))
+            for x in (16.0, 1024.0, 2.0**20):
+                assert rebuilt(x) == pytest.approx(rate(x))
+
+    def test_hand_rolled_function_rejected(self):
+        custom = RateFunction("custom", lambda x: 2.0)
+        with pytest.raises(SpecError):
+            rate_function_to_spec(custom)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            rate_function_from_spec({"kind": "nope"})
+
+
+class TestProtocolSpec:
+    @pytest.mark.parametrize("kind", PROTOCOLS.kinds())
+    def test_default_spec_builds_and_round_trips(self, kind):
+        spec = ProtocolSpec(kind=kind)
+        rebuilt = ProtocolSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        instance = spec.build()()
+        assert instance.name
+
+    @pytest.mark.parametrize("kind", PROTOCOLS.kinds())
+    def test_instance_to_spec_rebuilds_identically(self, kind):
+        spec = ProtocolSpec(kind=kind)
+        instance = spec.build()()
+        recovered = instance.to_spec()
+        assert recovered.kind == kind
+        # The recovered spec (with fully materialized params) must drive a
+        # seed-identical study.
+        adversary = small_adversary()
+        original = run_trials(spec, adversary, HORIZON, trials=TRIALS, seed=SEED)
+        rebuilt = run_trials(recovered, adversary, HORIZON, trials=TRIALS, seed=SEED)
+        for a, b in zip(original, rebuilt):
+            assert a.total_successes == b.total_successes
+            assert a.prefix_active == b.prefix_active
+
+    def test_from_spec_inverse(self):
+        from repro.protocols.base import Protocol
+
+        spec = ProtocolSpec(kind="slotted-aloha", params={"probability": 0.2})
+        instance = Protocol.from_spec(spec)
+        assert instance.to_spec() == spec
+        # A to_dict mapping is accepted too.
+        assert Protocol.from_spec(spec.to_dict()).to_spec() == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError):
+            ProtocolSpec(kind="quantum-backoff")
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SpecError):
+            ProtocolSpec(kind="slotted-aloha", params={"probabilty": 0.1})
+
+    def test_cjz_from_f_is_not_serializable(self):
+        params = AlgorithmParameters.from_f(
+            f=RateFunction("const", lambda x: 2.0)
+        )
+        instance = cjz_factory(params)()
+        with pytest.raises(SpecError):
+            instance.to_spec()
+
+
+class TestAdversarySpec:
+    @pytest.mark.parametrize("name", sorted(ADVERSARY_CASES))
+    def test_round_trip_and_build(self, name):
+        spec = ADVERSARY_CASES[name]
+        rebuilt = AdversarySpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        adversary = rebuilt.build(HORIZON)
+        adversary.setup(np.random.default_rng(0), HORIZON)
+        action = adversary.action_for_slot(1)
+        assert action.arrivals >= 0
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARY_CASES))
+    def test_instance_to_spec_round_trip(self, name):
+        spec = ADVERSARY_CASES[name]
+        instance = spec.build(HORIZON)
+        recovered = instance.to_spec()
+        rebuilt = recovered.build(HORIZON)
+        # Same classes, same constructor state: drive both through setup with
+        # the same seed and compare the resulting actions slot by slot.
+        instance2 = spec.build(HORIZON)
+        instance2.setup(np.random.default_rng(7), HORIZON)
+        rebuilt.setup(np.random.default_rng(7), HORIZON)
+        for slot in range(1, 65):
+            a = instance2.action_for_slot(slot)
+            b = rebuilt.action_for_slot(slot)
+            assert (a.arrivals, a.jam) == (b.arrivals, b.jam)
+
+    def test_registries_cover_every_case(self):
+        monolithic = {s.kind for s in ADVERSARY_CASES.values() if s.kind != "composed"}
+        assert monolithic == set(ADVERSARIES.kinds())
+        arrival_kinds = {
+            s.arrivals.kind for s in ADVERSARY_CASES.values() if s.kind == "composed"
+        }
+        jamming_kinds = {
+            s.jamming.kind for s in ADVERSARY_CASES.values() if s.kind == "composed"
+        }
+        assert arrival_kinds == set(ARRIVAL_STRATEGIES.kinds())
+        jammers = set(JAMMING_STRATEGIES.kinds())
+        assert jamming_kinds <= jammers
+        # random-fraction and no-jamming are exercised via the shorthand cases
+        assert {"random-fraction", "no-jamming"} <= jammers
+
+    def test_from_spec_inverse(self):
+        from repro.adversary import Adversary
+
+        spec = AdversarySpec(
+            kind="lower-bound",
+            params={"g": {"kind": "constant", "params": {"value": 4.0}}},
+        )
+        instance = Adversary.from_spec(spec, horizon=HORIZON)
+        recovered = instance.to_spec()
+        assert recovered.kind == "lower-bound"
+        assert recovered.params["g"] == {"kind": "constant", "params": {"value": 4.0}}
+
+    def test_composed_rejects_top_level_params(self):
+        with pytest.raises(SpecError):
+            AdversarySpec(
+                arrivals=StrategySpec("batch"), params={"count": 3}
+            )
+
+    def test_monolithic_rejects_strategies(self):
+        with pytest.raises(SpecError):
+            AdversarySpec(kind="lower-bound", arrivals=StrategySpec("batch"))
+
+    def test_horizon_required_for_proof_adversaries(self):
+        spec = AdversarySpec(kind="lower-bound")
+        with pytest.raises(SpecError):
+            spec.build()
+
+
+class TestStudySpecRoundTrip:
+    @pytest.mark.parametrize("kind", PROTOCOLS.kinds())
+    def test_every_protocol_seed_identical_to_callable_path(self, kind):
+        adversary = small_adversary()
+        spec = StudySpec(
+            protocol=ProtocolSpec(kind=kind),
+            adversary=adversary,
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=SEED,
+        )
+        via_spec = StudySpec.from_json(spec.to_json()).run()
+        via_callables = run_trials(
+            protocol_factory=spec.protocol.build(),
+            adversary_factory=adversary.factory(HORIZON),
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=SEED,
+        )
+        for a, b in zip(via_spec, via_callables):
+            assert a.total_successes == b.total_successes
+            assert a.prefix_active == b.prefix_active
+            assert a.prefix_jammed == b.prefix_jammed
+
+    @pytest.mark.parametrize("name", sorted(ADVERSARY_CASES))
+    def test_every_adversary_seed_identical_to_callable_path(self, name):
+        adversary = ADVERSARY_CASES[name]
+        spec = StudySpec(
+            protocol=ProtocolSpec(kind="probability-backoff"),
+            adversary=adversary,
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=SEED,
+        )
+        via_spec = StudySpec.from_json(spec.to_json()).run()
+        via_callables = run_trials(
+            protocol_factory=spec.protocol.build(),
+            adversary_factory=adversary.factory(HORIZON),
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=SEED,
+        )
+        for a, b in zip(via_spec, via_callables):
+            assert a.total_successes == b.total_successes
+            assert a.prefix_active == b.prefix_active
+            assert a.prefix_jammed == b.prefix_jammed
+
+    def test_spec_path_matches_hand_built_closures(self):
+        """The spec path reproduces a manually assembled study bit for bit."""
+
+        def adversary_factory():
+            return ComposedAdversary(
+                BatchArrivals(12), RandomFractionJamming(0.2)
+            )
+
+        manual = run_trials(
+            protocol_factory=cjz_factory(AlgorithmParameters.from_g(constant_g(4.0))),
+            adversary_factory=adversary_factory,
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=SEED,
+        )
+        declarative = StudySpec(
+            protocol=ProtocolSpec(
+                kind="cjz",
+                params={"g": {"kind": "constant", "params": {"value": 4.0}}},
+            ),
+            adversary=small_adversary(),
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=SEED,
+        ).run()
+        for a, b in zip(manual, declarative):
+            assert a.total_successes == b.total_successes
+            assert a.prefix_active == b.prefix_active
+
+    def test_specs_are_hashable_by_content(self):
+        a = StudySpec(
+            protocol=ProtocolSpec(kind="slotted-aloha"), adversary=small_adversary()
+        )
+        b = StudySpec(
+            protocol=ProtocolSpec(kind="slotted-aloha"), adversary=small_adversary()
+        )
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+        assert hash(ProtocolSpec()) == hash(ProtocolSpec())
+        assert hash(small_adversary()) == hash(small_adversary())
+
+    def test_run_forwards_collectors(self):
+        from repro.metrics import WindowedSuccessCounter
+
+        counter = WindowedSuccessCounter(window=64)
+        spec = StudySpec(
+            protocol=ProtocolSpec(kind="slotted-aloha"),
+            adversary=small_adversary(),
+            horizon=256,
+            trials=1,
+            seed=SEED,
+        )
+        study = spec.run(collectors=[counter])
+        assert sum(counter.counts) == study.results[0].total_successes
+
+    def test_json_round_trip_preserves_spec_exactly(self):
+        spec = StudySpec(
+            protocol=ProtocolSpec(kind="slotted-aloha", params={"probability": 0.07}),
+            adversary=AdversarySpec.composed(
+                "poisson", "periodic", {"rate": 0.01}, {"period": 7}, label="x"
+            ),
+            horizon=777,
+            trials=3,
+            seed=5,
+            backend="reference",
+            workers=2,
+            stop_when_drained=True,
+            label="round-trip",
+        )
+        assert StudySpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SpecError):
+            StudySpec.from_dict({"horizont": 10})
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(SpecError):
+            StudySpec(backend="gpu")
+
+
+class TestRunnerSpecSupport:
+    def test_run_trials_accepts_specs_directly(self):
+        study = run_trials(
+            ProtocolSpec(kind="slotted-aloha"),
+            small_adversary(),
+            horizon=HORIZON,
+            trials=TRIALS,
+            seed=SEED,
+        )
+        assert study.trials == TRIALS
+
+    def test_collectors_with_workers_rejected_at_construction(self):
+        class DummyCollector:
+            pass
+
+        with pytest.raises(ConfigurationError, match="collectors require workers=1"):
+            TrialRunner(
+                ProtocolSpec(kind="slotted-aloha"),
+                small_adversary(),
+                SimulatorConfig(horizon=64),
+                collectors=[DummyCollector()],
+                workers=2,
+            )
+
+
+class TestWorkloadFoldIn:
+    def test_workload_spec_converts_and_matches(self):
+        from repro.workloads import WorkloadSpec, build_adversary_factory
+
+        workload = WorkloadSpec(
+            horizon=256,
+            arrival_kind="uniform",
+            arrival_params={"total": 20, "start": 1, "end": 128},
+            jamming_kind="random",
+            jamming_params={"fraction": 0.3},
+            label="legacy",
+        )
+        spec = workload.to_adversary_spec()
+        assert spec.arrivals.kind == "uniform-random"
+        assert spec.jamming.kind == "random-fraction"
+        assert spec.label == "legacy"
+        built = build_adversary_factory(workload)()
+        rebuilt = AdversarySpec.from_dict(spec.to_dict()).build(workload.horizon)
+        built.setup(np.random.default_rng(3), workload.horizon)
+        rebuilt.setup(np.random.default_rng(3), workload.horizon)
+        for slot in range(1, 129):
+            a, b = built.action_for_slot(slot), rebuilt.action_for_slot(slot)
+            assert (a.arrivals, a.jam) == (b.arrivals, b.jam)
+
+    def test_every_scenario_is_a_runnable_study_spec(self):
+        from repro.workloads import STANDARD_SCENARIOS, scenario_study
+
+        for key in STANDARD_SCENARIOS:
+            study = scenario_study(key, trials=1, seed=1).with_overrides(
+                {"horizon": 256}
+            )
+            assert StudySpec.from_json(study.to_json()) == study
+            result = study.run()
+            assert result.trials == 1
+
+    def test_quick_run_scenario(self):
+        from repro import quick_run
+
+        result = quick_run(scenario="adversarial-jam", horizon=256, seed=2)
+        assert result.horizon == 256
+        assert result.total_arrivals > 0

@@ -1,0 +1,267 @@
+"""Tests for the sweep engine and the content-addressed study store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.spec import (
+    AdversarySpec,
+    ProtocolSpec,
+    StudyPlan,
+    StudySpec,
+    StudyStore,
+    Sweep,
+    sweep_rows,
+)
+
+SEED = 11
+
+
+def aloha_spec(horizon=1024, trials=2) -> StudySpec:
+    return StudySpec(
+        protocol=ProtocolSpec(kind="slotted-aloha", params={"probability": 0.05}),
+        adversary=AdversarySpec.batch(16, jam_fraction=0.25),
+        horizon=horizon,
+        trials=trials,
+        seed=SEED,
+        label="aloha-base",
+    )
+
+
+class TestSpecHash:
+    def test_stable_across_processes_inputs(self):
+        assert aloha_spec().spec_hash() == aloha_spec().spec_hash()
+
+    def test_semantic_change_changes_hash(self):
+        base = aloha_spec()
+        assert base.spec_hash() != base.with_overrides({"horizon": 2048}).spec_hash()
+        assert base.spec_hash() != base.with_overrides({"seed": 12}).spec_hash()
+        assert (
+            base.spec_hash()
+            != base.with_overrides(
+                {"adversary.jamming.params.fraction": 0.5}
+            ).spec_hash()
+        )
+
+    def test_execution_placement_is_hash_neutral(self):
+        base = aloha_spec()
+        assert base.spec_hash() == base.with_execution(backend="reference").spec_hash()
+        assert base.spec_hash() == base.with_execution(workers=4).spec_hash()
+        assert base.spec_hash() == base.with_overrides({"label": "other"}).spec_hash()
+
+
+class TestSweepExpansion:
+    def test_cartesian_product_row_major(self):
+        sweep = Sweep(
+            aloha_spec(),
+            {"horizon": [256, 512], "adversary.jamming.params.fraction": [0.1, 0.2]},
+        )
+        assert sweep.size == 4
+        specs = sweep.expand()
+        assert [s.horizon for s in specs] == [256, 256, 512, 512]
+        fractions = [s.adversary.jamming.params["fraction"] for s in specs]
+        assert fractions == [0.1, 0.2, 0.1, 0.2]
+
+    def test_point_labels_name_the_overrides(self):
+        sweep = Sweep(aloha_spec(), {"adversary.jamming.params.fraction": [0.1]})
+        (spec,) = sweep.expand()
+        assert "fraction=0.1" in spec.label
+        assert spec.label.startswith("aloha-base")
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(SpecError):
+            Sweep(aloha_spec(), {"horizon": []})
+
+    def test_no_axes_is_single_point(self):
+        assert Sweep(aloha_spec(), {}).expand() == [
+            aloha_spec().with_overrides({"label": "aloha-base"})
+        ]
+
+
+class TestStudyStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        assert store.get(spec) is None
+        study = spec.run(store=store)
+        assert not study.from_cache
+        cached = spec.run(store=store)
+        assert cached.from_cache
+        assert cached.summary_row() == study.summary_row()
+
+    def test_cached_study_preserves_per_trial_metrics(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256, trials=3)
+        live = spec.run(store=store)
+        cached = spec.run(store=store)
+        assert [r.total_successes for r in cached] == [
+            r.total_successes for r in live
+        ]
+        assert [sorted(r.latencies()) for r in cached] == [
+            sorted(r.latencies()) for r in live
+        ]
+        assert [sorted(r.broadcast_counts()) for r in cached] == [
+            sorted(r.broadcast_counts()) for r in live
+        ]
+        np.testing.assert_allclose(
+            cached.metric(lambda r: r.mean_latency()),
+            live.metric(lambda r: r.mean_latency()),
+        )
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        path = store.put(spec, spec.run())
+        path.write_text("{not json")
+        assert store.get(spec) is None
+
+    def test_schema_mismatch_reads_as_miss(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        path = store.put(spec, spec.run())
+        payload = json.loads(path.read_text())
+        payload["schema"] = 999
+        path.write_text(json.dumps(payload))
+        assert store.get(spec) is None
+
+    def test_cached_result_refuses_prefix_throughput(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        spec.run(store=store)
+        cached = store.get(spec).results[0]
+        assert cached.classical_throughput() == cached.classical_throughput(256)
+        with pytest.raises(SpecError):
+            cached.classical_throughput(100)
+
+    def test_entries_lists_hashes(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        spec.run(store=store)
+        assert store.entries() == [spec.spec_hash()]
+
+
+class TestStudyPlan:
+    def test_twelve_point_grid_on_batched_study_backend(self, tmp_path):
+        """The acceptance grid: >= 12 points, batched-study, low dispatch cost."""
+        sweep = Sweep(
+            aloha_spec(horizon=4096, trials=3),
+            {
+                "adversary.jamming.params.fraction": [0.05, 0.15, 0.25, 0.35],
+                "adversary.arrivals.params.count": [16, 32, 64],
+            },
+        )
+        assert sweep.size == 12
+        store = StudyStore(tmp_path)
+        results = StudyPlan.from_sweep(sweep).run(store=store)
+        assert len(results) == 12
+        # Every point went through the batched study kernel.
+        for point in results:
+            assert not point.cached
+            assert {r.backend for r in point.study} == {"batched-study"}
+        # Dispatch (expansion + hashing + cache lookup + publish) stays well
+        # under 10% of simulation time.
+        dispatch = sum(r.dispatch_seconds for r in results)
+        runtime = sum(r.run_seconds for r in results)
+        assert dispatch < 0.10 * runtime
+
+        # Second pass: all twelve points served from the store, with
+        # identical aggregates.
+        rerun = StudyPlan.from_sweep(sweep).run(store=store)
+        assert all(point.cached for point in rerun)
+        for cold, warm in zip(results, rerun):
+            assert cold.study.summary_row() == warm.study.summary_row()
+
+    def test_progress_callback_sees_every_point(self):
+        seen = []
+        sweep = Sweep(aloha_spec(horizon=128), {"horizon": [128, 256]})
+        StudyPlan.from_sweep(sweep).run(progress=seen.append)
+        assert [p.spec.horizon for p in seen] == [128, 256]
+
+    def test_rows_carry_overrides_and_aggregates(self):
+        sweep = Sweep(aloha_spec(horizon=128), {"trials": [1, 2]})
+        rows = sweep_rows(StudyPlan.from_sweep(sweep).run())
+        assert [row["trials"] for row in rows] == [1.0, 2.0]
+        for row in rows:
+            assert "mean_successes" in row and "hash" in row and "cached" in row
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(SpecError):
+            StudyPlan([])
+
+
+class TestSweepCli:
+    def test_cli_sweep_json_and_cache(self, tmp_path, capsys):
+        from repro.cli import main
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(aloha_spec(horizon=256).to_json())
+        args = [
+            "sweep",
+            "--spec",
+            str(spec_file),
+            "--axis",
+            "adversary.jamming.params.fraction=0.1,0.3",
+            "--store",
+            str(tmp_path / "store"),
+            "--format",
+            "json",
+        ]
+        assert main(args) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 2
+        assert all(not row["cached"] for row in rows)
+        assert main(args) == 0
+        rerun = json.loads(capsys.readouterr().out)
+        assert all(row["cached"] for row in rerun)
+        for cold, warm in zip(rows, rerun):
+            assert cold["mean_successes"] == warm["mean_successes"]
+
+    def test_cli_sweep_scenario_base(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep",
+                "--scenario",
+                "adversarial-jam",
+                "--axis",
+                "horizon=256",
+                "--trials",
+                "1",
+                "--no-store",
+                "--format",
+                "csv",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("label,")
+        assert "adversarial-jam" in out
+
+    def test_cli_bad_axis_reports_error(self, capsys):
+        from repro.cli import main
+
+        code = main(["sweep", "--scenario", "adversarial-jam", "--axis", "oops"])
+        assert code == 2
+        assert "invalid --axis" in capsys.readouterr().err
+
+    def test_cli_scenarios_json(self, capsys):
+        from repro.cli import main
+
+        assert main(["scenarios", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        keys = {entry["key"] for entry in payload}
+        assert "ethernet-burst" in keys
+        for entry in payload:
+            StudySpec.from_dict(entry["study"])
+
+    def test_cli_simulate_scenario(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["simulate", "--scenario", "ethernet-burst", "--horizon", "256", "--seed", "3"]
+        )
+        assert code == 0
+        assert "ethernet-burst" in capsys.readouterr().out
