@@ -43,10 +43,16 @@ from .functions import (
     log_g,
     polylog_g,
 )
-from .metrics import check_fg_throughput, summarize_energy, summarize_latencies
-from .sim import SimulationResult, Simulator, SimulatorConfig, run_trials
+from .metrics import (
+    MetricPipeline,
+    check_fg_throughput,
+    summarize_energy,
+    summarize_latencies,
+)
+from .sim import PrefixCounters, SimulationResult, Simulator, SimulatorConfig, run_trials
 from .spec import (
     AdversarySpec,
+    PipelineSpec,
     ProtocolSpec,
     StudyPlan,
     StudySpec,
@@ -82,6 +88,9 @@ __all__ = [
     "check_fg_throughput",
     "summarize_latencies",
     "summarize_energy",
+    "MetricPipeline",
+    "PipelineSpec",
+    "PrefixCounters",
     "Simulator",
     "SimulatorConfig",
     "SimulationResult",

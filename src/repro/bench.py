@@ -17,6 +17,15 @@ Two kinds of record are emitted:
 * ``experiment`` — one full experiment (E1..E10) at the smoke scale, wall
   time plus its consistency verdict.
 
+Micro records additionally carry the suite's **memory trajectory**:
+``peak_bytes_per_slot`` (tracemalloc peak of the whole study run, normalized
+per simulated slot), ``result_bytes_per_slot`` (bytes retained by the
+columnar prefix counters after the study returns) and
+``legacy_list_bytes_per_slot`` (what the same prefix data would occupy as
+the four Python int lists the columnar refactor replaced — measured, not
+estimated).  The comparison gate fails on memory growth beyond the
+threshold exactly as it does for speedup losses.
+
 Absolute wall times are only compared when the machine fingerprints of the
 two files match.
 """
@@ -29,6 +38,7 @@ import os
 import platform
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -164,6 +174,17 @@ def run_micro_suite(
                 )
                 timed, best = timings.get(backend, (backend_trials, float("inf")))
                 timings[backend] = (backend_trials, min(best, elapsed))
+        memory = {
+            backend: _measure_memory(
+                protocol_factory,
+                adversary_factory,
+                horizon,
+                backend_trials,
+                seed,
+                backend,
+            )
+            for backend, backend_trials in plans.items()
+        }
         per_trial = {
             backend: best / timed for backend, (timed, best) in timings.items()
         }
@@ -184,6 +205,7 @@ def run_micro_suite(
                 "per_trial_s": per_trial[backend],
                 "slots_per_second": timed * horizon / best,
             }
+            record.update(memory[backend])
             if "reference" in per_trial:
                 record["speedup_vs_reference"] = (
                     per_trial["reference"] / per_trial[backend]
@@ -194,6 +216,72 @@ def run_micro_suite(
                 )
             records.append(record)
     return records
+
+
+def _legacy_list_bytes(result) -> int:
+    """Bytes the result's prefix columns would occupy as Python int lists.
+
+    Measures the storage the pre-columnar representation used (four
+    ``List[int]`` objects plus their element objects), giving the bench file
+    a like-for-like baseline for ``result_bytes_per_slot``.
+    """
+    if result.counters is None:
+        return 0
+    total = 0
+    for name in ("active", "arrivals", "jammed", "successes"):
+        values = result.counters.column(name).tolist()
+        total += sys.getsizeof(values)
+        total += sum(sys.getsizeof(value) for value in values)
+    return total
+
+
+def _measure_memory(
+    protocol_factory,
+    adversary_factory: Callable,
+    horizon: int,
+    trials: int,
+    seed: int,
+    backend: str,
+) -> Dict[str, float]:
+    """Memory profile of one study run, normalized per simulated slot."""
+    tracemalloc.start()
+    try:
+        study = run_trials(
+            protocol_factory=protocol_factory,
+            adversary_factory=adversary_factory,
+            horizon=horizon,
+            trials=trials,
+            seed=seed,
+            backend=backend,
+        )
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    slots = sum(result.horizon + 1 for result in study.results)
+    sample = study.results[0]
+    profile = {
+        "peak_bytes_per_slot": peak / slots,
+        "result_bytes_per_slot": study.memory_bytes() / slots,
+        "legacy_list_bytes_per_slot": (
+            _legacy_list_bytes(sample) / (sample.horizon + 1)
+        ),
+    }
+    if backend == "batched-study":
+        # Streaming keeps only summaries; record the retained bytes to make
+        # the O(1)-memory mode visible in the trajectory.
+        streamed = run_trials(
+            protocol_factory=protocol_factory,
+            adversary_factory=adversary_factory,
+            horizon=horizon,
+            trials=trials,
+            seed=seed,
+            backend=backend,
+            streaming=True,
+        )
+        profile["streaming_result_bytes_per_slot"] = (
+            streamed.memory_bytes() / slots
+        )
+    return profile
 
 
 def _time_study(
@@ -297,11 +385,15 @@ def compare_bench(
 ) -> List[Dict[str, object]]:
     """Regressions of ``current`` against ``baseline`` beyond ``threshold``.
 
-    Micro records are compared on their machine-normalized speedups; absolute
-    wall times are additionally compared when both files were produced on the
-    same machine.  Experiment records flag verdict flips and (same machine
-    only) wall-time regressions.  Returns one dict per regression; an empty
-    list means the gate passes.
+    Micro records are compared on their machine-normalized speedups and on
+    their per-slot memory profile (peak and retained bytes — object sizes
+    are stable across 64-bit machines, so memory gates cross-machine);
+    absolute wall times are additionally compared when both files were
+    produced on the same machine.  Experiment records flag verdict flips and
+    (same machine only) wall-time regressions.  Returns one dict per
+    regression; an empty list means the gate passes.  Metrics absent from
+    either file (e.g. memory fields against a pre-columnar baseline) are
+    skipped, never treated as regressions.
     """
     same_machine = baseline.get("machine") == current.get("machine")
     baseline_map = _record_map(baseline)
@@ -321,6 +413,20 @@ def compare_bench(
                 if metric in record and metric in old:
                     before, after = float(old[metric]), float(record[metric])
                     if after < before * (1.0 - threshold):
+                        regressions.append(
+                            _regression(key, metric, before, after)
+                        )
+            for metric in (
+                "peak_bytes_per_slot",
+                "result_bytes_per_slot",
+                "streaming_result_bytes_per_slot",
+            ):
+                if metric in record and metric in old:
+                    before, after = float(old[metric]), float(record[metric])
+                    # More bytes is worse; the one-int64-per-slot floor
+                    # absorbs noise on near-zero baselines (a streamed study
+                    # retains ~0 bytes).
+                    if after > before * (1.0 + threshold) and after - before > 8:
                         regressions.append(
                             _regression(key, metric, before, after)
                         )

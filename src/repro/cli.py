@@ -136,6 +136,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--workers", type=int, default=None)
     sweep_parser.add_argument(
+        "--streaming",
+        action="store_const",
+        const=True,
+        default=None,
+        help="run every sweep point in streaming mode (summaries only)",
+    )
+    sweep_parser.add_argument(
         "--store",
         default=".repro-store",
         help="result cache directory (default: .repro-store)",
@@ -215,6 +222,15 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="trial worker processes (fork-based; 1 = serial)",
     )
+    parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help=(
+            "release per-slot prefix columns after pipeline reduction "
+            "(memory O(1) in the horizon; honored by pipeline-based "
+            "experiments)"
+        ),
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -224,6 +240,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         scale=args.scale,
         backend=args.backend,
         workers=args.workers,
+        streaming=args.streaming,
     )
 
 
@@ -335,7 +352,7 @@ def _sweep_base_spec(args: argparse.Namespace):
     else:
         spec = StudySpec.from_json(Path(args.spec).read_text())
     overrides: Dict[str, Any] = {}
-    for name in ("trials", "seed", "backend", "workers"):
+    for name in ("trials", "seed", "backend", "workers", "streaming"):
         value = getattr(args, name)
         if value is not None:
             overrides[name] = value
@@ -417,6 +434,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             if "speedup_vs_vectorized" in record:
                 note += f", {record['speedup_vs_vectorized']:.1f}x vs vectorized"
             note += ")"
+        if "result_bytes_per_slot" in record:
+            note += (
+                f"  [{record['result_bytes_per_slot']:.0f} B/slot retained, "
+                f"peak {record['peak_bytes_per_slot']:.0f}"
+            )
+            if "legacy_list_bytes_per_slot" in record:
+                note += f", legacy lists {record['legacy_list_bytes_per_slot']:.0f}"
+            note += "]"
         print(
             f"{record['id']} [{record['backend']}]: "
             f"{record['slots_per_second']:,.0f} slots/s{note}"

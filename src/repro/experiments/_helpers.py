@@ -18,7 +18,13 @@ from ..errors import SpecError
 from ..functions import RateFunction
 from ..protocols.base import ProtocolFactory
 from ..sim import TrialStudy, run_trials
-from ..spec import AdversarySpec, ProtocolSpec, StudySpec, rate_function_to_spec
+from ..spec import (
+    AdversarySpec,
+    PipelineSpec,
+    ProtocolSpec,
+    StudySpec,
+    rate_function_to_spec,
+)
 
 __all__ = [
     "batch_jam_adversary",
@@ -81,6 +87,8 @@ def study_spec(
     label: str = "",
     backend: str = "auto",
     workers: int = 1,
+    pipeline: Optional[PipelineSpec] = None,
+    streaming: bool = False,
 ) -> StudySpec:
     """Assemble a StudySpec from experiment-level arguments."""
     return StudySpec(
@@ -93,6 +101,8 @@ def study_spec(
         workers=workers,
         stop_when_drained=stop_when_drained,
         label=label,
+        pipeline=pipeline,
+        streaming=streaming,
     )
 
 
@@ -106,6 +116,8 @@ def cjz_study(
     label: str = "",
     backend: str = "auto",
     workers: int = 1,
+    pipeline: Optional[PipelineSpec] = None,
+    streaming: bool = False,
 ) -> TrialStudy:
     """Run the paper's algorithm (parameterized by ``g``) across trials.
 
@@ -130,6 +142,8 @@ def cjz_study(
             label=label,
             backend=backend,
             workers=workers,
+            pipeline=pipeline,
+            streaming=streaming,
         ).run()
     return run_trials(
         protocol_factory=protocol,
@@ -141,6 +155,8 @@ def cjz_study(
         label=label,
         backend=backend,
         workers=workers,
+        pipeline=pipeline,
+        streaming=streaming,
     )
 
 
@@ -154,6 +170,8 @@ def protocol_study(
     label: str = "",
     backend: str = "auto",
     workers: int = 1,
+    pipeline: Optional[PipelineSpec] = None,
+    streaming: bool = False,
 ) -> TrialStudy:
     """Run an arbitrary protocol (spec or factory) across trials."""
     if isinstance(protocol, ProtocolSpec) and isinstance(adversary, AdversarySpec):
@@ -167,6 +185,8 @@ def protocol_study(
             label=label,
             backend=backend,
             workers=workers,
+            pipeline=pipeline,
+            streaming=streaming,
         ).run()
     return run_trials(
         protocol_factory=protocol,
@@ -178,4 +198,6 @@ def protocol_study(
         label=label,
         backend=backend,
         workers=workers,
+        pipeline=pipeline,
+        streaming=streaming,
     )

@@ -30,6 +30,11 @@ class ExperimentConfig:
     worker processes; both are forwarded to every
     :func:`repro.sim.run_trials` call an experiment makes.  ``auto`` runs
     each whole study through the batched study kernel when eligible.
+
+    ``streaming`` asks pipeline-based experiments to release per-slot
+    prefix columns once their reducers have consumed each trial (memory
+    O(1) in the horizon).  Experiments whose analysis needs full prefixes
+    after the run ignore the request and keep the columns.
     """
 
     trials: int = 5
@@ -37,6 +42,7 @@ class ExperimentConfig:
     scale: str = "quick"
     backend: str = "auto"
     workers: int = 1
+    streaming: bool = False
 
     _FACTORS = {"smoke": 0.25, "quick": 1.0, "full": 4.0}
 
@@ -76,3 +82,14 @@ class ExperimentConfig:
     def execution_kwargs(self) -> dict:
         """Keyword arguments forwarded to :func:`repro.sim.run_trials`."""
         return {"backend": self.backend, "workers": self.workers}
+
+    @property
+    def streaming_kwargs(self) -> dict:
+        """Execution kwargs plus the streaming request.
+
+        Only experiments whose metrics run through a
+        :class:`~repro.metrics.MetricPipeline` (reduced before columns are
+        released) should forward these; prefix-consuming experiments use
+        :attr:`execution_kwargs`.
+        """
+        return {**self.execution_kwargs, "streaming": self.streaming}

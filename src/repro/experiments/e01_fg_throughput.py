@@ -20,8 +20,8 @@ from typing import List, Tuple
 from ..analysis.tables import Table
 from ..core import AlgorithmParameters
 from ..functions import constant_g
-from ..metrics import FGThroughputChecker
-from ..spec import AdversarySpec
+from ..metrics import FGThroughputReducer
+from ..spec import AdversarySpec, PipelineSpec
 from ._helpers import cjz_protocol_spec, study_spec
 from .base import Experiment, ExperimentResult, register
 from .config import ExperimentConfig
@@ -78,8 +78,13 @@ class FGThroughputExperiment(Experiment):
         horizon = config.horizon(4096)
         g = constant_g(4.0)
         parameters = AlgorithmParameters.from_g(g)
-        checker = FGThroughputChecker(
-            parameters.f, g, slack=SLACK, min_prefix=64, additive_grace=GRACE
+        # The bound check runs as a streaming pipeline reducer: every prefix
+        # of every trial is verified columnar during the study itself, so the
+        # experiment honors --streaming (columns are released after checking).
+        pipeline = PipelineSpec.of(
+            FGThroughputReducer(
+                parameters.f, g, slack=SLACK, min_prefix=64, additive_grace=GRACE
+            )
         )
 
         table = Table(
@@ -104,18 +109,19 @@ class FGThroughputExperiment(Experiment):
                 trials=config.trials,
                 seed=config.seed,
                 label=label,
-                **config.execution_kwargs,
+                pipeline=pipeline,
+                **config.streaming_kwargs,
             ).run()
-            reports = [checker.check(r) for r in study]
-            satisfied = sum(1 for r in reports if r.satisfied)
-            worst = max(r.worst_ratio for r in reports)
+            verdict = study.metrics()["fg-throughput"]
+            satisfied = verdict["satisfied"]
+            worst = verdict["worst_ratio"]
             worst_ratio_overall = max(worst_ratio_overall, worst)
-            if satisfied < len(reports):
+            if satisfied < verdict["trials"]:
                 all_satisfied = False
             table.add_row(
                 label,
                 study.trials,
-                f"{satisfied}/{len(reports)}",
+                f"{satisfied}/{verdict['trials']}",
                 worst,
                 study.mean(lambda r: r.total_active_slots),
                 study.mean(lambda r: r.total_arrivals),

@@ -73,7 +73,7 @@ class BatchLowerBoundExperiment(Experiment):
                 seed=config.seed,
                 stop_when_drained=True,
                 label=f"1/i-batch n={n}",
-                **config.execution_kwargs,
+                **config.streaming_kwargs,
             )
             completion = beb_study.mean(_completion_slot)
             completions_beb.append(completion)
@@ -87,7 +87,7 @@ class BatchLowerBoundExperiment(Experiment):
                 seed=config.seed,
                 stop_when_drained=True,
                 label=f"cjz n={n}",
-                **config.execution_kwargs,
+                **config.streaming_kwargs,
             )
             completion_cjz = cjz_study_result.mean(_completion_slot)
             completions_cjz.append(completion_cjz)

@@ -17,8 +17,9 @@ from ..analysis.fitting import growth_exponent
 from ..analysis.tables import Table
 from ..core import AlgorithmParameters, cjz_factory
 from ..functions import constant_g
-from ..metrics import summarize_energy
+from ..metrics import EnergyReducer
 from ..sim import run_trials
+from ..spec import PipelineSpec
 from ._helpers import batch_jam_adversary, log2
 from .base import Experiment, ExperimentResult, register
 from .config import ExperimentConfig
@@ -47,6 +48,9 @@ class EnergyComplexityExperiment(Experiment):
             title="Broadcast attempts per node (paper's algorithm)",
             columns=["jamming", "n", "mean", "p95", "max", "mean / log²n"],
         )
+        # Energy reduces through the metric pipeline, so the experiment never
+        # needs the per-slot columns and honors --streaming at any horizon.
+        pipeline = PipelineSpec.of(EnergyReducer())
         means_no_jam: List[float] = []
         for jam_fraction, label in ((0.0, "none"), (0.25, "25% random")):
             for n in sizes:
@@ -59,9 +63,10 @@ class EnergyComplexityExperiment(Experiment):
                     seed=config.seed,
                     stop_when_drained=True,
                     label=f"{label}-{n}",
-                    **config.execution_kwargs,
+                    pipeline=pipeline,
+                    **config.streaming_kwargs,
                 )
-                energy = summarize_energy(list(study))
+                energy = study.metrics()["energy"]
                 if jam_fraction == 0.0:
                     means_no_jam.append(energy.mean)
                 table.add_row(

@@ -84,7 +84,7 @@ class SmoothClearingExperiment(Experiment):
             trials=config.trials,
             seed=config.seed,
             label="smooth",
-            **config.execution_kwargs,
+            **config.streaming_kwargs,
         )
 
         suffixes: List[int] = [horizon // 16, horizon // 8, horizon // 4, horizon // 2]

@@ -26,6 +26,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence
 
+import numpy as np
+
 from .errors import ConfigurationError
 
 __all__ = [
@@ -74,6 +76,62 @@ class RateFunction:
                 f"rate function {self.name!r} produced invalid value {value} at x={x}"
             )
         return value
+
+    def values(self, xs: "np.ndarray") -> "np.ndarray":
+        """Evaluate the function over an array of arguments.
+
+        Tries one whole-array call first (constant and numpy-compatible
+        functions broadcast for free) and falls back to element-wise
+        evaluation when the wrapped callable only accepts scalars — the
+        common case for ``math``-based lambdas.  A sample element of the
+        array result is cross-checked against the scalar path so a callable
+        that silently mis-broadcasts can never corrupt a columnar metric.
+        """
+        xs = np.asarray(xs, dtype=float)
+        if xs.size == 0:
+            return np.zeros(0, dtype=float)
+        if float(xs.min()) <= 0:
+            raise ConfigurationError(
+                f"rate function {self.name!r} evaluated at non-positive "
+                f"x={float(xs.min())}"
+            )
+        values: Optional[np.ndarray] = None
+        try:
+            candidate = np.asarray(self.func(xs), dtype=float)
+        except Exception:
+            candidate = None
+        if candidate is not None:
+            if candidate.ndim == 0:
+                candidate = np.full(xs.shape, float(candidate))
+            if candidate.shape == xs.shape and math.isclose(
+                float(candidate[0]), self(float(xs[0])), rel_tol=1e-12
+            ):
+                values = candidate
+        if values is None:
+            values = np.fromiter(
+                (self(float(x)) for x in xs), dtype=float, count=xs.size
+            )
+            return values  # each element already validated by __call__
+        bad = ~(np.isfinite(values) & (values > 0))
+        if bad.any():
+            index = int(np.argmax(bad))
+            raise ConfigurationError(
+                f"rate function {self.name!r} produced invalid value "
+                f"{values[index]} at x={xs[index]}"
+            )
+        return values
+
+    def __reduce__(self):
+        # Standard-family instances pickle via their construction recipe
+        # (the wrapped lambda itself cannot cross a process boundary), which
+        # is what lets reducers holding rate functions travel back from
+        # worker shards.  Hand-rolled instances fall back to the default
+        # protocol and fail at pickle time with the usual lambda error.
+        if self.spec is not None:
+            from .spec.rates import rate_function_from_spec
+
+            return (rate_function_from_spec, (dict(self.spec),))
+        return super().__reduce__()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"RateFunction({self.name})"

@@ -1,6 +1,26 @@
-"""Metrics: throughput, (f, g)-throughput verification, latency and energy."""
+"""Metrics: throughput, (f, g)-throughput verification, latency and energy.
+
+Two collection styles coexist:
+
+* per-slot :class:`MetricsCollector` callbacks (reference/vectorized
+  backends only — they need ``SlotRecord`` streams);
+* the columnar :class:`MetricPipeline` of streaming
+  :class:`MetricReducer` objects, which runs on every backend — including
+  the batched study kernel — and under ``workers > 1`` via shard merges.
+"""
 
 from .collectors import MetricsCollector, SuccessTimeline, WindowedSuccessCounter
+from .pipeline import (
+    SCALAR_METRICS,
+    EnergyReducer,
+    FGThroughputReducer,
+    LatencyReducer,
+    MetricPipeline,
+    MetricReducer,
+    ScalarSummaryReducer,
+    SuccessTimelineReducer,
+    WindowedRateReducer,
+)
 from .throughput import (
     FGThroughputChecker,
     ThroughputReport,
@@ -14,6 +34,15 @@ __all__ = [
     "MetricsCollector",
     "SuccessTimeline",
     "WindowedSuccessCounter",
+    "MetricPipeline",
+    "MetricReducer",
+    "SuccessTimelineReducer",
+    "WindowedRateReducer",
+    "FGThroughputReducer",
+    "LatencyReducer",
+    "EnergyReducer",
+    "ScalarSummaryReducer",
+    "SCALAR_METRICS",
     "FGThroughputChecker",
     "ThroughputReport",
     "classical_throughput_series",

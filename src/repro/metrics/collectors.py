@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Optional
 
 from ..types import SlotOutcome, SlotRecord
@@ -42,7 +43,8 @@ class SuccessTimeline(MetricsCollector):
             self.success_slots.append(record.slot)
 
     def successes_before(self, slot: int) -> int:
-        return sum(1 for s in self.success_slots if s <= slot)
+        # success_slots is appended in slot order, so it is always sorted.
+        return bisect_right(self.success_slots, slot)
 
     def first_success(self) -> Optional[int]:
         return self.success_slots[0] if self.success_slots else None

@@ -11,13 +11,15 @@ from .backends import (
 )
 from .engine import Simulator, SimulatorConfig
 from .node import Node
-from .results import SimulationResult
+from .results import PrefixColumn, PrefixCounters, SimulationResult
 from .runner import TrialRunner, TrialStudy, run_trials
 
 __all__ = [
     "Simulator",
     "SimulatorConfig",
     "Node",
+    "PrefixColumn",
+    "PrefixCounters",
     "SimulationResult",
     "TrialRunner",
     "TrialStudy",

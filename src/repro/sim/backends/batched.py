@@ -58,7 +58,7 @@ from ...rng import (
     seed_states_for_entropies,
 )
 from ...types import NodeStats, SimulationSummary
-from ..results import SimulationResult
+from ..results import PrefixCounters, SimulationResult
 from .base import age_probability_profile
 
 __all__ = ["BatchedStudyKernel"]
@@ -396,21 +396,29 @@ class BatchedStudyKernel:
 
         # --- outcome prefix matrices over the full horizon ------------------
         cum_arrivals = np.cumsum(arrivals, axis=1)
-        stacked = np.stack(
-            (eligible & (counts == 1), jammed, eligible & (counts == 0))
-        )
+        stacked = np.stack((eligible & (counts == 1), jammed))
         stacked[:, :, 0] = False  # index 0 is unused in every prefix array
-        prefix = np.empty((4, block_trials, horizon + 1), dtype=np.int32)
-        np.cumsum(stacked, axis=2, out=prefix[:3])  # successes, jammed, silence
+        # int64 so the per-trial row slices handed to PrefixCounters in
+        # _emit are zero-copy views into this shared study matrix; exactly
+        # the three emitted planes (successes, jammed, active) share the
+        # base array, so the views pin no dead plane.
+        prefix = np.empty((3, block_trials, horizon + 1), dtype=np.int64)
+        np.cumsum(stacked, axis=2, out=prefix[:2])  # successes, jammed
         successes_before = np.zeros_like(cum_arrivals)
         successes_before[:, 1:] = prefix[0, :, :-1]
         active_full = (cum_arrivals - successes_before) > 0
         active_full[:, 0] = False
-        prefix[3] = np.cumsum(active_full, axis=1)
+        np.cumsum(active_full, axis=1, out=prefix[2])
+        # Silence is only ever needed as a scalar at each trial's stop slot,
+        # so its cumulative counts live in a separate, short-lived array.
+        silence = eligible & (counts == 0)
+        silence[:, 0] = False
+        silence_prefix = np.cumsum(silence, axis=1)
 
         simulated = self._early_stops(
             config, adversaries, cum_arrivals, prefix[0], horizon
         )
+        silence_at = silence_prefix[np.arange(block_trials), simulated]
 
         # --- per-node statistics --------------------------------------------
         sim_per_row = np.repeat(simulated, nodes_per_trial)
@@ -433,6 +441,7 @@ class BatchedStudyKernel:
             simulated,
             cum_arrivals,
             prefix,
+            silence_at,
             protocol_name,
         )
 
@@ -506,14 +515,15 @@ class BatchedStudyKernel:
         simulated: np.ndarray,
         cum_arrivals: np.ndarray,
         prefix: np.ndarray,
+        silence_at: np.ndarray,
         protocol_name: str,
     ) -> List[SimulationResult]:
-        prefix_succ, prefix_jam, prefix_sil, prefix_act = prefix
+        prefix_succ, prefix_jam, prefix_act = prefix
         trial_axis = np.arange(len(adversaries))
         at_sim = lambda matrix: matrix[trial_axis, simulated].tolist()  # noqa: E731
         succ_at = at_sim(prefix_succ)
         jam_at = at_sim(prefix_jam)
-        sil_at = at_sim(prefix_sil)
+        sil_at = silence_at.tolist()
         act_at = at_sim(prefix_act)
         arr_at = at_sim(cum_arrivals)
         sim_list = simulated.tolist()
@@ -554,10 +564,17 @@ class BatchedStudyKernel:
                 SimulationResult(
                     summary=summary,
                     node_stats=node_stats,
-                    prefix_active=prefix_act[b, : sim + 1].tolist(),
-                    prefix_arrivals=cum_arrivals[b, : sim + 1].tolist(),
-                    prefix_jammed=prefix_jam[b, : sim + 1].tolist(),
-                    prefix_successes=prefix_succ[b, : sim + 1].tolist(),
+                    # Zero-copy views into the shared block matrices.  Every
+                    # plane of the backing arrays is referenced by some
+                    # trial's counters, so retention equals the columnar
+                    # study data (early stops may truncate a view below its
+                    # backing row, the one case nbytes under-counts).
+                    counters=PrefixCounters(
+                        active=prefix_act[b, : sim + 1],
+                        arrivals=cum_arrivals[b, : sim + 1],
+                        jammed=prefix_jam[b, : sim + 1],
+                        successes=prefix_succ[b, : sim + 1],
+                    ),
                     protocol_name=protocol_name,
                     adversary_name=adversary.describe(),
                     horizon=sim,

@@ -22,7 +22,7 @@ from ...types import (
 )
 from ..events import EventTrace
 from ..node import Node
-from ..results import SimulationResult
+from ..results import PrefixCounters, SimulationResult
 from .base import KernelContext, SlotKernel
 
 __all__ = ["ReferenceKernel", "run_slot_loop"]
@@ -139,10 +139,9 @@ def run_slot_loop(
     result = SimulationResult(
         summary=summary,
         node_stats=node_stats,
-        prefix_active=prefix_active,
-        prefix_arrivals=prefix_arrivals,
-        prefix_jammed=prefix_jammed,
-        prefix_successes=prefix_successes,
+        counters=PrefixCounters.from_lists(
+            prefix_active, prefix_arrivals, prefix_jammed, prefix_successes
+        ),
         protocol_name=context.protocol_name,
         adversary_name=adversary.describe(),
         horizon=slots_simulated,

@@ -45,7 +45,7 @@ from ...channel.multiple_access import MultipleAccessChannel
 from ...errors import ConfigurationError
 from ...types import AdversaryAction, NodeStats, SimulationSummary, SlotOutcome, SlotRecord
 from ..events import EventTrace
-from ..results import SimulationResult
+from ..results import PrefixCounters, SimulationResult
 from .base import KernelContext, SlotKernel, age_probability_profile
 from .reference import run_slot_loop
 
@@ -242,10 +242,14 @@ class VectorizedKernel(SlotKernel):
             jammed=summary.jammed_slots,
         )
 
-        prefix_active = np.concatenate(([0], np.cumsum(active_t))).tolist()
-        prefix_arrivals = cum_arrivals[: simulated + 1].tolist()
-        prefix_jammed = np.concatenate(([0], np.cumsum(jam_t))).tolist()
-        prefix_successes = np.concatenate(([0], np.cumsum(success_t))).tolist()
+        # Columns go straight into the result record — no .tolist() round trip.
+        zero = np.zeros(1, dtype=np.int64)
+        counters = PrefixCounters(
+            active=np.concatenate((zero, np.cumsum(active_t, dtype=np.int64))),
+            arrivals=np.asarray(cum_arrivals[: simulated + 1], dtype=np.int64),
+            jammed=np.concatenate((zero, np.cumsum(jam_t, dtype=np.int64))),
+            successes=np.concatenate((zero, np.cumsum(success_t, dtype=np.int64))),
+        )
 
         trace: Optional[EventTrace] = None
         if config.keep_trace or context.collectors:
@@ -265,10 +269,7 @@ class VectorizedKernel(SlotKernel):
         result = SimulationResult(
             summary=summary,
             node_stats=node_stats,
-            prefix_active=prefix_active,
-            prefix_arrivals=prefix_arrivals,
-            prefix_jammed=prefix_jammed,
-            prefix_successes=prefix_successes,
+            counters=counters,
             protocol_name=context.protocol_name,
             adversary_name=adversary.describe(),
             horizon=simulated,

@@ -35,6 +35,12 @@ whole multi-trial study in one array pass and is selected through
 :func:`repro.sim.run_trials` / :class:`repro.sim.TrialRunner` (a single
 :class:`Simulator` rejects it).
 
+Per-slot ``collectors`` attached here receive a ``SlotRecord`` stream and
+therefore pin the run to the record-emitting kernels; study-level metrics
+should prefer the columnar :class:`~repro.metrics.MetricPipeline`, which
+consumes each trial's :class:`~repro.sim.results.PrefixCounters` after the
+fact and runs on every backend (see :class:`repro.sim.TrialRunner`).
+
 Every kernel must honor the contract documented in
 :mod:`repro.sim.backends.base`: canonical slot ordering, the documented seed
 tree discipline, and results indistinguishable from the reference kernel.

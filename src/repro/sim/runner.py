@@ -20,6 +20,20 @@ Backends
   :class:`~repro.sim.engine.Simulator`.
 
 All paths are seed-for-seed identical; only wall-clock differs.
+
+Metric pipelines and streaming
+------------------------------
+
+``pipeline=`` attaches a :class:`~repro.metrics.MetricPipeline` (or its
+serializable :class:`~repro.spec.PipelineSpec`): every finished trial is
+reduced into the pipeline's columnar reducers, on *any* backend — the
+batched study kernel included — and under ``workers > 1``, where each
+worker reduces its contiguous shard into a fresh pipeline clone and the
+parent merges the shard partials back in trial order (identical to a
+serial reduction; property-tested).  ``streaming=True`` additionally drops
+each trial's O(horizon) prefix columns the moment all reducers have
+consumed it, so huge-horizon studies retain only reducer state plus the
+O(1) per-trial summary surface.
 """
 
 from __future__ import annotations
@@ -27,7 +41,7 @@ from __future__ import annotations
 import multiprocessing
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -95,6 +109,7 @@ class TrialStudy:
     label: str = ""
     effective_workers: int = 1
     from_cache: bool = False
+    pipeline: Optional[Any] = None
     _metric_cache: Dict[MetricExtractor, Tuple[int, np.ndarray]] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -145,6 +160,22 @@ class TrialStudy:
         values = self._values(metric)
         return float(np.quantile(values, q)) if values.size else float("nan")
 
+    def metrics(self) -> Optional[Dict[str, Any]]:
+        """Finalized values of the attached metric pipeline (``None`` without one)."""
+        if self.pipeline is None:
+            return None
+        return self.pipeline.finalize()
+
+    def memory_bytes(self) -> int:
+        """Bytes retained by the per-slot prefix columns of all results.
+
+        0 for streamed studies (columns released after reduction) and for
+        cache-rehydrated studies (summaries only).
+        """
+        return sum(
+            getattr(result, "memory_bytes", lambda: 0)() for result in self.results
+        )
+
     def fraction_satisfying(
         self, predicate: Callable[[SimulationResult], bool]
     ) -> float:
@@ -191,6 +222,26 @@ def _coerce_factories(protocol_factory, adversary_factory, horizon: int):
     return protocol_factory, adversary_factory
 
 
+def _coerce_pipeline(pipeline):
+    """Accept a live :class:`~repro.metrics.MetricPipeline` or its spec.
+
+    Imported lazily for the same reason as :func:`_coerce_factories` — both
+    the metrics and spec packages import this module's public API.
+    """
+    if pipeline is None:
+        return None
+    from ..metrics.pipeline import MetricPipeline
+    from ..spec.pipeline import PipelineSpec
+
+    if isinstance(pipeline, PipelineSpec):
+        return pipeline.build()
+    if isinstance(pipeline, MetricPipeline):
+        return pipeline
+    raise ConfigurationError(
+        f"pipeline must be a MetricPipeline or PipelineSpec, got {pipeline!r}"
+    )
+
+
 # Per-worker state, set by the pool initializer.  With the "fork" start
 # method initargs reach the child by memory copy, so unpicklable
 # protocol/adversary factories (closures) never cross a pickle boundary —
@@ -205,10 +256,16 @@ def _init_trial_worker(runner: "TrialRunner", chunks: List[List[SeedTree]]) -> N
     _PARALLEL_STATE = (runner, chunks)
 
 
-def _run_trial_chunk(index: int) -> List[SimulationResult]:
+def _run_trial_chunk(index: int):
     assert _PARALLEL_STATE is not None, "worker started without parallel state"
     runner, chunks = _PARALLEL_STATE
-    return runner._run_chunk(chunks[index])
+    # Each shard reduces into its own fresh pipeline clone; the parent merges
+    # the returned partials in shard (= trial) order.
+    shard_pipeline = (
+        runner._pipeline.fresh() if runner._pipeline is not None else None
+    )
+    results = runner._run_chunk(chunks[index], shard_pipeline)
+    return results, shard_pipeline
 
 
 class TrialRunner:
@@ -225,11 +282,22 @@ class TrialRunner:
     Parameters
     ----------
     collectors:
-        Metric collectors attached to every trial's simulator.  Collector
-        instances are shared across trials (their ``on_run_start`` hook is
-        expected to reset them), which is why they require ``workers=1``
-        (rejected here, at construction time); they also force the per-trial
-        path (the batched study kernel emits no per-slot records).
+        Per-slot metric collectors attached to every trial's simulator (the
+        legacy callback API).  Collector instances are shared across trials
+        (their ``on_run_start`` hook is expected to reset them), which is why
+        they require ``workers=1`` (rejected here, at construction time);
+        they also force the per-trial path (the batched study kernel emits no
+        per-slot records).  Prefer ``pipeline`` — it has neither restriction.
+    pipeline:
+        A :class:`~repro.metrics.MetricPipeline` (or
+        :class:`~repro.spec.PipelineSpec`) of columnar reducers, fed every
+        finished trial in order.  Runs on every backend and under
+        ``workers > 1`` via ordered shard merges; exposed afterwards as
+        :attr:`TrialStudy.pipeline`.
+    streaming:
+        Release each trial's O(horizon) prefix columns once the pipeline has
+        reduced it, keeping only reducer state and O(1) summaries.
+        Incompatible with ``keep_trace``.
     backend:
         Study-level backend selection (see the module docstring).
     workers:
@@ -248,6 +316,8 @@ class TrialRunner:
         collectors: Sequence = (),
         backend: str = AUTO_BACKEND,
         workers: int = 1,
+        pipeline=None,
+        streaming: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -259,7 +329,12 @@ class TrialRunner:
         if collectors and workers > 1:
             raise ConfigurationError(
                 "collectors require workers=1: collector instances cannot be "
-                "shared across worker processes"
+                "shared across worker processes (use pipeline= instead)"
+            )
+        if streaming and config.keep_trace:
+            raise ConfigurationError(
+                "streaming releases per-slot data; it cannot be combined "
+                "with keep_trace"
             )
         protocol_factory, adversary_factory = _coerce_factories(
             protocol_factory, adversary_factory, config.horizon
@@ -271,6 +346,8 @@ class TrialRunner:
         self._collectors = list(collectors)
         self._backend = backend
         self._workers = workers
+        self._pipeline = _coerce_pipeline(pipeline)
+        self._streaming = streaming
 
     def run_single(self, seed: SeedLike) -> SimulationResult:
         """Execute one trial with the given root seed."""
@@ -289,10 +366,21 @@ class TrialRunner:
             raise ConfigurationError("trials must be >= 1")
         seeds = TrialSeedBatch(seed, trials)
         workers = min(self._workers, trials)
-        study = TrialStudy(label=self._label)
+        # Each run reduces into a fresh clone, so studies from consecutive
+        # run() calls never share (or overwrite) each other's metrics.
+        pipeline = self._pipeline.fresh() if self._pipeline is not None else None
+        study = TrialStudy(label=self._label, pipeline=pipeline)
         if workers > 1:
             if "fork" in multiprocessing.get_all_start_methods():
-                study.results.extend(self._run_parallel(seeds.trees, workers))
+                results, shard_pipelines = self._run_parallel(
+                    seeds.trees, workers
+                )
+                study.results.extend(results)
+                if pipeline is not None:
+                    # Shards are contiguous trial ranges; merging their
+                    # partials left to right reproduces the serial reduction.
+                    for shard_pipeline in shard_pipelines:
+                        pipeline.merge(shard_pipeline)
                 study.effective_workers = workers
                 return study
             warnings.warn(
@@ -301,7 +389,7 @@ class TrialRunner:
                 RuntimeWarning,
                 stacklevel=2,
             )
-        study.results.extend(self._run_chunk(seeds))
+        study.results.extend(self._run_chunk(seeds, pipeline))
         return study
 
     # ------------------------------------------------------------- internals
@@ -310,8 +398,18 @@ class TrialRunner:
         """The Simulator backend used when a trial runs individually."""
         return AUTO_BACKEND if self._backend == STUDY_BACKEND else self._backend
 
+    def _absorb(self, result: SimulationResult, pipeline) -> SimulationResult:
+        """Reduce one finished trial; in streaming mode drop its columns."""
+        if pipeline is not None:
+            pipeline.update(result)
+        if self._streaming:
+            result.release_counters()
+        return result
+
     def _run_chunk(
-        self, seeds: Union[List[SeedTree], TrialSeedBatch]
+        self,
+        seeds: Union[List[SeedTree], TrialSeedBatch],
+        pipeline=None,
     ) -> List[SimulationResult]:
         """Run a contiguous shard of trials, batched when eligible."""
         if self._backend in (AUTO_BACKEND, STUDY_BACKEND):
@@ -334,7 +432,9 @@ class TrialRunner:
                     or "protocol",
                 )
                 if results is not None:
-                    return results
+                    return [
+                        self._absorb(result, pipeline) for result in results
+                    ]
                 # The study bailed without consuming any trial seeds
                 # (oversized block, missing probability vector, ...): each
                 # trial escalates to the per-trial ladder below.
@@ -343,11 +443,14 @@ class TrialRunner:
                     f"backend {STUDY_BACKEND!r} unavailable: {reason}"
                 )
         trees = seeds.trees if isinstance(seeds, TrialSeedBatch) else seeds
-        return [self.run_single(trial_seed) for trial_seed in trees]
+        return [
+            self._absorb(self.run_single(trial_seed), pipeline)
+            for trial_seed in trees
+        ]
 
     def _run_parallel(
         self, seeds: List[SeedTree], workers: int
-    ) -> List[SimulationResult]:
+    ) -> Tuple[List[SimulationResult], List[Any]]:
         chunks = _contiguous_chunks(seeds, workers)
         context = multiprocessing.get_context("fork")
         with context.Pool(
@@ -356,7 +459,9 @@ class TrialRunner:
             initargs=(self, chunks),
         ) as pool:
             shards = pool.map(_run_trial_chunk, range(len(chunks)))
-        return [result for shard in shards for result in shard]
+        results = [result for shard, _ in shards for result in shard]
+        pipelines = [shard_pipeline for _, shard_pipeline in shards]
+        return results, [p for p in pipelines if p is not None]
 
 
 def _contiguous_chunks(seeds: List[SeedTree], workers: int) -> List[List[SeedTree]]:
@@ -381,6 +486,8 @@ def run_trials(
     collectors: Optional[Sequence] = None,
     backend: str = AUTO_BACKEND,
     workers: int = 1,
+    pipeline=None,
+    streaming: bool = False,
 ) -> TrialStudy:
     """Convenience wrapper: build the config and runner and execute the trials.
 
@@ -402,5 +509,7 @@ def run_trials(
         collectors=collectors or (),
         backend=backend,
         workers=workers,
+        pipeline=pipeline,
+        streaming=streaming,
     )
     return runner.run(trials=trials, seed=seed)

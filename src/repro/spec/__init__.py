@@ -54,6 +54,7 @@ from .adversary import (
     AdversarySpec,
     StrategySpec,
 )
+from .pipeline import METRIC_REDUCERS, PipelineSpec
 from .protocol import PROTOCOLS, ProtocolSpec
 from .rates import RATE_FUNCTIONS, rate_function_from_spec, rate_function_to_spec
 from .registry import ParamField, RegistryEntry, SpecRegistry
@@ -66,11 +67,13 @@ __all__ = [
     "ARRIVAL_STRATEGIES",
     "COMPOSED_KIND",
     "JAMMING_STRATEGIES",
+    "METRIC_REDUCERS",
     "PROTOCOLS",
     "RATE_FUNCTIONS",
     "AdversarySpec",
     "CachedResult",
     "ParamField",
+    "PipelineSpec",
     "PlanResult",
     "ProtocolSpec",
     "RegistryEntry",

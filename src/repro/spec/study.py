@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Sequence
 
 from ..errors import SpecError
 from .adversary import AdversarySpec
+from .pipeline import PipelineSpec
 from .protocol import ProtocolSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -29,8 +30,10 @@ __all__ = ["StudySpec", "canonical_json"]
 #: Fields that describe execution placement, not the experiment itself.
 #: They are excluded from :meth:`StudySpec.spec_hash` because every backend /
 #: worker combination is seed-for-seed identical by the simulator's core
-#: invariant — results may be cached across them.
-_NON_SEMANTIC_FIELDS = ("backend", "workers", "label")
+#: invariant — results may be cached across them.  ``pipeline`` and
+#: ``streaming`` are derived-metric / memory-policy knobs that likewise
+#: cannot change the simulated trials.
+_NON_SEMANTIC_FIELDS = ("backend", "workers", "label", "pipeline", "streaming")
 
 
 def canonical_json(data: Any) -> str:
@@ -52,6 +55,8 @@ class StudySpec:
     stop_when_drained: bool = False
     keep_trace: bool = False
     label: str = ""
+    pipeline: Optional[PipelineSpec] = None
+    streaming: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon < 1:
@@ -62,6 +67,8 @@ class StudySpec:
             raise SpecError("workers must be >= 1")
         if self.seed is not None and not isinstance(self.seed, int):
             raise SpecError("seed must be an int or None (specs are JSON data)")
+        if self.streaming and self.keep_trace:
+            raise SpecError("streaming and keep_trace are mutually exclusive")
         from ..sim.backends import available_study_backends
 
         if self.backend not in available_study_backends():
@@ -85,13 +92,16 @@ class StudySpec:
     ) -> "TrialStudy":
         """Execute the study (or return the cached result from ``store``).
 
-        Cache lookups key on :meth:`spec_hash`; collector-carrying runs are
-        never served from (or written to) the cache because collectors have
-        side effects the cached summary cannot replay.
+        Cache lookups key on :meth:`spec_hash`; collector- and
+        pipeline-carrying runs are never served from the cache because a
+        cached summary carries no per-slot counters to replay them over
+        (streaming-only runs still cache: the stored summary surface is
+        exactly what a streamed study retains).
         """
         from ..sim.runner import run_trials
 
-        if store is not None and not collectors:
+        uncacheable = bool(collectors) or self.pipeline is not None
+        if store is not None and not uncacheable:
             cached = store.get(self)
             if cached is not None:
                 return cached
@@ -107,8 +117,10 @@ class StudySpec:
             collectors=collectors,
             backend=self.backend,
             workers=self.workers,
+            pipeline=self.pipeline,
+            streaming=self.streaming,
         )
-        if store is not None and not collectors:
+        if store is not None and not uncacheable:
             store.put(self, study)
         return study
 
@@ -119,7 +131,7 @@ class StudySpec:
     # -------------------------------------------------------- serialization
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "protocol": self.protocol.to_dict(),
             "adversary": self.adversary.to_dict(),
             "horizon": self.horizon,
@@ -131,6 +143,13 @@ class StudySpec:
             "keep_trace": self.keep_trace,
             "label": self.label,
         }
+        # Optional execution extras are emitted only when set, so specs that
+        # predate them serialize (and hash) exactly as before.
+        if self.pipeline is not None:
+            data["pipeline"] = self.pipeline.to_dict()
+        if self.streaming:
+            data["streaming"] = True
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "StudySpec":
@@ -149,11 +168,16 @@ class StudySpec:
                 "stop_when_drained",
                 "keep_trace",
                 "label",
+                "pipeline",
+                "streaming",
             }
         )
         if unknown:
             raise SpecError(f"unknown study spec field(s): {', '.join(unknown)}")
         seed = data.get("seed", 20210219)
+        pipeline = data.get("pipeline")
+        if pipeline is not None and not isinstance(pipeline, PipelineSpec):
+            pipeline = PipelineSpec.from_dict(pipeline)
         return cls(
             protocol=ProtocolSpec.from_dict(data.get("protocol", {"kind": "cjz"})),
             adversary=AdversarySpec.from_dict(data.get("adversary", {})),
@@ -165,6 +189,8 @@ class StudySpec:
             stop_when_drained=bool(data.get("stop_when_drained", False)),
             keep_trace=bool(data.get("keep_trace", False)),
             label=str(data.get("label", "")),
+            pipeline=pipeline,
+            streaming=bool(data.get("streaming", False)),
         )
 
     def to_json(self, indent: Optional[int] = None) -> str:
@@ -208,7 +234,10 @@ class StudySpec:
         return self.from_dict(data)
 
     def with_execution(
-        self, backend: Optional[str] = None, workers: Optional[int] = None
+        self,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+        streaming: Optional[bool] = None,
     ) -> "StudySpec":
         """A copy with execution placement changed (hash-neutral)."""
         updates: Dict[str, Any] = {}
@@ -216,7 +245,13 @@ class StudySpec:
             updates["backend"] = backend
         if workers is not None:
             updates["workers"] = workers
+        if streaming is not None:
+            updates["streaming"] = streaming
         return replace(self, **updates) if updates else self
+
+    def with_pipeline(self, pipeline: Optional[PipelineSpec]) -> "StudySpec":
+        """A copy with a metric pipeline attached (hash-neutral)."""
+        return replace(self, pipeline=pipeline)
 
 
 def _set_dotted(data: Dict[str, Any], path: str, value: Any) -> None:

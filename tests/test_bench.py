@@ -49,6 +49,29 @@ class TestMicroSuite:
             assert record["backend"] in ("vectorized", "batched-study")
             assert record["params"]["trials"] >= 1
 
+    def test_records_have_memory_profile(self, bench_data):
+        micro = [b for b in bench_data["benchmarks"] if b["kind"] == "micro"]
+        for record in micro:
+            assert record["peak_bytes_per_slot"] > 0
+            # Four int64 prefix columns retained per slot.
+            assert record["result_bytes_per_slot"] == 32.0
+            # The pre-columnar list representation must measure strictly larger.
+            assert (
+                record["legacy_list_bytes_per_slot"]
+                > record["result_bytes_per_slot"]
+            )
+
+    def test_batched_records_report_streaming_bytes(self, bench_data):
+        batched = [
+            b
+            for b in bench_data["benchmarks"]
+            if b["kind"] == "micro" and b["backend"] == "batched-study"
+        ]
+        assert batched
+        for record in batched:
+            # Streaming keeps only summaries; nothing per-slot is retained.
+            assert record["streaming_result_bytes_per_slot"] == 0.0
+
     def test_batched_records_report_vectorized_speedup(self, bench_data):
         batched = [
             b
@@ -111,6 +134,32 @@ class TestComparison:
             record["wall_time_s"] = record["wall_time_s"] * 10
         regressions = compare_bench(bench_data, current, threshold=0.2)
         assert any(r["metric"] == "wall_time_s" for r in regressions)
+
+    def test_memory_regression_detected(self, bench_data):
+        current = json.loads(json.dumps(bench_data))
+        for record in current["benchmarks"]:
+            if "result_bytes_per_slot" in record:
+                record["result_bytes_per_slot"] *= 2
+                record["peak_bytes_per_slot"] *= 2
+        regressions = compare_bench(bench_data, current, threshold=0.2)
+        metrics = {r["metric"] for r in regressions}
+        assert "result_bytes_per_slot" in metrics
+        assert "peak_bytes_per_slot" in metrics
+
+    def test_memory_gate_tolerates_missing_baseline_fields(self, bench_data):
+        # Comparing against a pre-columnar baseline (no memory fields) must
+        # not produce memory regressions.
+        baseline = json.loads(json.dumps(bench_data))
+        for record in baseline["benchmarks"]:
+            for metric in (
+                "peak_bytes_per_slot",
+                "result_bytes_per_slot",
+                "legacy_list_bytes_per_slot",
+                "streaming_result_bytes_per_slot",
+            ):
+                record.pop(metric, None)
+        regressions = compare_bench(baseline, bench_data, threshold=0.2)
+        assert not any("bytes_per_slot" in r["metric"] for r in regressions)
 
     def test_missing_benchmark_is_flagged(self, bench_data):
         current = json.loads(json.dumps(bench_data))
