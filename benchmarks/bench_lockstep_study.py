@@ -1,0 +1,106 @@
+"""Micro-benchmarks of the lockstep study kernel on the paper's own protocol.
+
+The CJZ protocol is feedback-driven, so the batched/vectorized array kernels
+cannot run it — before the lockstep kernel its studies were stuck on the
+per-node reference loop.  These benchmarks track the lockstep tier on
+e01/e03-style CJZ studies and assert the ≥5x speedup floor the issue's
+acceptance criterion requires (the committed ``BENCH_*.json`` records the
+full figure; the floor only guards against collapses on noisy runners).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.adversary import (
+    BatchArrivals,
+    ComposedAdversary,
+    RandomFractionJamming,
+    ReactiveJamming,
+    UniformRandomArrivals,
+)
+from repro.core import cjz_factory
+from repro.sim import run_trials
+
+TRIALS = 40
+HORIZON = 256
+NODES = 32
+
+
+def _batch_jam_study(backend: str, trials: int = TRIALS):
+    """e01 miniature: batch arrivals under 25% random jamming."""
+    return run_trials(
+        protocol_factory=cjz_factory(),
+        adversary_factory=lambda: ComposedAdversary(
+            BatchArrivals(NODES), RandomFractionJamming(0.25)
+        ),
+        horizon=HORIZON,
+        trials=trials,
+        seed=1,
+        backend=backend,
+    )
+
+
+def _reactive_study(backend: str, trials: int = TRIALS):
+    """e03 miniature: spread arrivals against the adaptive reactive jammer."""
+    return run_trials(
+        protocol_factory=cjz_factory(),
+        adversary_factory=lambda: ComposedAdversary(
+            UniformRandomArrivals(NODES, (1, HORIZON // 4)),
+            ReactiveJamming(0.25, burst=8),
+        ),
+        horizon=HORIZON,
+        trials=trials,
+        seed=1,
+        backend=backend,
+    )
+
+
+def test_study_lockstep_backend(benchmark):
+    study = benchmark(lambda: _batch_jam_study("lockstep"))
+    assert all(result.backend == "lockstep" for result in study)
+
+
+def test_study_lockstep_reactive_backend(benchmark):
+    study = benchmark(lambda: _reactive_study("lockstep"))
+    assert all(result.backend == "lockstep" for result in study)
+
+
+def _per_trial_best(run, backend: str, trials: int, repeats: int = 3) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run(backend, trials=trials)
+        timings.append(time.perf_counter() - start)
+    return min(timings) / trials
+
+
+def test_lockstep_speedup_floor_batch_jam():
+    """Acceptance: lockstep runs e01's CJZ study ≥5x faster than reference."""
+    _batch_jam_study("lockstep", trials=4)  # warm-up (RNG self-checks)
+    _batch_jam_study("reference", trials=2)
+    reference = _per_trial_best(_batch_jam_study, "reference", trials=4)
+    lockstep = _per_trial_best(_batch_jam_study, "lockstep", trials=TRIALS)
+    speedup = reference / lockstep
+    assert speedup >= 5.0, (
+        f"lockstep speedup {speedup:.1f}x below the 5x acceptance floor"
+    )
+
+
+def test_lockstep_speedup_floor_reactive():
+    """The adaptive-jammer path must also clear the 5x floor."""
+    _reactive_study("lockstep", trials=4)
+    _reactive_study("reference", trials=2)
+    reference = _per_trial_best(_reactive_study, "reference", trials=4)
+    lockstep = _per_trial_best(_reactive_study, "lockstep", trials=TRIALS)
+    speedup = reference / lockstep
+    assert speedup >= 5.0, (
+        f"lockstep reactive speedup {speedup:.1f}x below the 5x floor"
+    )
+
+
+def test_lockstep_matches_reference_results():
+    reference = _batch_jam_study("reference", trials=6)
+    lockstep = _batch_jam_study("lockstep", trials=6)
+    assert [r.summary for r in reference] == [r.summary for r in lockstep]
+    assert [r.node_stats for r in reference] == [r.node_stats for r in lockstep]

@@ -51,7 +51,10 @@ from .adversary import (
     PeriodicJamming,
     PoissonArrivals,
     RandomFractionJamming,
+    ReactiveJamming,
+    UniformRandomArrivals,
 )
+from .core import cjz_factory
 from .errors import ConfigurationError
 from .protocols import ProbabilityBackoff, SlottedAloha, make_factory
 from .sim import run_trials
@@ -82,9 +85,26 @@ _SCALES: Dict[str, Tuple[int, int, int]] = {
 #: normalized speedups).
 _BACKENDS = ("reference", "vectorized", "batched-study")
 
+#: Backends eligible for the feedback-driven CJZ workloads: the protocol is
+#: not vector-eligible, so only the reference path and the lockstep study
+#: kernel can run it.
+_CJZ_BACKENDS = ("reference", "lockstep")
+
+#: Fixed shape of the CJZ micro workloads (e01/e03 miniatures).  The node
+#: count and horizon track the experiments' ratios rather than the tiny
+#: ALOHA micro shape, so the lockstep speedup is measured at a population
+#: the real studies actually carry.
+_CJZ_HORIZON = 256
+_CJZ_NODES = 32
+
 
 def _micro_workloads(horizon: int, nodes: int):
-    """The micro study workloads: (id, protocol_factory, adversary_factory)."""
+    """The micro study workloads.
+
+    Each entry is ``(id, protocol_factory, adversary_factory, horizon,
+    nodes, backends)`` — the CJZ workloads fix their own shape and backend
+    set (see :data:`_CJZ_BACKENDS`); the rest use the scale's shape.
+    """
     return [
         (
             "study-e01-batch-jam",
@@ -92,11 +112,17 @@ def _micro_workloads(horizon: int, nodes: int):
             lambda: ComposedAdversary(
                 BatchArrivals(nodes), RandomFractionJamming(0.25)
             ),
+            horizon,
+            nodes,
+            _BACKENDS,
         ),
         (
             "study-e04-batch-clear",
             make_factory(SlottedAloha, 0.05),
             lambda: ComposedAdversary(BatchArrivals(nodes), NoJamming()),
+            horizon,
+            nodes,
+            _BACKENDS,
         ),
         (
             "study-poisson-periodic",
@@ -105,6 +131,35 @@ def _micro_workloads(horizon: int, nodes: int):
                 PoissonArrivals(nodes / horizon, last_slot=horizon // 2),
                 PeriodicJamming(7),
             ),
+            horizon,
+            nodes,
+            _BACKENDS,
+        ),
+        (
+            # e01 miniature: the paper's algorithm against batch arrivals
+            # under 25% random jamming — the headline lockstep workload.
+            "study-e01-cjz-batch-jam",
+            cjz_factory(),
+            lambda: ComposedAdversary(
+                BatchArrivals(_CJZ_NODES), RandomFractionJamming(0.25)
+            ),
+            _CJZ_HORIZON,
+            _CJZ_NODES,
+            _CJZ_BACKENDS,
+        ),
+        (
+            # e03 miniature: spread arrivals against the adaptive reactive
+            # jammer (25% budget, burst 8) — exercises the columnar
+            # adaptive-adversary path.
+            "study-e03-cjz-reactive",
+            cjz_factory(),
+            lambda: ComposedAdversary(
+                UniformRandomArrivals(_CJZ_NODES, (1, _CJZ_HORIZON // 4)),
+                ReactiveJamming(0.25, burst=8),
+            ),
+            _CJZ_HORIZON,
+            _CJZ_NODES,
+            _CJZ_BACKENDS,
         ),
     ]
 
@@ -131,13 +186,18 @@ def run_micro_suite(
     two orders of magnitude slower) and compared per trial; the other
     backends run the full study.  Repeats are interleaved across backends so
     machine drift hits all of them equally; the best time per backend wins.
+
+    ``backends`` restricts the timed set; each workload only runs the
+    backends that support it (the feedback-driven CJZ workloads run on
+    reference + lockstep, the rest on the array ladder), and a workload
+    whose backend set is disjoint from the restriction is skipped.
     """
     if scale not in _SCALES:
         raise ConfigurationError(
             f"scale must be one of {sorted(_SCALES)}, got {scale!r}"
         )
-    backends = tuple(backends) if backends else _BACKENDS
-    for backend in backends:
+    requested = tuple(backends) if backends else None
+    for backend in requested or ():
         if backend not in available_study_backends():
             raise ConfigurationError(
                 f"unknown backend {backend!r}; available: "
@@ -145,9 +205,21 @@ def run_micro_suite(
             )
     trials, horizon, nodes = _SCALES[scale]
     records: List[Dict[str, object]] = []
-    for workload_id, protocol_factory, adversary_factory in _micro_workloads(
-        horizon, nodes
-    ):
+    for (
+        workload_id,
+        protocol_factory,
+        adversary_factory,
+        workload_horizon,
+        workload_nodes,
+        workload_backends,
+    ) in _micro_workloads(horizon, nodes):
+        backends = tuple(
+            backend
+            for backend in workload_backends
+            if requested is None or backend in requested
+        )
+        if not backends:
+            continue
         timings: Dict[str, Tuple[int, float]] = {}
         plans = {
             backend: trials if backend != "reference" else max(4, trials // 10)
@@ -157,7 +229,7 @@ def run_micro_suite(
             _time_study(
                 protocol_factory,
                 adversary_factory,
-                horizon,
+                workload_horizon,
                 min(4, backend_trials),
                 seed,
                 backend,
@@ -167,7 +239,7 @@ def run_micro_suite(
                 elapsed = _time_study(
                     protocol_factory,
                     adversary_factory,
-                    horizon,
+                    workload_horizon,
                     backend_trials,
                     seed,
                     backend,
@@ -178,7 +250,7 @@ def run_micro_suite(
             backend: _measure_memory(
                 protocol_factory,
                 adversary_factory,
-                horizon,
+                workload_horizon,
                 backend_trials,
                 seed,
                 backend,
@@ -197,13 +269,13 @@ def run_micro_suite(
                 "params": {
                     "trials": trials,
                     "trials_timed": timed,
-                    "horizon": horizon,
-                    "nodes": nodes,
+                    "horizon": workload_horizon,
+                    "nodes": workload_nodes,
                     "seed": seed,
                 },
                 "wall_time_s": best,
                 "per_trial_s": per_trial[backend],
-                "slots_per_second": timed * horizon / best,
+                "slots_per_second": timed * workload_horizon / best,
             }
             record.update(memory[backend])
             if "reference" in per_trial:

@@ -213,7 +213,7 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
         default="auto",
         help=(
             "simulation backend (auto escalates batched-study -> "
-            "vectorized -> reference per study)"
+            "lockstep -> vectorized -> reference per study)"
         ),
     )
     parser.add_argument(

@@ -32,13 +32,24 @@ from typing import Optional
 import numpy as np
 
 from ..channel.virtual import VirtualChannelView
-from ..protocols.base import Protocol, make_factory
+from ..protocols.base import (
+    LOCKSTEP_SENTINEL,
+    LockstepProgram,
+    Protocol,
+    grow_flat_column,
+    make_factory,
+)
 from ..types import ChannelParity, Feedback
 from .parameters import AlgorithmParameters
 from .phases import Phase
 from .subroutines import HBackoff, HBatch
 
-__all__ = ["ChenJiangZhengProtocol", "GlobalClockVariant", "cjz_factory"]
+__all__ = [
+    "CJZLockstepProgram",
+    "ChenJiangZhengProtocol",
+    "GlobalClockVariant",
+    "cjz_factory",
+]
 
 
 class ChenJiangZhengProtocol(Protocol):
@@ -192,6 +203,255 @@ class ChenJiangZhengProtocol(Protocol):
             assert self._ctrl_view is not None
             if self._ctrl_view.contains(slot):
                 self._start_phase3(slot)
+
+    # --------------------------------------------------------------- lockstep
+
+    def lockstep_program(self) -> Optional[LockstepProgram]:
+        # Only the exact bundled classes get a columnar program: a subclass
+        # overriding any hook would silently diverge from the columnar replay.
+        if type(self) not in (ChenJiangZhengProtocol, GlobalClockVariant):
+            return None
+        return CJZLockstepProgram(
+            self._params, global_clock=type(self) is GlobalClockVariant
+        )
+
+
+class CJZLockstepProgram(LockstepProgram):
+    """Columnar population state of the CJZ protocol for the lockstep kernel.
+
+    Per-node state is three phase anchors plus the ``h``-backoff plan of the
+    current stage:
+
+    * ``phase`` — 1 (SYNCHRONIZE), 2 (WAIT_CONTROL) or 3 (BATCH);
+    * ``anchor1`` — the arrival slot (Phase 1's virtual-channel anchor);
+    * ``anchor2`` — Phase 2's channel anchor (``l1 + 1``);
+    * ``anchor3`` — Phase 3's anchor ``l3`` (control channel at ``l3 + 1``);
+    * ``stage`` / ``plan`` / ``plan_ptr`` / ``next_planned`` — the realized
+      send plan of the current backoff stage, stored as a sorted row of
+      local indices so the per-slot membership test is one comparison.
+
+    RNG consumption mirrors the per-node reference exactly: entering backoff
+    stage ``k >= 1`` draws the stage's send plan as ``count`` bounded
+    integers (stage 0 consumes nothing — numpy's zero-range path), and every
+    Phase-3 slot draws one ``random()`` double for the active batch
+    subroutine.  ``h``-batch probabilities are table lookups built with the
+    same scalar calls ``HBatch.probability`` makes, so comparisons are
+    float-identical.
+    """
+
+    def __init__(
+        self, parameters: AlgorithmParameters, global_clock: bool = False
+    ) -> None:
+        self._params = parameters
+        self._global_clock = global_clock
+        self._pool = None
+        self._trials = 0
+        self._capacity = 0
+
+    # ----------------------------------------------------------------- setup
+
+    def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:
+        self._pool = pool
+        self._trials = trials
+        self._capacity = capacity
+        params = self._params
+        # Per-stage send counts, exactly as HBackoff._enter_stage clamps them.
+        self._stage_counts = [
+            min(params.backoff_budget(1 << k), 1 << k) for k in range(32)
+        ]
+        self._plan_width = max(self._stage_counts) + 1
+        # h-batch probability tables; index = local slot index (0 unused).
+        # Built with the same scalar calls HBatch.probability would make, so
+        # the columnar `uniform < p` comparisons are float-identical.
+        size = horizon + 2
+        self._ctrl_table = np.zeros(size)
+        self._data_table = np.zeros(size)
+        ctrl, data = params.ctrl_probability, params.data_probability
+        self._ctrl_table[1:] = [ctrl(i) for i in range(1, size)]
+        self._data_table[1:] = [data(i) for i in range(1, size)]
+        rows = trials * capacity
+        self._phase = np.zeros(rows, dtype=np.int8)
+        self._anchor1 = np.zeros(rows, dtype=np.int64)
+        self._anchor2 = np.zeros(rows, dtype=np.int64)
+        self._anchor3 = np.zeros(rows, dtype=np.int64)
+        self._stage = np.full(rows, -1, dtype=np.int64)
+        self._plan = np.full((rows, self._plan_width), LOCKSTEP_SENTINEL, np.int64)
+        self._plan_ptr = np.zeros(rows, dtype=np.int64)
+        self._next_planned = np.full(rows, LOCKSTEP_SENTINEL, dtype=np.int64)
+
+    def grow(self, trials: int, old_capacity: int, new_capacity: int) -> None:
+        args = (trials, old_capacity, new_capacity)
+        self._capacity = new_capacity
+        self._phase = grow_flat_column(self._phase, *args)
+        self._anchor1 = grow_flat_column(self._anchor1, *args)
+        self._anchor2 = grow_flat_column(self._anchor2, *args)
+        self._anchor3 = grow_flat_column(self._anchor3, *args)
+        self._stage = grow_flat_column(self._stage, *args, fill=-1)
+        self._plan = grow_flat_column(self._plan, *args, fill=LOCKSTEP_SENTINEL)
+        self._plan_ptr = grow_flat_column(self._plan_ptr, *args)
+        self._next_planned = grow_flat_column(
+            self._next_planned, *args, fill=LOCKSTEP_SENTINEL
+        )
+
+    # ---------------------------------------------------------------- arrive
+
+    def arrive(self, rows: np.ndarray, slot: int) -> None:
+        if self._global_clock:
+            # GlobalClockVariant: straight to Phase 2 on the globally known
+            # control channel, anchored at the next odd slot.
+            self._phase[rows] = 2
+            self._anchor2[rows] = slot if slot % 2 == 1 else slot + 1
+        else:
+            self._phase[rows] = 1
+            self._anchor1[rows] = slot
+        self._stage[rows] = -1
+        self._next_planned[rows] = LOCKSTEP_SENTINEL
+
+    # ------------------------------------------------------------------ step
+
+    def step(self, rows: np.ndarray, slot: int) -> np.ndarray:
+        sends = np.zeros(len(rows), dtype=bool)
+        phase = self._phase[rows]
+        parity = slot & 1
+        mask12 = phase < 3
+        if mask12.any():
+            # Phases 1 and 2 both run (f/a)-backoff, differing only in the
+            # virtual-channel anchor — one merged pass handles both.
+            self._step_backoff(rows, sends, mask12, phase, slot, parity)
+        mask3 = phase == 3
+        if mask3.any():
+            self._step_batch(rows, sends, mask3, slot, parity)
+        return sends
+
+    def _step_backoff(
+        self,
+        rows: np.ndarray,
+        sends: np.ndarray,
+        mask: np.ndarray,
+        phase: np.ndarray,
+        slot: int,
+        parity: int,
+    ) -> None:
+        """One slot of ``(f/a)``-backoff on each node's phase channel."""
+        positions = np.nonzero(mask)[0]
+        selected = rows[positions]
+        anchor = np.where(
+            phase[positions] == 1,
+            self._anchor1[selected],
+            self._anchor2[selected],
+        )
+        on_channel = ((anchor & 1) == parity) & (slot >= anchor)
+        if not on_channel.any():
+            return
+        positions = positions[on_channel]
+        selected = selected[on_channel]
+        local = ((slot - anchor[on_channel]) >> 1) + 1
+        # floor(log2(local)) == frexp exponent - 1, exact for int64 locals.
+        stage = np.frexp(local.astype(np.float64))[1].astype(np.int64) - 1
+        entering = stage != self._stage[selected]
+        if entering.any():
+            self._enter_stages(selected[entering], stage[entering])
+        hits = self._next_planned[selected] == local
+        if hits.any():
+            hit_rows = selected[hits]
+            pointer = self._plan_ptr[hit_rows] + 1
+            self._plan_ptr[hit_rows] = pointer
+            self._next_planned[hit_rows] = self._plan[hit_rows, pointer]
+            sends[positions[hits]] = True
+
+    def _enter_stages(self, rows: np.ndarray, stages: np.ndarray) -> None:
+        """Draw and store the send plans of freshly entered backoff stages."""
+        for k in np.unique(stages).tolist():
+            selected = rows[stages == k]
+            count = self._stage_counts[k]
+            if k == 0:
+                # integers(1, 2, size=count) is numpy's zero-range path: no
+                # randomness is consumed and every draw equals 1.
+                draws = np.ones((1, len(selected)), dtype=np.int64)
+            else:
+                draws = self._pool.pow2_batch(selected, k, count)
+                draws.sort(axis=0)
+                if count > 1:
+                    # Duplicates collapse (drawing with replacement); push
+                    # them past the end so the plan row is sorted + unique.
+                    duplicate = np.zeros_like(draws, dtype=bool)
+                    duplicate[1:] = draws[1:] == draws[:-1]
+                    if duplicate.any():
+                        draws[duplicate] = LOCKSTEP_SENTINEL
+                        draws.sort(axis=0)
+            plan = np.full(
+                (len(selected), self._plan_width), LOCKSTEP_SENTINEL, np.int64
+            )
+            plan[:, : draws.shape[0]] = draws.T
+            self._plan[selected] = plan
+            self._plan_ptr[selected] = 0
+            self._next_planned[selected] = draws[0]
+            self._stage[selected] = k
+
+    def _step_batch(
+        self,
+        rows: np.ndarray,
+        sends: np.ndarray,
+        mask: np.ndarray,
+        slot: int,
+        parity: int,
+    ) -> None:
+        """One slot of Phase 3: both ``h``-batches, one per virtual channel."""
+        positions = np.nonzero(mask)[0]
+        selected = rows[positions]
+        anchor3 = self._anchor3[selected]
+        # Control channel is anchored at l3+1, data at l3+2; together they
+        # cover every slot > l3, so exactly one batch draws each slot.
+        on_ctrl = ((anchor3 + 1) & 1) == parity
+        local = np.where(
+            on_ctrl,
+            ((slot - anchor3 - 1) >> 1) + 1,
+            ((slot - anchor3 - 2) >> 1) + 1,
+        )
+        probability = np.where(
+            on_ctrl, self._ctrl_table[local], self._data_table[local]
+        )
+        uniforms = self._pool.doubles(selected)
+        hits = uniforms < probability
+        sends[positions[hits]] = True
+
+    # -------------------------------------------------------------- feedback
+
+    def feedback(
+        self,
+        slot: int,
+        rows: np.ndarray,
+        sends: np.ndarray,
+        trial_success: np.ndarray,
+        own_success: np.ndarray,
+    ) -> None:
+        heard = trial_success & ~own_success
+        if not heard.any():
+            return
+        selected = rows[heard]
+        phase = self._phase[selected]
+        parity = slot & 1
+        mask1 = phase == 1
+        if mask1.any():
+            starters = selected[mask1]
+            self._phase[starters] = 2
+            self._anchor2[starters] = slot + 1
+            self._stage[starters] = -1
+            self._next_planned[starters] = LOCKSTEP_SENTINEL
+        mask2 = phase == 2
+        if mask2.any():
+            waiting = selected[mask2]
+            anchor2 = self._anchor2[waiting]
+            synchronized = ((anchor2 & 1) == parity) & (slot >= anchor2)
+            starters = waiting[synchronized]
+            self._phase[starters] = 3
+            self._anchor3[starters] = slot
+        mask3 = phase == 3
+        if mask3.any():
+            batching = selected[mask3]
+            anchor3 = self._anchor3[batching]
+            on_ctrl = (((anchor3 + 1) & 1) == parity) & (slot > anchor3)
+            self._anchor3[batching[on_ctrl]] = slot
 
 
 class GlobalClockVariant(ChenJiangZhengProtocol):

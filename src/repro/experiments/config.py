@@ -26,10 +26,12 @@ class ExperimentConfig:
     interpreting the preset name directly, so custom scales remain possible.
 
     ``backend`` selects the simulation backend (``auto`` / ``batched-study``
-    / ``reference`` / ``vectorized``) and ``workers`` the number of trial
-    worker processes; both are forwarded to every
+    / ``lockstep`` / ``reference`` / ``vectorized``) and ``workers`` the
+    number of trial worker processes; both are forwarded to every
     :func:`repro.sim.run_trials` call an experiment makes.  ``auto`` runs
-    each whole study through the batched study kernel when eligible.
+    each whole study through the batched study kernel when eligible, else
+    the lockstep kernel (feedback-driven protocols such as the paper's own
+    algorithm, adaptive adversaries included), else the per-trial ladder.
 
     ``streaming`` asks pipeline-based experiments to release per-slot
     prefix columns once their reducers have consumed each trial (memory

@@ -45,7 +45,121 @@ import numpy as np
 
 from ..types import Feedback
 
-__all__ = ["Protocol", "ProtocolFactory", "make_factory"]
+__all__ = [
+    "LockstepProgram",
+    "Protocol",
+    "ProtocolFactory",
+    "grow_flat_column",
+    "make_factory",
+]
+
+#: Sentinel local index larger than any horizon, used by lockstep programs
+#: for "no planned send" markers.
+LOCKSTEP_SENTINEL = np.int64(1 << 62)
+
+
+def grow_flat_column(
+    column: np.ndarray,
+    trials: int,
+    old_capacity: int,
+    new_capacity: int,
+    fill=0,
+) -> np.ndarray:
+    """Re-layout a flat ``trials × capacity`` column for a larger capacity.
+
+    Lockstep state columns address node ``n`` of trial ``t`` at flat row
+    ``t * capacity + n``; growing the per-trial capacity therefore moves
+    every trial's block.  Returns the new flat column with old values in
+    place and ``fill`` elsewhere.
+    """
+    shape = (trials, new_capacity) + column.shape[1:]
+    grown = np.full(shape, fill, dtype=column.dtype)
+    grown[:, :old_capacity] = column.reshape(
+        (trials, old_capacity) + column.shape[1:]
+    )
+    return grown.reshape((trials * new_capacity,) + column.shape[1:])
+
+
+def lockstep_bounded_offsets(pool, rows: np.ndarray, ranges: np.ndarray) -> np.ndarray:
+    """``Generator.integers(0, ranges[i] + 1)`` per row, mixed-width.
+
+    Ranges below 32 bits go through the pool's vectorized buffered-Lemire
+    path; the (practically unreachable) wider ranges replay numpy's 64-bit
+    paths row by row.  Rows with range 0 consume nothing.
+    """
+    ranges = np.asarray(ranges, dtype=np.uint64)
+    offsets = np.zeros(len(rows), dtype=np.int64)
+    narrow = ranges < np.uint64(0xFFFFFFFF)
+    if narrow.any():
+        offsets[narrow] = pool.bounded_u32(rows[narrow], ranges[narrow]).astype(
+            np.int64
+        )
+    if not narrow.all():
+        for position in np.nonzero(~narrow)[0]:
+            offsets[position] = pool.bounded_scalar(
+                int(rows[position]), int(ranges[position])
+            )
+    return offsets
+
+
+class LockstepProgram(abc.ABC):
+    """Columnar population-state executor of one protocol for the lockstep kernel.
+
+    A program advances *every node of every trial* through one slot with
+    array operations, mirroring the per-node reference execution exactly:
+
+    * node state lives in flat numpy columns where node ``n`` of trial ``t``
+      occupies row ``t * capacity + n``;
+    * all randomness is drawn from the kernel's
+      :class:`~repro.rng.NodeStreamPool`, whose row ``r`` replays node
+      ``r``'s ``default_rng`` stream bit for bit — a program must consume
+      draws in exactly the order and kind (``random()`` doubles, bounded
+      integer batches) the per-node protocol instance would;
+    * feedback is delivered once per slot with the same information the
+      reference loop dispatches (did my trial's slot succeed, was the
+      success my own, did I broadcast).
+
+    Programs are created by :meth:`Protocol.lockstep_program` on a probe
+    instance, which supplies the protocol parameters; they must not retain
+    the probe's generator (probes never own one).
+    """
+
+    @abc.abstractmethod
+    def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:
+        """Allocate state columns for ``trials × capacity`` rows."""
+
+    @abc.abstractmethod
+    def grow(self, trials: int, old_capacity: int, new_capacity: int) -> None:
+        """Re-layout every state column for a larger per-trial capacity."""
+
+    @abc.abstractmethod
+    def arrive(self, rows: np.ndarray, slot: int) -> None:
+        """Initialize the state of nodes arriving at ``slot`` (rows are seeded)."""
+
+    @abc.abstractmethod
+    def step(self, rows: np.ndarray, slot: int) -> np.ndarray:
+        """Broadcast decisions for the active ``rows`` in ``slot``.
+
+        Returns a bool array aligned with ``rows``.  Must consume exactly
+        the randomness the per-node ``wants_to_broadcast`` calls would.
+        """
+
+    @abc.abstractmethod
+    def feedback(
+        self,
+        slot: int,
+        rows: np.ndarray,
+        sends: np.ndarray,
+        trial_success: np.ndarray,
+        own_success: np.ndarray,
+    ) -> None:
+        """Deliver the slot's feedback to the active ``rows``.
+
+        ``sends`` is the step's broadcast mask, ``trial_success`` marks rows
+        whose trial's slot was a success and ``own_success`` marks the
+        winners themselves (all aligned with ``rows``).  Mirrors
+        ``Protocol.on_feedback`` under the no-collision-detection channel.
+        """
 
 
 class Protocol(abc.ABC):
@@ -103,6 +217,18 @@ class Protocol(abc.ABC):
         The answer is conditional on the instance's current state (for
         adaptive protocols it changes as feedback arrives).  Returns ``None``
         when the protocol cannot compute it — the default.
+        """
+        return None
+
+    def lockstep_program(self) -> Optional["LockstepProgram"]:
+        """Columnar state program for the lockstep study kernel, or ``None``.
+
+        Feedback-driven protocols that can express their per-node state as
+        numpy columns (phases, anchors, windows as int/float arrays) return
+        a fresh :class:`LockstepProgram` bound to this instance's
+        parameters; the default — and the safe answer for any subclass that
+        changes behaviour — is ``None``, which keeps the protocol on the
+        per-trial reference path.
         """
         return None
 

@@ -22,12 +22,18 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..types import Feedback
-from .base import Protocol
+from .base import (
+    LockstepProgram,
+    Protocol,
+    grow_flat_column,
+    lockstep_bounded_offsets,
+)
 
 __all__ = [
     "WindowedBinaryExponentialBackoff",
     "ProbabilityBackoff",
     "BinaryExponentialBackoff",
+    "WindowedBackoffLockstepProgram",
 ]
 
 
@@ -89,6 +95,102 @@ class WindowedBinaryExponentialBackoff(Protocol):
             "initial_window": self._initial_window,
             "max_window": self._max_window,
         }
+
+    def lockstep_program(self) -> Optional[LockstepProgram]:
+        if type(self) is not WindowedBinaryExponentialBackoff:
+            return None
+        return WindowedBackoffLockstepProgram(
+            initial_window=self._initial_window, max_window=self._max_window
+        )
+
+
+class WindowedBackoffLockstepProgram(LockstepProgram):
+    """Columnar state shared by the windowed backoff family (BEB, polynomial).
+
+    One (window-or-failures, next-attempt) pair per node; the broadcast
+    decision is deterministic (``slot == next_attempt``) and randomness is
+    consumed only when an attempt is rescheduled — one bounded integer per
+    reschedule, exactly as ``_schedule_next`` draws it.
+
+    Binary exponential backoff doubles its window on failure; the polynomial
+    variant passes ``degree`` and regrows its window from a failure counter
+    instead.
+    """
+
+    def __init__(
+        self,
+        initial_window: int,
+        max_window: Optional[int] = None,
+        degree: Optional[float] = None,
+    ) -> None:
+        self._initial = initial_window
+        self._max = max_window
+        self._degree = degree
+        self._pool = None
+
+    def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:
+        self._pool = pool
+        rows = trials * capacity
+        self._window = np.zeros(rows, dtype=np.int64)
+        self._failures = np.zeros(rows, dtype=np.int64)
+        self._next_attempt = np.zeros(rows, dtype=np.int64)
+
+    def grow(self, trials: int, old_capacity: int, new_capacity: int) -> None:
+        args = (trials, old_capacity, new_capacity)
+        self._window = grow_flat_column(self._window, *args)
+        self._failures = grow_flat_column(self._failures, *args)
+        self._next_attempt = grow_flat_column(self._next_attempt, *args)
+
+    def _grown_windows(self, failures: np.ndarray) -> np.ndarray:
+        """Polynomial window ``max(initial, round((failures + 1)**degree))``."""
+        grown = np.rint(
+            np.power((failures + 1).astype(np.float64), self._degree)
+        ).astype(np.int64)
+        return np.maximum(np.int64(self._initial), grown)
+
+    def _reschedule(self, rows: np.ndarray, from_slot: int) -> None:
+        offsets = lockstep_bounded_offsets(
+            self._pool, rows, self._window[rows] - 1
+        )
+        self._next_attempt[rows] = from_slot + offsets
+
+    def arrive(self, rows: np.ndarray, slot: int) -> None:
+        if self._degree is None:
+            self._window[rows] = self._initial
+        else:
+            self._failures[rows] = 0
+            self._window[rows] = self._grown_windows(self._failures[rows])
+        self._reschedule(rows, slot)
+
+    def step(self, rows: np.ndarray, slot: int) -> np.ndarray:
+        return self._next_attempt[rows] == slot
+
+    def feedback(
+        self,
+        slot: int,
+        rows: np.ndarray,
+        sends: np.ndarray,
+        trial_success: np.ndarray,
+        own_success: np.ndarray,
+    ) -> None:
+        failed = sends & ~trial_success
+        if failed.any():
+            losers = rows[failed]
+            if self._degree is None:
+                window = self._window[losers] * 2
+                if self._max is not None:
+                    window = np.minimum(window, np.int64(self._max))
+            else:
+                failures = self._failures[losers] + 1
+                self._failures[losers] = failures
+                window = self._grown_windows(failures)
+            self._window[losers] = window
+            self._reschedule(losers, slot + 1)
+        # Defensive reschedule for a slipped attempt, mirroring on_feedback
+        # (unreachable in normal operation, kept for replay fidelity).
+        slipped = (~sends) & ~own_success & (slot >= self._next_attempt[rows])
+        if slipped.any():
+            self._reschedule(rows[slipped], slot + 1)
 
 
 class ProbabilityBackoff(Protocol):

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..types import Feedback
-from .base import Protocol
+from .base import LockstepProgram, Protocol
 
 __all__ = ["PolynomialBackoff"]
 
@@ -68,3 +68,12 @@ class PolynomialBackoff(Protocol):
 
     def spec_params(self) -> dict:
         return {"degree": self._degree, "initial_window": self._initial_window}
+
+    def lockstep_program(self) -> Optional[LockstepProgram]:
+        if type(self) is not PolynomialBackoff:
+            return None
+        from .binary_exponential import WindowedBackoffLockstepProgram
+
+        return WindowedBackoffLockstepProgram(
+            initial_window=self._initial_window, degree=self._degree
+        )

@@ -413,8 +413,254 @@ def bulk_bounded_pairs63(state_words: np.ndarray) -> np.ndarray:
     return out
 
 
+class NodeStreamPool:
+    """Many independent PCG64 streams advanced with array operations.
+
+    Each row of the pool is one ``default_rng(seed_sequence)`` stream, stored
+    as its raw 128-bit generator state (two ``uint64`` limbs for the state,
+    two for the increment) plus numpy's ``next_uint32`` half-word buffer.
+    Draws are replicated bit-for-bit:
+
+    * :meth:`doubles` — ``Generator.random()`` (one raw 64-bit word each,
+      never touching the 32-bit buffer);
+    * :meth:`next_u32` — the buffered ``next_uint32`` primitive (low half
+      first, high half buffered);
+    * :meth:`bounded_u32` — ``Generator.integers(0, n)`` for ranges that fit
+      32 bits (numpy's buffered Lemire rejection sampling);
+    * :meth:`pow2_batch` — ``Generator.integers(off, off + 2**k, size=c)``
+      (power-of-two ranges have a zero rejection threshold, so each draw is
+      exactly one buffered ``next_uint32``);
+    * :meth:`bounded_scalar` — arbitrary ranges for a single row, including
+      the 64-bit Lemire path for ranges beyond 32 bits.
+
+    The replication is pinned by :func:`lockstep_streams_ok`, which checks an
+    interleaved call pattern against real ``numpy`` generators at runtime;
+    callers must consult it before trusting the pool.
+    """
+
+    def __init__(self, capacity: int = 0) -> None:
+        self._capacity = 0
+        self._state_hi = np.zeros(0, dtype=np.uint64)
+        self._state_lo = np.zeros(0, dtype=np.uint64)
+        self._inc_hi = np.zeros(0, dtype=np.uint64)
+        self._inc_lo = np.zeros(0, dtype=np.uint64)
+        self._has32 = np.zeros(0, dtype=bool)
+        self._buf32 = np.zeros(0, dtype=np.uint64)
+        if capacity:
+            self.ensure_capacity(capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def ensure_capacity(self, capacity: int) -> None:
+        """Grow the backing arrays (appending unseeded rows) to ``capacity``."""
+        if capacity <= self._capacity:
+            return
+        grow = capacity - self._capacity
+        self._state_hi = np.concatenate((self._state_hi, np.zeros(grow, np.uint64)))
+        self._state_lo = np.concatenate((self._state_lo, np.zeros(grow, np.uint64)))
+        self._inc_hi = np.concatenate((self._inc_hi, np.zeros(grow, np.uint64)))
+        self._inc_lo = np.concatenate((self._inc_lo, np.zeros(grow, np.uint64)))
+        self._has32 = np.concatenate((self._has32, np.zeros(grow, bool)))
+        self._buf32 = np.concatenate((self._buf32, np.zeros(grow, np.uint64)))
+        self._capacity = capacity
+
+    def remap(self, gather: np.ndarray, capacity: int) -> None:
+        """Re-layout the pool: new row ``i`` takes old row ``gather[i]``.
+
+        Rows where ``gather`` is negative become unseeded.  Used when a
+        rectangular (trials × nodes) layout grows its per-trial capacity.
+        """
+        valid = gather >= 0
+        source = np.where(valid, gather, 0)
+        for name in ("_state_hi", "_state_lo", "_inc_hi", "_inc_lo", "_buf32"):
+            old = getattr(self, name)
+            new = np.zeros(capacity, dtype=old.dtype)
+            new[: len(gather)] = np.where(valid, old[source], 0)
+            setattr(self, name, new)
+        new_has = np.zeros(capacity, dtype=bool)
+        new_has[: len(gather)] = self._has32[source] & valid
+        self._has32 = new_has
+        self._capacity = capacity
+
+    def seed_rows(self, rows: np.ndarray, state_words: np.ndarray) -> None:
+        """Initialize ``rows`` from ``generate_state(4, uint64)`` word rows."""
+        shi, slo, ihi, ilo = pcg64_bulk_init(state_words)
+        self._state_hi[rows] = shi
+        self._state_lo[rows] = slo
+        self._inc_hi[rows] = ihi
+        self._inc_lo[rows] = ilo
+        self._has32[rows] = False
+
+    # ------------------------------------------------------------ raw draws
+
+    def raw64(self, rows: np.ndarray) -> np.ndarray:
+        """One raw 64-bit word per row (``next_uint64``); advances the states."""
+        shi, slo = _pcg64_step(
+            self._state_hi[rows],
+            self._state_lo[rows],
+            self._inc_hi[rows],
+            self._inc_lo[rows],
+        )
+        self._state_hi[rows] = shi
+        self._state_lo[rows] = slo
+        return _pcg64_output(shi, slo)
+
+    def doubles(self, rows: np.ndarray) -> np.ndarray:
+        """One ``Generator.random()`` double per row."""
+        return (self.raw64(rows) >> np.uint64(11)) * (1.0 / 9007199254740992.0)
+
+    def next_u32(self, rows: np.ndarray) -> np.ndarray:
+        """One buffered ``next_uint32`` per row, as uint64 values < 2**32."""
+        has = self._has32[rows]
+        out = np.empty(len(rows), dtype=np.uint64)
+        if has.any():
+            buffered = rows[has]
+            out[has] = self._buf32[buffered]
+            self._has32[buffered] = False
+        fresh = ~has
+        if fresh.any():
+            need = rows[fresh]
+            raw = self.raw64(need)
+            out[fresh] = raw & np.uint64(0xFFFFFFFF)
+            self._buf32[need] = raw >> np.uint64(32)
+            self._has32[need] = True
+        return out
+
+    # -------------------------------------------------------- bounded draws
+
+    def bounded_u32(self, rows: np.ndarray, rng: np.ndarray) -> np.ndarray:
+        """``Generator.integers(0, rng + 1)`` per row; each ``rng`` < 2**32 - 1.
+
+        Rows with ``rng == 0`` consume nothing and yield 0, exactly as numpy's
+        zero-range path does.
+        """
+        rng = np.broadcast_to(np.asarray(rng, dtype=np.uint64), (len(rows),))
+        out = np.zeros(len(rows), dtype=np.uint64)
+        draw = rng > 0
+        if not draw.any():
+            return out
+        sub_rows = rows[draw]
+        rng_excl = rng[draw] + np.uint64(1)
+        m = self.next_u32(sub_rows) * rng_excl
+        leftover = m & np.uint64(0xFFFFFFFF)
+        maybe = leftover < rng_excl
+        if maybe.any():
+            threshold = (np.uint64(0x100000000) - rng_excl) % rng_excl
+            reject = leftover < threshold
+            while reject.any():
+                redo = np.nonzero(reject)[0]
+                m[redo] = self.next_u32(sub_rows[redo]) * rng_excl[redo]
+                leftover = m & np.uint64(0xFFFFFFFF)
+                reject = leftover < threshold
+        out[draw] = m >> np.uint64(32)
+        return out
+
+    def pow2_batch(self, rows: np.ndarray, k: int, count: int) -> np.ndarray:
+        """``integers(2**k, 2**(k+1), size=count)`` per row, as (count, rows).
+
+        Power-of-two ranges have rejection threshold 0, so each draw is one
+        buffered ``next_uint32`` shifted down; ``k == 0`` consumes nothing
+        (numpy's zero-range path).  Requires ``1 <= k <= 31``.
+        """
+        if not 1 <= k <= 31:
+            raise ValueError("pow2_batch requires 1 <= k <= 31")
+        out = np.empty((count, len(rows)), dtype=np.int64)
+        base = np.int64(1 << k)
+        shift = np.uint64(32 - k)
+        for j in range(count):
+            out[j] = (self.next_u32(rows) >> shift).astype(np.int64) + base
+        return out
+
+    def bounded_scalar(self, row: int, rng: int) -> int:
+        """``Generator.integers(0, rng + 1)`` for one row, any 64-bit range."""
+        if rng == 0:
+            return 0
+        rows = np.asarray([row], dtype=np.int64)
+        if rng < 0xFFFFFFFF:
+            return int(self.bounded_u32(rows, np.uint64(rng))[0])
+        if rng == 0xFFFFFFFF:
+            return int(self.next_u32(rows)[0])
+        if rng == 0xFFFFFFFFFFFFFFFF:
+            return int(self.raw64(rows)[0])
+        rng_excl = rng + 1
+        m = int(self.raw64(rows)[0]) * rng_excl
+        leftover = m & 0xFFFFFFFFFFFFFFFF
+        if leftover < rng_excl:
+            threshold = ((1 << 64) - rng_excl) % rng_excl
+            while leftover < threshold:
+                m = int(self.raw64(rows)[0]) * rng_excl
+                leftover = m & 0xFFFFFFFFFFFFFFFF
+        return m >> 64
+
+
 _FAST_SEED_OK: Optional[bool] = None
 _FAST_BOUNDED_OK: Optional[bool] = None
+_LOCKSTEP_STREAMS_OK: Optional[bool] = None
+
+
+def lockstep_streams_ok() -> bool:
+    """Whether :class:`NodeStreamPool` matches this numpy at runtime.
+
+    Verified once per process by replaying an interleaved draw pattern
+    (doubles, power-of-two integer batches, arbitrary bounded integers,
+    buffer-straddling alternations) against real ``default_rng`` streams.
+    Any mismatch permanently disables the lockstep fast path.
+    """
+    global _LOCKSTEP_STREAMS_OK
+    if _LOCKSTEP_STREAMS_OK is None:
+        _LOCKSTEP_STREAMS_OK = fast_seed_path_ok() and _verify_lockstep_streams()
+    return _LOCKSTEP_STREAMS_OK
+
+
+def _verify_lockstep_streams() -> bool:
+    try:
+        sequences = [
+            np.random.SeedSequence(entropy, spawn_key=key)
+            for entropy, key in [
+                (20210219, (1, 0, 0)),
+                (7, (2, 5, 0)),
+                ((1 << 80) + 3, (0, 1, 0)),
+            ]
+        ]
+        pool = NodeStreamPool(len(sequences))
+        rows = np.arange(len(sequences), dtype=np.int64)
+        pool.seed_rows(
+            rows,
+            np.stack([s.generate_state(4, np.uint64) for s in sequences]),
+        )
+        references = [np.random.default_rng(s) for s in sequences]
+
+        if not np.array_equal(
+            pool.doubles(rows), np.array([g.random() for g in references])
+        ):
+            return False
+        expected = np.stack(
+            [g.integers(8, 16, size=3) for g in references], axis=1
+        )
+        if not np.array_equal(pool.pow2_batch(rows, 3, 3), expected):
+            return False
+        # A double between bounded draws must skip the 32-bit buffer...
+        if not np.array_equal(
+            pool.doubles(rows), np.array([g.random() for g in references])
+        ):
+            return False
+        # ... and the next bounded draw must resume from the buffered half.
+        for bound in (1, 2, 7, 100, 1 << 20):
+            mine = pool.bounded_u32(rows, np.uint64(bound - 1))
+            theirs = np.array([g.integers(0, bound) for g in references])
+            if not np.array_equal(mine.astype(np.int64), theirs):
+                return False
+        for row, generator in enumerate(references):
+            for bound in (3, 1 << 34, 1 << 63):
+                if pool.bounded_scalar(row, bound - 1) != int(
+                    generator.integers(0, bound)
+                ):
+                    return False
+        return True
+    except Exception:  # pragma: no cover - defensive: never break seeding
+        return False
 
 
 def fast_bounded_pairs_ok() -> bool:

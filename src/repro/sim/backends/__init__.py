@@ -13,12 +13,20 @@ Study-level backends (valid for :class:`~repro.sim.runner.TrialRunner` /
 :class:`~repro.sim.engine.Simulator`):
 
 * ``"batched-study"`` — all trials of a study stacked into one numpy pass
-  (:class:`BatchedStudyKernel`); seed-for-seed identical to running the
-  trials serially.
+  (:class:`BatchedStudyKernel`); requires a vector-eligible protocol and a
+  precompilable adversary; seed-for-seed identical to running the trials
+  serially.
+* ``"lockstep"`` — all trials advanced one slot at a time with array
+  operations (:class:`LockstepStudyKernel`); serves feedback-driven
+  protocols that expose a columnar
+  :class:`~repro.protocols.base.LockstepProgram` (the paper's CJZ protocol
+  and the windowed/sawtooth backoff baselines) against *any* adversary,
+  adaptive ones included; seed-for-seed identical to serial reference.
 
 ``"auto"`` escalates down the ladder: the trial runner picks the batched
-study kernel when the whole study is eligible, else each trial picks the
-vectorized kernel when eligible, else the reference kernel.
+study kernel when the whole study is eligible, else the lockstep study
+kernel, else each trial picks the vectorized kernel when eligible, else the
+reference kernel.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from typing import Dict, Tuple, Type
 from ...errors import ConfigurationError
 from .base import KernelContext, SlotKernel
 from .batched import BatchedStudyKernel
+from .lockstep import LockstepStudyKernel
 from .reference import ReferenceKernel, run_slot_loop
 from .vectorized import VectorizedKernel
 
@@ -37,9 +46,12 @@ __all__ = [
     "ReferenceKernel",
     "VectorizedKernel",
     "BatchedStudyKernel",
+    "LockstepStudyKernel",
     "run_slot_loop",
     "AUTO_BACKEND",
     "STUDY_BACKEND",
+    "LOCKSTEP_BACKEND",
+    "STUDY_BACKENDS",
     "available_backends",
     "available_study_backends",
     "resolve_kernel",
@@ -48,6 +60,10 @@ __all__ = [
 
 AUTO_BACKEND = "auto"
 STUDY_BACKEND = BatchedStudyKernel.name
+LOCKSTEP_BACKEND = LockstepStudyKernel.name
+
+#: Backends that execute whole trial studies (rejected by a single Simulator).
+STUDY_BACKENDS = (STUDY_BACKEND, LOCKSTEP_BACKEND)
 
 _KERNELS: Dict[str, Type[SlotKernel]] = {
     ReferenceKernel.name: ReferenceKernel,
@@ -62,7 +78,7 @@ def available_backends() -> Tuple[str, ...]:
 
 def available_study_backends() -> Tuple[str, ...]:
     """Valid study-level ``backend=`` values (trial runner / experiments)."""
-    return (AUTO_BACKEND, STUDY_BACKEND, *sorted(_KERNELS))
+    return (AUTO_BACKEND, *sorted(STUDY_BACKENDS), *sorted(_KERNELS))
 
 
 def resolve_kernel(name: str) -> SlotKernel:

@@ -43,30 +43,20 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ...adversary.base import Adversary, ComposedAdversary
-from ...errors import ConfigurationError
-from ...rng import (
-    ReusableGenerator,
-    SeedTree,
-    TrialSeedBatch,
-    assemble_seed_words,
-    bulk_bounded_pairs63,
-    bulk_seed_states,
-    fast_bounded_pairs_ok,
-    fast_seed_path_ok,
-    pcg64_state_dict,
-    seed_states_for_entropies,
-)
-from ...types import NodeStats, SimulationSummary
-from ..results import PrefixCounters, SimulationResult
+from ...adversary.base import Adversary
+from ...rng import ReusableGenerator
+from ..results import SimulationResult
 from .base import age_probability_profile
+from .studysupport import (
+    MAX_BLOCK_ELEMENTS as _MAX_BLOCK_ELEMENTS,
+    SeedPlan as _SeedPlan,
+    compile_adversary_schedules,
+    emit_study_results,
+    iter_blocks as _blocks,
+    study_early_stops,
+)
 
 __all__ = ["BatchedStudyKernel"]
-
-#: Element cap (rows × columns) for one processing block.  Studies larger
-#: than this are split into trial blocks; a single trial above the cap makes
-#: the study ineligible (the per-trial path has its own replay fallback).
-_MAX_BLOCK_ELEMENTS = 1 << 24
 
 AdversaryFactory = Callable[[], Adversary]
 
@@ -195,94 +185,8 @@ class BatchedStudyKernel:
         plan: "_SeedPlan",
         horizon: int,
     ) -> Optional[Tuple[List[Adversary], np.ndarray, np.ndarray]]:
-        """Set up and precompile one adversary per trial.
-
-        Consumes exactly the randomness the serial path would: one generator
-        spawned from each trial's adversary tree, then whatever the
-        adversary's ``setup``/``precompile`` draw from it.
-        """
-        trials = plan.trials
-        adversary_states = plan.adversary_generator_states()
-        outer_pool = ReusableGenerator()
-        arrivals_pool = ReusableGenerator()
-        jamming_pool = ReusableGenerator()
-
-        # The two per-trial strategy seeds (ComposedAdversary.strategy_seeds)
-        # are two bounded draws from each trial's adversary generator; with
-        # the verified replication they are derived for every trial in one
-        # vectorized pass instead of reseeding a generator per trial.
-        seed_pairs = None
-        if adversary_states is not None and fast_bounded_pairs_ok():
-            seed_pairs = bulk_bounded_pairs63(adversary_states).tolist()
-
-        adversaries: List[Adversary] = []
-        pending: List[Tuple[int, Adversary]] = []
-        strategy_seeds: List[int] = []
-        arrivals_all = np.zeros((trials, horizon + 1), dtype=np.int64)
-        jammed_all = np.zeros((trials, horizon + 1), dtype=bool)
-
-        for index in range(trials):
-            adversary = adversary_factory()
-            if not adversary.precompilable:
-                return None
-            adversaries.append(adversary)
-            pooled = (
-                adversary_states is not None
-                and type(adversary) is ComposedAdversary
-                and adversary.arrivals.transient_rng
-                and adversary.jamming.transient_rng
-            )
-            if pooled:
-                if seed_pairs is not None:
-                    strategy_seeds.extend(seed_pairs[index])
-                else:
-                    rng = outer_pool.reseed(adversary_states[index])
-                    strategy_seeds.extend(adversary.strategy_seeds(rng))
-                pending.append((index, adversary))
-            else:
-                rng = plan.fresh_generator(adversary_states, index)
-                adversary.setup(rng, horizon)
-                schedule = adversary.precompile(horizon)
-                if schedule is None:
-                    return None
-                arrivals_all[index] = schedule.arrivals
-                jammed_all[index] = schedule.jammed
-
-        if pending:
-            states = seed_states_for_entropies(strategy_seeds)
-            for slot, (index, adversary) in enumerate(pending):
-                # A strategy that never draws keeps the pool's stale stream;
-                # its seed was still consumed from the adversary generator,
-                # exactly as in the serial path.
-                arrivals_rng = (
-                    arrivals_pool.reseed(states[2 * slot])
-                    if adversary.arrivals.consumes_rng
-                    else arrivals_pool.generator
-                )
-                jamming_rng = (
-                    jamming_pool.reseed(states[2 * slot + 1])
-                    if adversary.jamming.consumes_rng
-                    else jamming_pool.generator
-                )
-                adversary.arrivals.setup(arrivals_rng, horizon)
-                adversary.jamming.setup(jamming_rng, horizon)
-                schedule = adversary.precompile(horizon)
-                if schedule is None:
-                    return None
-                arrivals_all[index] = schedule.arrivals
-                jammed_all[index] = schedule.jammed
-
-        cum = np.cumsum(arrivals_all, axis=1)
-        over_trials, over_slots = np.nonzero(cum > config.max_nodes)
-        if over_trials.size:
-            # nonzero returns row-major order, so index 0 is the first
-            # violating trial's first violating slot — the same slot the
-            # serial run of that trial would have raised on.
-            raise ConfigurationError(
-                f"adversary exceeded max_nodes={config.max_nodes} "
-                f"at slot {int(over_slots[0])}"
-            )
-        return adversaries, arrivals_all, jammed_all
+        """Per-trial adversary setup + precompilation (shared study machinery)."""
+        return compile_adversary_schedules(adversary_factory, config, plan, horizon)
 
     def _run_block(
         self,
@@ -488,20 +392,9 @@ class BatchedStudyKernel:
         prefix_successes: np.ndarray,
         horizon: int,
     ) -> np.ndarray:
-        simulated = np.full(len(adversaries), horizon, dtype=np.int64)
-        if not config.stop_when_drained:
-            return simulated
-        occupancy_after = cum_arrivals - prefix_successes
-        for b, adversary in enumerate(adversaries):
-            stop_candidates = np.nonzero(
-                (occupancy_after[b] == 0) & (cum_arrivals[b] > 0)
-            )[0]
-            for t in stop_candidates:
-                t = int(t)
-                if t >= 1 and adversary.arrivals_exhausted(t):
-                    simulated[b] = t
-                    break
-        return simulated
+        return study_early_stops(
+            config, adversaries, cum_arrivals, prefix_successes, horizon
+        )
 
     @staticmethod
     def _emit(
@@ -518,242 +411,24 @@ class BatchedStudyKernel:
         silence_at: np.ndarray,
         protocol_name: str,
     ) -> List[SimulationResult]:
-        prefix_succ, prefix_jam, prefix_act = prefix
-        trial_axis = np.arange(len(adversaries))
-        at_sim = lambda matrix: matrix[trial_axis, simulated].tolist()  # noqa: E731
-        succ_at = at_sim(prefix_succ)
-        jam_at = at_sim(prefix_jam)
-        sil_at = silence_at.tolist()
-        act_at = at_sim(prefix_act)
-        arr_at = at_sim(cum_arrivals)
-        sim_list = simulated.tolist()
-        start_list = row_starts.tolist()
-        results: List[SimulationResult] = []
-        for b, adversary in enumerate(adversaries):
-            sim = sim_list[b]
-            lo, hi = start_list[b], start_list[b + 1]
-            successes = succ_at[b]
-            silences = sil_at[b]
-            node_stats: Dict[int, NodeStats] = {}
-            total_broadcasts = 0
-            for row in range(lo, hi):
-                arrival = arrival_list[row]
-                if arrival > sim:
-                    continue
-                done = finished_list[row]
-                count = bc_list[row]
-                total_broadcasts += count
-                node_id = row - lo
-                node_stats[node_id] = NodeStats(
-                    node_id=node_id,
-                    arrival_slot=arrival,
-                    success_slot=success_list[row] if done else None,
-                    broadcast_count=count,
-                )
-            summary = SimulationSummary(
-                total_slots=sim,
-                active_slots=act_at[b],
-                successes=successes,
-                collisions=sim - successes - silences,
-                silent_slots=silences,
-                jammed_slots=jam_at[b],
-                arrivals=arr_at[b],
-                total_broadcasts=total_broadcasts,
-            )
-            results.append(
-                SimulationResult(
-                    summary=summary,
-                    node_stats=node_stats,
-                    # Zero-copy views into the shared block matrices.  Every
-                    # plane of the backing arrays is referenced by some
-                    # trial's counters, so retention equals the columnar
-                    # study data (early stops may truncate a view below its
-                    # backing row, the one case nbytes under-counts).
-                    counters=PrefixCounters(
-                        active=prefix_act[b, : sim + 1],
-                        arrivals=cum_arrivals[b, : sim + 1],
-                        jammed=prefix_jam[b, : sim + 1],
-                        successes=prefix_succ[b, : sim + 1],
-                    ),
-                    protocol_name=protocol_name,
-                    adversary_name=adversary.describe(),
-                    horizon=sim,
-                    seed=None,
-                    trace=None,
-                    backend=BatchedStudyKernel.name,
-                )
-            )
-        return results
-
-
-def _blocks(nodes_per_trial: np.ndarray, horizon: int):
-    """Split trials into contiguous blocks bounded by the element cap."""
-    trials = len(nodes_per_trial)
-    lo = 0
-    while lo < trials:
-        hi = lo
-        elements = 0
-        while hi < trials:
-            trial_elements = int(nodes_per_trial[hi]) * (horizon + 1)
-            if hi > lo and elements + trial_elements > _MAX_BLOCK_ELEMENTS:
-                break
-            elements += trial_elements
-            hi += 1
-        yield lo, hi
-        lo = hi
-
-
-class _SeedPlan:
-    """Read-only derivation of every stream the serial path would spawn.
-
-    The serial path derives, per trial root sequence with spawn key ``K``:
-    the adversary generator at ``K + (base, 0)`` and node ``i``'s generator at
-    ``K + (base + 1, i, 0)`` (``base`` being the root's spawned-children
-    count, normally 0).  This plan reproduces those spawn keys arithmetically
-    so the trees themselves are never advanced.
-    """
-
-    def __init__(
-        self,
-        source,  # List[SeedTree] or TrialSeedBatch
-        trials: int,
-        entropy: Optional[int],
-        keys: Optional[np.ndarray],
-        bases: Optional[np.ndarray],
-    ) -> None:
-        self._source = source
-        self._trials = trials
-        self._entropy = entropy
-        self._keys = keys
-        self._bases = bases
-
-    @property
-    def trials(self) -> int:
-        return self._trials
-
-    @property
-    def fast(self) -> bool:
-        return self._keys is not None
-
-    def _tree(self, index: int) -> SeedTree:
-        trees = (
-            self._source.trees
-            if isinstance(self._source, TrialSeedBatch)
-            else self._source
+        # Zero-copy views into the shared block matrices.  Every plane of
+        # the backing arrays is referenced by some trial's counters, so
+        # retention equals the columnar study data (early stops may truncate
+        # a view below its backing row, the one case nbytes under-counts).
+        return emit_study_results(
+            [adversary.describe() for adversary in adversaries],
+            nodes_per_trial,
+            row_starts,
+            arrival_list,
+            success_list,
+            finished_list,
+            bc_list,
+            simulated,
+            cum_arrivals,
+            prefix,
+            silence_at,
+            protocol_name,
+            BatchedStudyKernel.name,
         )
-        return trees[index]
 
-    @classmethod
-    def build(cls, source) -> "_SeedPlan":
-        trials = len(source)
-        if not fast_seed_path_ok() or not trials:
-            return cls(source, trials, None, None, None)
-        if isinstance(source, TrialSeedBatch):
-            # Children of one root: keys follow arithmetically without ever
-            # materializing the per-trial SeedSequence objects.
-            entropy, root_key, first = source.spawn_descriptor()
-            if not isinstance(entropy, int):
-                return cls(source, trials, None, None, None)
-            key_matrix = np.empty((trials, len(root_key) + 1), dtype=np.uint64)
-            key_matrix[:, : len(root_key)] = np.asarray(root_key, dtype=np.uint64)
-            key_matrix[:, -1] = first + np.arange(trials, dtype=np.uint64)
-            bases = np.zeros(trials, dtype=np.uint64)
-        else:
-            entropies = set()
-            keys = []
-            base_list = []
-            for tree in source:
-                sequence = tree.sequence
-                if not isinstance(sequence.entropy, int):
-                    return cls(source, trials, None, None, None)
-                entropies.add(sequence.entropy)
-                keys.append(sequence.spawn_key)
-                base_list.append(sequence.n_children_spawned)
-            lengths = {len(key) for key in keys}
-            if len(entropies) != 1 or len(lengths) != 1:
-                return cls(source, trials, None, None, None)
-            entropy = entropies.pop()
-            key_matrix = np.asarray(keys, dtype=np.uint64)
-            bases = np.asarray(base_list, dtype=np.uint64)
-        if key_matrix.size and key_matrix.max() > 0xFFFFFFFF:
-            return cls(source, trials, None, None, None)
-        return cls(source, trials, entropy, key_matrix, bases)
 
-    # -- fast-path state derivation ---------------------------------------
-
-    def adversary_generator_states(self) -> Optional[np.ndarray]:
-        """``generate_state`` words of each trial's adversary generator."""
-        if not self.fast:
-            return None
-        keys = np.concatenate(
-            (
-                self._keys,
-                self._bases[:, None],
-                np.zeros((self.trials, 1), dtype=np.uint64),
-            ),
-            axis=1,
-        )
-        words = assemble_seed_words(self._entropy, keys)
-        return None if words is None else bulk_seed_states(words)
-
-    def node_generator_states(
-        self,
-        trial_indices: range,
-        nodes_per_trial: np.ndarray,
-        total_rows: int,
-    ) -> Optional[np.ndarray]:
-        """State words of every node generator in the block, in row order."""
-        if not self.fast or total_rows == 0:
-            return None if not self.fast else np.zeros((0, 4), dtype=np.uint64)
-        lo = trial_indices.start
-        hi = trial_indices.stop
-        repeats = nodes_per_trial.astype(np.int64)
-        keys = np.empty(
-            (total_rows, self._keys.shape[1] + 3), dtype=np.uint64
-        )
-        keys[:, : self._keys.shape[1]] = np.repeat(
-            self._keys[lo:hi], repeats, axis=0
-        )
-        keys[:, -3] = np.repeat(self._bases[lo:hi] + 1, repeats)
-        keys[:, -2] = np.concatenate(
-            [np.arange(n, dtype=np.uint64) for n in repeats]
-        )
-        keys[:, -1] = 0
-        words = assemble_seed_words(self._entropy, keys)
-        return None if words is None else bulk_seed_states(words)
-
-    # -- slow-path fallbacks ----------------------------------------------
-
-    def fresh_generator(
-        self, states: Optional[np.ndarray], index: int
-    ) -> np.random.Generator:
-        """A standalone generator for this trial's adversary stream.
-
-        Fresh object (never pooled), so adversaries may retain it safely.
-        """
-        if states is not None:
-            bit_generator = np.random.PCG64(0)
-            bit_generator.state = pcg64_state_dict(states[index])
-            return np.random.Generator(bit_generator)
-        sequence = self._tree(index).sequence
-        base = sequence.n_children_spawned
-        child = np.random.SeedSequence(
-            entropy=sequence.entropy,
-            spawn_key=tuple(sequence.spawn_key) + (base, 0),
-        )
-        return np.random.default_rng(child)
-
-    def slow_node_generators(
-        self, trial_indices: range, nodes_per_trial: np.ndarray
-    ):
-        """Per-node generators via real SeedSequence objects (fallback)."""
-        for offset, index in enumerate(trial_indices):
-            sequence = self._tree(index).sequence
-            base = sequence.n_children_spawned
-            key = tuple(sequence.spawn_key)
-            for i in range(int(nodes_per_trial[offset])):
-                child = np.random.SeedSequence(
-                    entropy=sequence.entropy,
-                    spawn_key=key + (base + 1, i, 0),
-                )
-                yield np.random.default_rng(child)

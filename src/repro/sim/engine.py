@@ -30,10 +30,12 @@ delegates to the selected kernel:
 * ``backend="auto"`` (default) — the vectorized kernel when eligible, the
   reference kernel otherwise.
 
-A fourth backend, ``"batched-study"``, exists one level up: it executes a
-whole multi-trial study in one array pass and is selected through
+Two further backends exist one level up and are selected through
 :func:`repro.sim.run_trials` / :class:`repro.sim.TrialRunner` (a single
-:class:`Simulator` rejects it).
+:class:`Simulator` rejects them): ``"batched-study"`` executes a whole
+multi-trial study in one array pass, and ``"lockstep"`` advances all trials
+slot by slot in array lockstep — the fast path for feedback-driven
+protocols (the paper's own algorithm included) and adaptive adversaries.
 
 Per-slot ``collectors`` attached here receive a ``SlotRecord`` stream and
 therefore pin the run to the record-emitting kernels; study-level metrics
@@ -59,7 +61,7 @@ from ..protocols.base import ProtocolFactory
 from ..rng import SeedLike, SeedTree
 from .backends import (
     AUTO_BACKEND,
-    STUDY_BACKEND,
+    STUDY_BACKENDS,
     KernelContext,
     available_backends,
     select_kernel,
@@ -115,7 +117,7 @@ class Simulator:
         seed: SeedLike = None,
         backend: str = AUTO_BACKEND,
     ) -> None:
-        if backend == STUDY_BACKEND:
+        if backend in STUDY_BACKENDS:
             raise ConfigurationError(
                 f"backend {backend!r} executes whole trial studies; use "
                 "repro.sim.run_trials / TrialRunner instead of a single Simulator"

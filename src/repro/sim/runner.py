@@ -14,8 +14,18 @@ Backends
 * ``"batched-study"`` — the whole study (or each worker's shard of it) is
   executed by :class:`~repro.sim.backends.BatchedStudyKernel` in one numpy
   pass; requires a vector-eligible protocol and a precompilable adversary.
-* ``"auto"`` (default) — batched-study when the study is eligible, else per
-  trial the vectorized kernel when eligible, else the reference kernel.
+* ``"lockstep"`` — the study is executed by
+  :class:`~repro.sim.backends.LockstepStudyKernel`, which advances all
+  trials one slot at a time with array operations; serves feedback-driven
+  protocols with a columnar :class:`~repro.protocols.base.LockstepProgram`
+  (the paper's CJZ algorithm, windowed/sawtooth backoff) against any
+  adversary, adaptive ones included.
+* ``"auto"`` (default) — batched-study when the study is eligible, else
+  lockstep when the protocol has a columnar program *and* the study carries
+  enough concurrent population to amortize the kernel's fixed per-slot cost
+  (≥ 8 trials, or trials × peak single-slot arrivals ≥ 24 — see
+  :meth:`LockstepStudyKernel.auto_preferred`), else per trial the
+  vectorized kernel when eligible, else the reference kernel.
 * ``"vectorized"`` / ``"reference"`` — per-trial kernels, forwarded to every
   :class:`~repro.sim.engine.Simulator`.
 
@@ -49,7 +59,15 @@ from ..adversary.base import Adversary
 from ..errors import ConfigurationError
 from ..protocols.base import ProtocolFactory
 from ..rng import SeedLike, SeedTree, TrialSeedBatch
-from .backends import AUTO_BACKEND, STUDY_BACKEND, BatchedStudyKernel, available_study_backends
+from .backends import (
+    AUTO_BACKEND,
+    LOCKSTEP_BACKEND,
+    STUDY_BACKEND,
+    STUDY_BACKENDS,
+    BatchedStudyKernel,
+    LockstepStudyKernel,
+    available_study_backends,
+)
 from .engine import Simulator, SimulatorConfig
 from .results import SimulationResult
 
@@ -396,7 +414,7 @@ class TrialRunner:
 
     def _per_trial_backend(self) -> str:
         """The Simulator backend used when a trial runs individually."""
-        return AUTO_BACKEND if self._backend == STUDY_BACKEND else self._backend
+        return AUTO_BACKEND if self._backend in STUDY_BACKENDS else self._backend
 
     def _absorb(self, result: SimulationResult, pipeline) -> SimulationResult:
         """Reduce one finished trial; in streaming mode drop its columns."""
@@ -411,9 +429,32 @@ class TrialRunner:
         seeds: Union[List[SeedTree], TrialSeedBatch],
         pipeline=None,
     ) -> List[SimulationResult]:
-        """Run a contiguous shard of trials, batched when eligible."""
-        if self._backend in (AUTO_BACKEND, STUDY_BACKEND):
-            kernel = BatchedStudyKernel()
+        """Run a contiguous shard of trials, study-batched when eligible.
+
+        ``auto`` walks the study ladder: batched-study first, then the
+        lockstep kernel, then the per-trial path.  A study kernel that bails
+        mid-eligibility (returns ``None``) never consumes trial seeds, so
+        escalating to the next rung stays seed-for-seed identical.
+        """
+        protocol_name = (
+            getattr(self._protocol_factory, "protocol_name", None) or "protocol"
+        )
+        for kernel, explicit in (
+            (BatchedStudyKernel(), STUDY_BACKEND),
+            (LockstepStudyKernel(), LOCKSTEP_BACKEND),
+        ):
+            if self._backend not in (AUTO_BACKEND, explicit):
+                continue
+            if (
+                self._backend == AUTO_BACKEND
+                and explicit == LOCKSTEP_BACKEND
+                and not kernel.auto_preferred(
+                    self._adversary_factory, self._config, len(seeds)
+                )
+            ):
+                # Too little concurrent population for the lockstep tier to
+                # pay off; stay on the per-trial ladder.
+                continue
             reason = kernel.unsupported_reason(
                 self._protocol_factory,
                 self._adversary_factory,
@@ -426,21 +467,22 @@ class TrialRunner:
                     self._adversary_factory,
                     self._config,
                     seeds,
-                    protocol_name=getattr(
-                        self._protocol_factory, "protocol_name", None
-                    )
-                    or "protocol",
+                    protocol_name=protocol_name,
                 )
                 if results is not None:
                     return [
                         self._absorb(result, pipeline) for result in results
                     ]
                 # The study bailed without consuming any trial seeds
-                # (oversized block, missing probability vector, ...): each
-                # trial escalates to the per-trial ladder below.
-            elif self._backend == STUDY_BACKEND:
+                # (oversized block, missing probability vector, slow seed
+                # path, ...): escalate down the ladder.
+            if self._backend == explicit:
+                if reason is None:
+                    # An explicitly requested study kernel that bailed
+                    # degrades to the per-trial path, like ``auto`` would.
+                    break
                 raise ConfigurationError(
-                    f"backend {STUDY_BACKEND!r} unavailable: {reason}"
+                    f"backend {explicit!r} unavailable: {reason}"
                 )
         trees = seeds.trees if isinstance(seeds, TrialSeedBatch) else seeds
         return [

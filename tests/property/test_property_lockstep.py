@@ -1,0 +1,202 @@
+"""Property tests: the lockstep study kernel is seed-for-seed identical to reference.
+
+For every protocol implementing the columnar lockstep program (the paper's
+CJZ algorithm, its global-clock ablation, windowed binary-exponential,
+sawtooth and polynomial backoff), any workload — batch / spread / bursty
+arrivals under no / random / reactive jamming, plus the fully adaptive
+success chaser — and any seed, a ``backend="lockstep"`` study must reproduce
+the serial reference study exactly: identical summaries, prefix arrays,
+per-node statistics and early-stop slots, and the same holds for
+``workers=4`` shard merges.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    AdaptiveSuccessChaser,
+    BatchArrivals,
+    BurstyArrivals,
+    ComposedAdversary,
+    NoJamming,
+    RandomFractionJamming,
+    ReactiveJamming,
+    UniformRandomArrivals,
+)
+from repro.core import cjz_factory
+from repro.protocols import (
+    PolynomialBackoff,
+    SawtoothBackoff,
+    WindowedBinaryExponentialBackoff,
+    make_factory,
+)
+from repro.sim import run_trials
+
+lockstep_factories = st.sampled_from(
+    [
+        ("cjz", cjz_factory()),
+        ("cjz-global-clock", cjz_factory(global_clock=True)),
+        ("wbeb", make_factory(WindowedBinaryExponentialBackoff, 2)),
+        ("sawtooth", make_factory(SawtoothBackoff, 4)),
+        ("polynomial", make_factory(PolynomialBackoff, 2.0, 2)),
+    ]
+)
+
+
+@st.composite
+def adversary_builders(draw):
+    """A named adversary factory covering the arrival × jamming grid."""
+    count = draw(st.integers(min_value=1, max_value=10))
+    arrivals_kind = draw(st.sampled_from(["batch", "spread", "bursty"]))
+    jamming_kind = draw(st.sampled_from(["none", "random", "reactive"]))
+    adaptive_chaser = draw(st.booleans())
+    if adaptive_chaser:
+        budget = draw(st.one_of(st.none(), st.integers(8, 24)))
+        return (
+            "chaser",
+            lambda: AdaptiveSuccessChaser(
+                jam_fraction=0.2,
+                arrival_budget_per_success=2,
+                total_arrival_budget=budget,
+                jam_burst=4,
+                seed_arrivals=2,
+            ),
+        )
+
+    def build():
+        if arrivals_kind == "batch":
+            arrivals = BatchArrivals(count)
+        elif arrivals_kind == "spread":
+            arrivals = UniformRandomArrivals(count + 4, (1, 80))
+        else:
+            arrivals = BurstyArrivals(count, 30)
+        if jamming_kind == "none":
+            jamming = NoJamming()
+        elif jamming_kind == "random":
+            jamming = RandomFractionJamming(0.25)
+        else:
+            jamming = ReactiveJamming(0.2, burst=5)
+        return ComposedAdversary(arrivals, jamming)
+
+    return (f"{arrivals_kind}+{jamming_kind}", build)
+
+
+def assert_studies_identical(reference_study, lockstep_study):
+    assert len(reference_study) == len(lockstep_study)
+    for reference, lockstep in zip(reference_study, lockstep_study):
+        assert reference.summary == lockstep.summary
+        assert reference.horizon == lockstep.horizon
+        assert reference.prefix_active == lockstep.prefix_active
+        assert reference.prefix_arrivals == lockstep.prefix_arrivals
+        assert reference.prefix_jammed == lockstep.prefix_jammed
+        assert reference.prefix_successes == lockstep.prefix_successes
+        assert reference.node_stats == lockstep.node_stats
+
+
+class TestLockstepEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        named_factory=lockstep_factories,
+        named_adversary=adversary_builders(),
+        horizon=st.integers(min_value=60, max_value=160),
+        trials=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_studies_identical(
+        self, named_factory, named_adversary, horizon, trials, seed
+    ):
+        _, factory = named_factory
+        _, adversary_factory = named_adversary
+
+        def study(backend):
+            return run_trials(
+                protocol_factory=factory,
+                adversary_factory=adversary_factory,
+                horizon=horizon,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+            )
+
+        reference, lockstep = study("reference"), study("lockstep")
+        assert all(r.backend == "reference" for r in reference)
+        assert all(r.backend == "lockstep" for r in lockstep)
+        assert_studies_identical(reference, lockstep)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        named_factory=lockstep_factories,
+        named_adversary=adversary_builders(),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_stop_when_drained_identical(
+        self, named_factory, named_adversary, seed
+    ):
+        _, factory = named_factory
+        _, adversary_factory = named_adversary
+
+        def study(backend):
+            return run_trials(
+                protocol_factory=factory,
+                adversary_factory=adversary_factory,
+                horizon=300,
+                trials=3,
+                seed=seed,
+                backend=backend,
+                stop_when_drained=True,
+            )
+
+        assert_studies_identical(study("reference"), study("lockstep"))
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        named_adversary=adversary_builders(),
+        seed=st.integers(min_value=0, max_value=2**16),
+        trials=st.integers(min_value=4, max_value=7),
+    )
+    def test_workers_shard_merge_identical(self, named_adversary, seed, trials):
+        """workers=4 lockstep shards merge back seed-for-seed with serial."""
+        _, adversary_factory = named_adversary
+
+        def study(workers, backend):
+            return run_trials(
+                protocol_factory=cjz_factory(),
+                adversary_factory=adversary_factory,
+                horizon=120,
+                trials=trials,
+                seed=seed,
+                backend=backend,
+                workers=workers,
+            )
+
+        serial_reference = study(1, "reference")
+        parallel_lockstep = study(4, "lockstep")
+        assert parallel_lockstep.effective_workers == 4
+        assert_studies_identical(serial_reference, parallel_lockstep)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        named_factory=lockstep_factories,
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_auto_selects_lockstep_for_feedback_protocols(
+        self, named_factory, seed
+    ):
+        """``auto`` escalates feedback-driven protocols to the lockstep tier."""
+        _, factory = named_factory
+
+        def study(backend):
+            return run_trials(
+                protocol_factory=factory,
+                adversary_factory=lambda: ComposedAdversary(
+                    BatchArrivals(12), RandomFractionJamming(0.3)
+                ),
+                horizon=140,
+                trials=3,
+                seed=seed,
+                backend=backend,
+            )
+
+        auto = study("auto")
+        assert all(r.backend == "lockstep" for r in auto)
+        assert_studies_identical(study("reference"), auto)

@@ -52,16 +52,18 @@ class TestBackendSelection:
         assert available_study_backends() == (
             "auto",
             "batched-study",
+            "lockstep",
             "reference",
             "vectorized",
         )
 
-    def test_simulator_rejects_study_backend(self):
+    @pytest.mark.parametrize("backend", ["batched-study", "lockstep"])
+    def test_simulator_rejects_study_backend(self, backend):
         with pytest.raises(ConfigurationError, match="whole trial studies"):
             make_simulator(
                 make_factory(SlottedAloha, 0.2),
                 ScheduleAdversary.single_batch(4),
-                backend="batched-study",
+                backend=backend,
             )
 
     def test_unknown_backend_rejected_at_construction(self):

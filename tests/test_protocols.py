@@ -99,15 +99,23 @@ class TestPolynomialBackoff:
 class TestSawtoothBackoff:
     def test_run_ramps_up_probability(self):
         protocol = arrived(SawtoothBackoff(initial_window=8))
-        probabilities = [p for _, p in protocol._schedule]
+        probabilities = [p for _, _, p in protocol._phases]
         assert probabilities[0] == pytest.approx(1.0 / 8)
         assert max(probabilities) == pytest.approx(0.5)
         # Monotone non-decreasing within a run.
         assert all(b >= a - 1e-12 for a, b in zip(probabilities, probabilities[1:]))
 
+    def test_phase_schedule_is_logarithmic(self):
+        # The per-run schedule stores one entry per phase (O(log window)),
+        # not one per slot; each phase spans its probability's slot count.
+        protocol = arrived(SawtoothBackoff(initial_window=64))
+        assert len(protocol._phases) == 6  # 1/64 .. 1/2
+        for first, end, probability in protocol._phases:
+            assert end - first == max(1, int(round(1.0 / probability)))
+
     def test_window_doubles_between_runs(self):
         protocol = arrived(SawtoothBackoff(initial_window=4))
-        first_run_end = protocol._schedule[-1][0]
+        first_run_end = protocol._phases[-1][1] - 1
         protocol._probability_for(first_run_end + 1)
         assert protocol._window == 8
 
