@@ -1,0 +1,130 @@
+"""Micro-benchmarks of the compiled (``lockstep-jit``) study tier.
+
+Equality against the reference and numpy-lockstep tiers is asserted
+unconditionally — the compiled interpreter must be seed-for-seed identical
+whether it runs through numba or its pure-python source form.  The ≥10x
+speedup floors over the numpy lockstep kernel only apply when numba is
+actually installed (the CI numba leg); without it the tier demotes to the
+numpy kernel and the floors are skipped.
+
+The committed ``BENCH_*.json`` records the full figures; the floors here
+only guard against collapses on noisy runners.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.adversary import (
+    BatchArrivals,
+    ComposedAdversary,
+    RandomFractionJamming,
+    ReactiveJamming,
+    UniformRandomArrivals,
+)
+from repro.core import cjz_factory
+from repro.sim import run_trials
+from repro.sim.backends.compiled import interpreter_mode
+
+TRIALS = 40
+HORIZON = 256
+NODES = 32
+
+HAVE_NUMBA = interpreter_mode() == "numba"
+numba_only = pytest.mark.skipif(
+    not HAVE_NUMBA, reason="numba not installed; compiled tier demotes to numpy"
+)
+
+
+def _batch_jam_study(backend: str, trials: int = TRIALS):
+    """e01 miniature: batch arrivals under 25% random jamming."""
+    return run_trials(
+        protocol_factory=cjz_factory(),
+        adversary_factory=lambda: ComposedAdversary(
+            BatchArrivals(NODES), RandomFractionJamming(0.25)
+        ),
+        horizon=HORIZON,
+        trials=trials,
+        seed=1,
+        backend=backend,
+    )
+
+
+def _reactive_study(backend: str, trials: int = TRIALS):
+    """e03 miniature: spread arrivals against the adaptive reactive jammer."""
+    return run_trials(
+        protocol_factory=cjz_factory(),
+        adversary_factory=lambda: ComposedAdversary(
+            UniformRandomArrivals(NODES, (1, HORIZON // 4)),
+            ReactiveJamming(0.25, burst=8),
+        ),
+        horizon=HORIZON,
+        trials=trials,
+        seed=1,
+        backend=backend,
+    )
+
+
+def test_study_compiled_backend(benchmark):
+    expected = "lockstep-jit" if interpreter_mode() != "off" else "lockstep"
+    _batch_jam_study("lockstep-jit", trials=4)  # warm-up: JIT compile
+    study = benchmark(lambda: _batch_jam_study("lockstep-jit"))
+    assert all(result.backend == expected for result in study)
+
+
+def test_study_compiled_reactive_backend(benchmark):
+    expected = "lockstep-jit" if interpreter_mode() != "off" else "lockstep"
+    _reactive_study("lockstep-jit", trials=4)
+    study = benchmark(lambda: _reactive_study("lockstep-jit"))
+    assert all(result.backend == expected for result in study)
+
+
+def _per_trial_best(run, backend: str, trials: int, repeats: int = 3) -> float:
+    timings = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run(backend, trials=trials)
+        timings.append(time.perf_counter() - start)
+    return min(timings) / trials
+
+
+@numba_only
+def test_compiled_speedup_floor_batch_jam():
+    """Acceptance: the JIT runs e01's CJZ study ≥10x faster than numpy lockstep."""
+    _batch_jam_study("lockstep-jit", trials=4)  # warm-up: compile + self-checks
+    _batch_jam_study("lockstep", trials=4)
+    lockstep = _per_trial_best(_batch_jam_study, "lockstep", trials=TRIALS)
+    compiled = _per_trial_best(_batch_jam_study, "lockstep-jit", trials=TRIALS)
+    speedup = lockstep / compiled
+    assert speedup >= 10.0, (
+        f"compiled speedup {speedup:.1f}x over lockstep below the 10x floor"
+    )
+
+
+@numba_only
+def test_compiled_speedup_floor_reactive():
+    """The adaptive-jammer path must also clear the 10x floor."""
+    _reactive_study("lockstep-jit", trials=4)
+    _reactive_study("lockstep", trials=4)
+    lockstep = _per_trial_best(_reactive_study, "lockstep", trials=TRIALS)
+    compiled = _per_trial_best(_reactive_study, "lockstep-jit", trials=TRIALS)
+    speedup = lockstep / compiled
+    assert speedup >= 10.0, (
+        f"compiled reactive speedup {speedup:.1f}x below the 10x floor"
+    )
+
+
+def test_compiled_matches_reference_results():
+    reference = _batch_jam_study("reference", trials=6)
+    compiled = _batch_jam_study("lockstep-jit", trials=6)
+    assert [r.summary for r in reference] == [r.summary for r in compiled]
+    assert [r.node_stats for r in reference] == [r.node_stats for r in compiled]
+
+
+def test_compiled_matches_lockstep_reactive_results():
+    lockstep = _reactive_study("lockstep", trials=6)
+    compiled = _reactive_study("lockstep-jit", trials=6)
+    assert [r.summary for r in lockstep] == [r.summary for r in compiled]
+    assert [r.node_stats for r in lockstep] == [r.node_stats for r in compiled]

@@ -66,6 +66,7 @@ __all__ = [
     "compare_bench",
     "default_bench_path",
     "machine_info",
+    "profile_workload",
     "render_comparison",
     "run_experiment_suite",
     "run_micro_suite",
@@ -87,8 +88,13 @@ _BACKENDS = ("reference", "vectorized", "batched-study")
 
 #: Backends eligible for the feedback-driven CJZ workloads: the protocol is
 #: not vector-eligible, so only the reference path and the lockstep study
-#: kernel can run it.
-_CJZ_BACKENDS = ("reference", "lockstep")
+#: tiers (numpy and compiled) can run it.
+_CJZ_BACKENDS = ("reference", "lockstep", "lockstep-jit")
+
+#: Backends whose warm-up pass may compile code; the warm-up wall time is
+#: recorded as ``compile_time_s`` so JIT cost stays visible without
+#: polluting the steady-state timings.
+_JIT_BACKENDS = ("lockstep-jit",)
 
 #: Fixed shape of the CJZ micro workloads (e01/e03 miniatures).  The node
 #: count and horizon track the experiments' ratios rather than the tiny
@@ -225,8 +231,12 @@ def run_micro_suite(
             backend: trials if backend != "reference" else max(4, trials // 10)
             for backend in backends
         }
-        for backend, backend_trials in plans.items():  # warm-up pass
-            _time_study(
+        # Warm-up pass: primes caches for every backend and, for the JIT
+        # tier, pays the numba compile cost outside the timed repeats.  The
+        # warm-up wall time is kept so the compile cost stays on record.
+        warmup: Dict[str, float] = {}
+        for backend, backend_trials in plans.items():
+            warmup[backend] = _time_study(
                 protocol_factory,
                 adversary_factory,
                 workload_horizon,
@@ -277,6 +287,8 @@ def run_micro_suite(
                 "per_trial_s": per_trial[backend],
                 "slots_per_second": timed * workload_horizon / best,
             }
+            if backend in _JIT_BACKENDS:
+                record["compile_time_s"] = warmup[backend]
             record.update(memory[backend])
             if "reference" in per_trial:
                 record["speedup_vs_reference"] = (
@@ -376,6 +388,82 @@ def _time_study(
     return time.perf_counter() - start
 
 
+def profile_workload(
+    workload_id: str,
+    scale: str = "smoke",
+    seed: int = 20210219,
+    backend: Optional[str] = None,
+) -> str:
+    """cProfile one micro workload; top-20 entries by cumulative time.
+
+    Runs the workload once on ``backend`` (default: the workload's fastest
+    eligible tier) after an untimed warm-up, so JIT compilation does not
+    dominate the profile.  Returns the rendered ``pstats`` report.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    if scale not in _SCALES:
+        raise ConfigurationError(
+            f"scale must be one of {sorted(_SCALES)}, got {scale!r}"
+        )
+    trials, horizon, nodes = _SCALES[scale]
+    for (
+        candidate_id,
+        protocol_factory,
+        adversary_factory,
+        workload_horizon,
+        _workload_nodes,
+        workload_backends,
+    ) in _micro_workloads(horizon, nodes):
+        if candidate_id == workload_id:
+            break
+    else:
+        known = ", ".join(
+            entry[0] for entry in _micro_workloads(horizon, nodes)
+        )
+        raise ConfigurationError(
+            f"unknown benchmark id {workload_id!r}; available: {known}"
+        )
+    chosen = backend or workload_backends[-1]
+    if chosen not in available_study_backends():
+        raise ConfigurationError(
+            f"unknown backend {chosen!r}; available: "
+            f"{', '.join(available_study_backends())}"
+        )
+    profiled_trials = trials if chosen != "reference" else max(4, trials // 10)
+    _time_study(  # warm-up: compile/caches outside the profile
+        protocol_factory,
+        adversary_factory,
+        workload_horizon,
+        min(4, profiled_trials),
+        seed,
+        chosen,
+    )
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_trials(
+            protocol_factory=protocol_factory,
+            adversary_factory=adversary_factory,
+            horizon=workload_horizon,
+            trials=profiled_trials,
+            seed=seed,
+            backend=chosen,
+        )
+    finally:
+        profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(20)
+    header = (
+        f"profile {workload_id} [backend={chosen}] "
+        f"trials={profiled_trials} horizon={workload_horizon}\n"
+    )
+    return header + buffer.getvalue()
+
+
 def run_experiment_suite(
     seed: int = 20210219, trials: int = 2
 ) -> List[Dict[str, object]]:
@@ -464,8 +552,9 @@ def compare_bench(
     produced on the same machine.  Experiment records flag verdict flips and
     (same machine only) wall-time regressions.  Returns one dict per
     regression; an empty list means the gate passes.  Metrics absent from
-    either file (e.g. memory fields against a pre-columnar baseline) are
-    skipped, never treated as regressions.
+    either file (e.g. memory fields against a pre-columnar baseline, or
+    ``compile_time_s`` and the ``lockstep-jit`` records against a pre-JIT
+    baseline) are skipped, never treated as regressions.
     """
     same_machine = baseline.get("machine") == current.get("machine")
     baseline_map = _record_map(baseline)

@@ -196,6 +196,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.2,
         help="relative regression threshold for --compare (default 0.2)",
     )
+    bench_parser.add_argument(
+        "--profile",
+        metavar="ID",
+        default=None,
+        help="cProfile one micro benchmark (top-20 cumulative entries) "
+        "instead of running the suite; honours --scale/--seed, and "
+        "--backends picks the profiled backend",
+    )
     bench_parser.set_defaults(func=_cmd_bench)
 
     return parser
@@ -416,6 +424,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         regressions = compare_bench(baseline, current, threshold=args.threshold)
         print(render_comparison(regressions))
         return 1 if regressions else 0
+
+    if args.profile is not None:
+        from .bench import profile_workload
+
+        backend = args.backends[0] if args.backends else None
+        print(
+            profile_workload(
+                args.profile, scale=args.scale, seed=args.seed, backend=backend
+            ),
+            end="",
+        )
+        return 0
 
     data = collect_bench(
         scale=args.scale,

@@ -34,6 +34,8 @@ import numpy as np
 from ..channel.virtual import VirtualChannelView
 from ..protocols.base import (
     LOCKSTEP_SENTINEL,
+    OP_CJZ,
+    CompiledProgramTables,
     LockstepProgram,
     Protocol,
     grow_flat_column,
@@ -250,25 +252,49 @@ class CJZLockstepProgram(LockstepProgram):
 
     # ----------------------------------------------------------------- setup
 
+    def _build_tables(self, horizon: int):
+        """Stage counts and ``h``-batch tables shared with the compiled tier.
+
+        Stage counts clamp exactly as ``HBackoff._enter_stage`` does; the
+        probability tables are built with the same scalar calls
+        ``HBatch.probability`` would make, so both the columnar and the
+        compiled `uniform < p` comparisons are float-identical.
+        """
+        params = self._params
+        stage_counts = [
+            min(params.backoff_budget(1 << k), 1 << k) for k in range(32)
+        ]
+        # index = local slot index (0 unused).
+        size = horizon + 2
+        ctrl_table = np.zeros(size)
+        data_table = np.zeros(size)
+        ctrl, data = params.ctrl_probability, params.data_probability
+        ctrl_table[1:] = [ctrl(i) for i in range(1, size)]
+        data_table[1:] = [data(i) for i in range(1, size)]
+        return stage_counts, ctrl_table, data_table
+
+    def compiled_tables(self, horizon: int) -> CompiledProgramTables:
+        stage_counts, ctrl_table, data_table = self._build_tables(horizon)
+        return CompiledProgramTables.build(
+            opcode=OP_CJZ,
+            # [phase, anchor1, anchor2, anchor3, stage, plan_ptr, next_planned]
+            int_state_width=7,
+            float_state_width=0,
+            prog_i=[1 if self._global_clock else 0],
+            plan_width=max(stage_counts) + 1,
+            stage_counts=stage_counts,
+            table_ctrl=ctrl_table,
+            table_data=data_table,
+        )
+
     def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:
         self._pool = pool
         self._trials = trials
         self._capacity = capacity
-        params = self._params
-        # Per-stage send counts, exactly as HBackoff._enter_stage clamps them.
-        self._stage_counts = [
-            min(params.backoff_budget(1 << k), 1 << k) for k in range(32)
-        ]
+        self._stage_counts, self._ctrl_table, self._data_table = (
+            self._build_tables(horizon)
+        )
         self._plan_width = max(self._stage_counts) + 1
-        # h-batch probability tables; index = local slot index (0 unused).
-        # Built with the same scalar calls HBatch.probability would make, so
-        # the columnar `uniform < p` comparisons are float-identical.
-        size = horizon + 2
-        self._ctrl_table = np.zeros(size)
-        self._data_table = np.zeros(size)
-        ctrl, data = params.ctrl_probability, params.data_probability
-        self._ctrl_table[1:] = [ctrl(i) for i in range(1, size)]
-        self._data_table[1:] = [data(i) for i in range(1, size)]
         rows = trials * capacity
         self._phase = np.zeros(rows, dtype=np.int8)
         self._anchor1 = np.zeros(rows, dtype=np.int64)

@@ -39,6 +39,7 @@ Protocols may additionally expose their *marginal broadcast probability*:
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 import numpy as np
@@ -46,12 +47,25 @@ import numpy as np
 from ..types import Feedback
 
 __all__ = [
+    "CompiledProgramTables",
     "LockstepProgram",
+    "OP_CJZ",
+    "OP_SAWTOOTH",
+    "OP_WINDOWED",
     "Protocol",
     "ProtocolFactory",
     "grow_flat_column",
     "make_factory",
 ]
+
+#: Opcodes of the compiled lockstep interpreter
+#: (:mod:`repro.sim.backends.compiled`).  Each names one protocol family the
+#: fused slot loop knows how to advance; a program's
+#: :meth:`LockstepProgram.compiled_tables` selects the family and supplies
+#: its numeric parameters.
+OP_CJZ = 1
+OP_WINDOWED = 2
+OP_SAWTOOTH = 3
 
 #: Sentinel local index larger than any horizon, used by lockstep programs
 #: for "no planned send" markers.
@@ -102,6 +116,66 @@ def lockstep_bounded_offsets(pool, rows: np.ndarray, ranges: np.ndarray) -> np.n
     return offsets
 
 
+@dataclass(frozen=True)
+class CompiledProgramTables:
+    """Numeric lowering of one :class:`LockstepProgram` for the fused slot loop.
+
+    The compiled study backend runs a single protocol-agnostic interpreter;
+    this record is everything it needs to execute one protocol family:
+
+    * ``opcode`` — which family (:data:`OP_CJZ`, :data:`OP_WINDOWED`,
+      :data:`OP_SAWTOOTH`) the interpreter switches on;
+    * ``int_state_width`` / ``float_state_width`` — per-node state columns
+      the interpreter allocates (layout is fixed per opcode);
+    * ``plan_width`` — width of the per-node send-plan matrix (CJZ backoff
+      stages; 0 when the family keeps no plan);
+    * ``prog_i`` / ``prog_f`` — scalar int64/float64 parameters;
+    * ``stage_counts`` — per-stage send counts of ``(f/a)``-backoff
+      (int64, empty when unused);
+    * ``table_ctrl`` / ``table_data`` — ``h``-batch probability tables
+      indexed by local slot (float64, empty when unused).
+
+    All arrays are plain numpy so the record crosses the numba boundary
+    unchanged; the tables are built with the same scalar calls the columnar
+    program makes, keeping compiled comparisons float-identical.
+    """
+
+    opcode: int
+    int_state_width: int
+    float_state_width: int
+    plan_width: int
+    prog_i: np.ndarray
+    prog_f: np.ndarray
+    stage_counts: np.ndarray
+    table_ctrl: np.ndarray
+    table_data: np.ndarray
+
+    @classmethod
+    def build(
+        cls,
+        opcode: int,
+        int_state_width: int,
+        float_state_width: int,
+        prog_i=(),
+        prog_f=(),
+        plan_width: int = 0,
+        stage_counts=(),
+        table_ctrl=(),
+        table_data=(),
+    ) -> "CompiledProgramTables":
+        return cls(
+            opcode=opcode,
+            int_state_width=int_state_width,
+            float_state_width=float_state_width,
+            plan_width=plan_width,
+            prog_i=np.asarray(prog_i, dtype=np.int64),
+            prog_f=np.asarray(prog_f, dtype=np.float64),
+            stage_counts=np.asarray(stage_counts, dtype=np.int64),
+            table_ctrl=np.asarray(table_ctrl, dtype=np.float64),
+            table_data=np.asarray(table_data, dtype=np.float64),
+        )
+
+
 class LockstepProgram(abc.ABC):
     """Columnar population-state executor of one protocol for the lockstep kernel.
 
@@ -123,6 +197,18 @@ class LockstepProgram(abc.ABC):
     instance, which supplies the protocol parameters; they must not retain
     the probe's generator (probes never own one).
     """
+
+    def compiled_tables(self, horizon: int) -> Optional[CompiledProgramTables]:
+        """Numeric lowering for the fused compiled interpreter, or ``None``.
+
+        Returning a :class:`CompiledProgramTables` opts the program into the
+        ``lockstep-jit`` study backend, whose single interpreter advances the
+        population from flat int64/float64 state instead of per-slot numpy
+        dispatch.  The default — and the safe answer for any program whose
+        semantics the interpreter's opcode families do not cover exactly —
+        is ``None``, which keeps the study on the numpy lockstep kernel.
+        """
+        return None
 
     @abc.abstractmethod
     def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:

@@ -23,6 +23,8 @@ import numpy as np
 from ..errors import ConfigurationError
 from ..types import Feedback
 from .base import (
+    OP_WINDOWED,
+    CompiledProgramTables,
     LockstepProgram,
     Protocol,
     grow_flat_column,
@@ -127,6 +129,20 @@ class WindowedBackoffLockstepProgram(LockstepProgram):
         self._max = max_window
         self._degree = degree
         self._pool = None
+
+    def compiled_tables(self, horizon: int) -> CompiledProgramTables:
+        return CompiledProgramTables.build(
+            opcode=OP_WINDOWED,
+            # [window, failures, next_attempt]
+            int_state_width=3,
+            float_state_width=0,
+            prog_i=[
+                self._initial,
+                -1 if self._max is None else self._max,
+                0 if self._degree is None else 1,
+            ],
+            prog_f=[0.0 if self._degree is None else self._degree],
+        )
 
     def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:
         self._pool = pool

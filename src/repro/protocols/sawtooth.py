@@ -18,7 +18,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..types import Feedback
-from .base import LockstepProgram, Protocol, grow_flat_column
+from .base import (
+    OP_SAWTOOTH,
+    CompiledProgramTables,
+    LockstepProgram,
+    Protocol,
+    grow_flat_column,
+)
 
 __all__ = ["SawtoothBackoff", "SawtoothLockstepProgram"]
 
@@ -116,6 +122,15 @@ class SawtoothLockstepProgram(LockstepProgram):
         self._initial = initial_window
         self._max = max_window
         self._pool = None
+
+    def compiled_tables(self, horizon: int) -> CompiledProgramTables:
+        return CompiledProgramTables.build(
+            opcode=OP_SAWTOOTH,
+            # [window, phase_end]
+            int_state_width=2,
+            float_state_width=1,  # [probability]
+            prog_i=[self._initial, -1 if self._max is None else self._max],
+        )
 
     def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:
         self._pool = pool

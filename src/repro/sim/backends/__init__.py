@@ -16,6 +16,11 @@ Study-level backends (valid for :class:`~repro.sim.runner.TrialRunner` /
   (:class:`BatchedStudyKernel`); requires a vector-eligible protocol and a
   precompilable adversary; seed-for-seed identical to running the trials
   serially.
+* ``"lockstep-jit"`` — the same trial-lockstep semantics lowered into one
+  fused slot loop (:class:`CompiledStudyKernel`), compiled with numba when
+  it is installed; runtime stream verification with automatic demotion to
+  the numpy lockstep kernel on any mismatch or missing dependency, so
+  results are always produced and always identical.
 * ``"lockstep"`` — all trials advanced one slot at a time with array
   operations (:class:`LockstepStudyKernel`); serves feedback-driven
   protocols that expose a columnar
@@ -24,8 +29,9 @@ Study-level backends (valid for :class:`~repro.sim.runner.TrialRunner` /
   adaptive ones included; seed-for-seed identical to serial reference.
 
 ``"auto"`` escalates down the ladder: the trial runner picks the batched
-study kernel when the whole study is eligible, else the lockstep study
-kernel, else each trial picks the vectorized kernel when eligible, else the
+study kernel when the whole study is eligible, else the compiled lockstep
+kernel (which itself demotes to the numpy lockstep kernel when it cannot
+run), else each trial picks the vectorized kernel when eligible, else the
 reference kernel.
 """
 
@@ -36,6 +42,7 @@ from typing import Dict, Tuple, Type
 from ...errors import ConfigurationError
 from .base import KernelContext, SlotKernel
 from .batched import BatchedStudyKernel
+from .compiled import CompiledStudyKernel
 from .lockstep import LockstepStudyKernel
 from .reference import ReferenceKernel, run_slot_loop
 from .vectorized import VectorizedKernel
@@ -46,10 +53,12 @@ __all__ = [
     "ReferenceKernel",
     "VectorizedKernel",
     "BatchedStudyKernel",
+    "CompiledStudyKernel",
     "LockstepStudyKernel",
     "run_slot_loop",
     "AUTO_BACKEND",
     "STUDY_BACKEND",
+    "COMPILED_BACKEND",
     "LOCKSTEP_BACKEND",
     "STUDY_BACKENDS",
     "available_backends",
@@ -60,10 +69,11 @@ __all__ = [
 
 AUTO_BACKEND = "auto"
 STUDY_BACKEND = BatchedStudyKernel.name
+COMPILED_BACKEND = CompiledStudyKernel.name
 LOCKSTEP_BACKEND = LockstepStudyKernel.name
 
 #: Backends that execute whole trial studies (rejected by a single Simulator).
-STUDY_BACKENDS = (STUDY_BACKEND, LOCKSTEP_BACKEND)
+STUDY_BACKENDS = (STUDY_BACKEND, COMPILED_BACKEND, LOCKSTEP_BACKEND)
 
 _KERNELS: Dict[str, Type[SlotKernel]] = {
     ReferenceKernel.name: ReferenceKernel,

@@ -50,6 +50,7 @@ from .base import age_probability_profile
 from .studysupport import (
     MAX_BLOCK_ELEMENTS as _MAX_BLOCK_ELEMENTS,
     SeedPlan as _SeedPlan,
+    StudyProbe as _StudyProbe,
     compile_adversary_schedules,
     emit_study_results,
     iter_blocks as _blocks,
@@ -74,16 +75,19 @@ class BatchedStudyKernel:
         adversary_factory: AdversaryFactory,
         config,
         collectors: Sequence = (),
+        probe: Optional[_StudyProbe] = None,
     ) -> Optional[str]:
         """Why this study cannot run batched (``None`` when it can)."""
-        probe = protocol_factory()
-        if not probe.vector_eligible:
+        if probe is None:
+            probe = _StudyProbe(protocol_factory, adversary_factory)
+        protocol = probe.protocol
+        if not protocol.vector_eligible:
             return (
-                f"protocol {probe.name!r} is not vector-eligible "
+                f"protocol {protocol.name!r} is not vector-eligible "
                 "(its broadcast decisions depend on feedback or are not "
                 "independent per-slot Bernoulli draws)"
             )
-        adversary = adversary_factory()
+        adversary = probe.adversary
         if not adversary.precompilable:
             return (
                 f"adversary {adversary.describe()!r} is adaptive and cannot "
@@ -107,10 +111,11 @@ class BatchedStudyKernel:
         adversary_factory: AdversaryFactory,
         config,
         collectors: Sequence = (),
+        probe: Optional[_StudyProbe] = None,
     ) -> bool:
         return (
             self.unsupported_reason(
-                protocol_factory, adversary_factory, config, collectors
+                protocol_factory, adversary_factory, config, collectors, probe
             )
             is None
         )
@@ -124,6 +129,7 @@ class BatchedStudyKernel:
         config,
         trial_trees,  # List[SeedTree] or TrialSeedBatch
         protocol_name: str = "protocol",
+        probe: Optional[_StudyProbe] = None,
     ) -> Optional[List[SimulationResult]]:
         """Execute all trials, or return ``None`` when the study must fall
         back to the per-trial path.

@@ -46,7 +46,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
-from ...adversary.base import Adversary, ComposedAdversary
+from ...adversary.base import Adversary
 from ...adversary.columnar import (
     AdaptiveChaserLockstepDriver,
     GenericLockstepDriver,
@@ -61,11 +61,12 @@ from ..results import SimulationResult
 from .studysupport import (
     MAX_BLOCK_ELEMENTS,
     SeedPlan,
+    StudyProbe,
     compile_adversary_schedules,
     emit_study_results,
 )
 
-__all__ = ["LockstepStudyKernel"]
+__all__ = ["LockstepStudyKernel", "build_lockstep_driver", "emit_lockstep_results"]
 
 AdversaryFactory = Callable[[], Adversary]
 
@@ -106,13 +107,15 @@ class LockstepStudyKernel:
         adversary_factory: AdversaryFactory,
         config,
         collectors: Sequence = (),
+        probe: Optional[StudyProbe] = None,
     ) -> Optional[str]:
         """Why this study cannot run lockstep (``None`` when it can)."""
-        probe = protocol_factory()
-        if probe.lockstep_program() is None:
+        if probe is None:
+            probe = StudyProbe(protocol_factory, adversary_factory)
+        if probe.program is None:
             return (
-                f"protocol {probe.name!r} has no columnar lockstep program "
-                "(it must implement Protocol.lockstep_program)"
+                f"protocol {probe.protocol.name!r} has no columnar lockstep "
+                "program (it must implement Protocol.lockstep_program)"
             )
         if config.keep_trace:
             return (
@@ -139,16 +142,21 @@ class LockstepStudyKernel:
         adversary_factory: AdversaryFactory,
         config,
         collectors: Sequence = (),
+        probe: Optional[StudyProbe] = None,
     ) -> bool:
         return (
             self.unsupported_reason(
-                protocol_factory, adversary_factory, config, collectors
+                protocol_factory, adversary_factory, config, collectors, probe
             )
             is None
         )
 
     def auto_preferred(
-        self, adversary_factory: AdversaryFactory, config, trials: int
+        self,
+        adversary_factory: AdversaryFactory,
+        config,
+        trials: int,
+        probe: Optional[StudyProbe] = None,
     ) -> bool:
         """Whether ``auto`` should escalate this study to the lockstep tier.
 
@@ -159,37 +167,12 @@ class LockstepStudyKernel:
         """
         if trials >= _AUTO_TRIALS_FLOOR:
             return True
-        peak = self._probe_peak_arrivals(adversary_factory, config.horizon)
+        if probe is None:
+            probe = StudyProbe(lambda: None, adversary_factory)
+        peak = probe.peak_arrivals(config.horizon)
         if peak is None:
             return False
         return trials * peak >= _AUTO_PRESSURE_FLOOR
-
-    @staticmethod
-    def _probe_peak_arrivals(
-        adversary_factory: AdversaryFactory, horizon: int
-    ) -> Optional[int]:
-        """Peak single-slot arrival count of a throwaway adversary instance.
-
-        Probes with a fixed-seed generator — only the schedule's *shape*
-        matters here, and the probe never touches any run's seed streams.
-        """
-        probe = adversary_factory()
-        # Only composed adversaries are probed: their arrival strategies
-        # precompile in vectorized form, whereas a bespoke adversary may
-        # fall back to the per-slot Python loop — more expensive than the
-        # decision the probe informs.  Jamming is never probed (it cannot
-        # change the population, and precompiling it would burn a horizon of
-        # throwaway randomness per study).
-        if type(probe) is not ComposedAdversary or probe.arrivals.adaptive:
-            return None
-        try:
-            probe.setup(np.random.default_rng(0), horizon)
-            arrivals = probe.arrivals.precompile(horizon)
-        except Exception:
-            return None
-        if arrivals is None:
-            return None
-        return int(arrivals.max(initial=0))
 
     # ------------------------------------------------------------------- run
 
@@ -200,6 +183,7 @@ class LockstepStudyKernel:
         config,
         trial_trees,  # List[SeedTree] or TrialSeedBatch
         protocol_name: str = "protocol",
+        probe: Optional[StudyProbe] = None,
     ) -> Optional[List[SimulationResult]]:
         """Execute all trials, or return ``None`` when the study must fall
         back to the per-trial path.
@@ -209,8 +193,9 @@ class LockstepStudyKernel:
         through the per-trial ladder with identical results.
         """
         start_time = time.perf_counter()
-        probe = protocol_factory()
-        if probe.lockstep_program() is None or not lockstep_streams_ok():
+        if probe is None:
+            probe = StudyProbe(protocol_factory, adversary_factory)
+        if probe.program is None or not lockstep_streams_ok():
             return None
         plan = SeedPlan.build(trial_trees)
         if not plan.fast:
@@ -221,7 +206,7 @@ class LockstepStudyKernel:
         for lo in range(0, plan.trials, block_trials):
             hi = min(plan.trials, lo + block_trials)
             block_plan = plan if (lo, hi) == (0, plan.trials) else plan.restrict(lo, hi)
-            driver = self._build_driver(adversary_factory, config, block_plan)
+            driver = build_lockstep_driver(adversary_factory, config, block_plan)
             if driver is None:
                 # Only reachable on the first block: driver construction
                 # depends solely on the factory, so a later block cannot
@@ -229,7 +214,7 @@ class LockstepStudyKernel:
                 return None
             results.extend(
                 _LockstepRun(
-                    protocol_factory().lockstep_program(),
+                    probe.take_program(),
                     driver,
                     config,
                     block_plan,
@@ -242,38 +227,38 @@ class LockstepStudyKernel:
             result.wall_time_seconds = per_trial
         return results
 
-    # ------------------------------------------------------------- internals
 
-    def _build_driver(
-        self, adversary_factory: AdversaryFactory, config, plan: SeedPlan
-    ) -> Optional[LockstepAdversaryDriver]:
-        """Resolve the adversary driver, consuming streams as the serial path would."""
-        horizon = config.horizon
-        if adversary_factory().precompilable:
-            compiled = compile_adversary_schedules(
-                adversary_factory, config, plan, horizon
-            )
-            if compiled is None:
-                return None
-            return PrecompiledLockstepDriver(*compiled)
-        def fresh_adversaries(states):
-            built = [adversary_factory() for _ in range(plan.trials)]
-            for index, adversary in enumerate(built):
-                adversary.setup(plan.fresh_generator(states, index), horizon)
-            return built
+def build_lockstep_driver(
+    adversary_factory: AdversaryFactory, config, plan: SeedPlan
+) -> Optional[LockstepAdversaryDriver]:
+    """Resolve the adversary driver, consuming streams as the serial path would."""
+    horizon = config.horizon
+    if adversary_factory().precompilable:
+        compiled = compile_adversary_schedules(
+            adversary_factory, config, plan, horizon
+        )
+        if compiled is None:
+            return None
+        return PrecompiledLockstepDriver(*compiled)
 
-        states = plan.adversary_generator_states()
-        adversaries = fresh_adversaries(states)
-        driver = ReactiveJammingLockstepDriver.try_build(adversaries, horizon)
-        if driver is None:
-            driver = AdaptiveChaserLockstepDriver.try_build(adversaries, horizon)
-        if driver is None:
-            # The reactive builder may have consumed some trials' arrival
-            # strategies before bailing; the generic per-slot driver needs
-            # untouched instances, and rebuilding from the same plan-derived
-            # generators is stream-identical.
-            driver = GenericLockstepDriver(fresh_adversaries(states))
-        return driver
+    def fresh_adversaries(states):
+        built = [adversary_factory() for _ in range(plan.trials)]
+        for index, adversary in enumerate(built):
+            adversary.setup(plan.fresh_generator(states, index), horizon)
+        return built
+
+    states = plan.adversary_generator_states()
+    adversaries = fresh_adversaries(states)
+    driver = ReactiveJammingLockstepDriver.try_build(adversaries, horizon)
+    if driver is None:
+        driver = AdaptiveChaserLockstepDriver.try_build(adversaries, horizon)
+    if driver is None:
+        # The reactive builder may have consumed some trials' arrival
+        # strategies before bailing; the generic per-slot driver needs
+        # untouched instances, and rebuilding from the same plan-derived
+        # generators is stream-identical.
+        driver = GenericLockstepDriver(fresh_adversaries(states))
+    return driver
 
 
 class _LockstepRun:
@@ -481,52 +466,92 @@ class _LockstepRun:
     # ------------------------------------------------------------------ emit
 
     def _emit(self) -> List[SimulationResult]:
-        trials = self._trials
-        horizon = self._config.horizon
-        nodes_per_trial = self._node_count
-        row_starts = np.concatenate(
-            ([0], np.cumsum(nodes_per_trial))
-        ).astype(np.int64)
-        order = np.concatenate(
-            [
-                t * self._capacity + np.arange(nodes_per_trial[t], dtype=np.int64)
-                for t in range(trials)
-            ]
-        ) if int(nodes_per_trial.sum()) else np.zeros(0, dtype=np.int64)
-
-        cum_arrivals = np.cumsum(self._arrivals_m, axis=1)
-        stacked = np.stack((self._success_m, self._jam_m))
-        stacked[:, :, 0] = False
-        # int64 planes so each trial's counters are zero-copy views into the
-        # shared study matrices, exactly as the batched kernel emits them.
-        prefix = np.empty((3, trials, horizon + 1), dtype=np.int64)
-        np.cumsum(stacked, axis=2, out=prefix[:2])
-        successes_before = np.zeros_like(cum_arrivals)
-        successes_before[:, 1:] = prefix[0, :, :-1]
-        active_full = (cum_arrivals - successes_before) > 0
-        active_full[:, 0] = False
-        np.cumsum(active_full, axis=1, out=prefix[2])
-        silence = (~self._jam_m) & (self._counts_m == 0)
-        silence[:, 0] = False
-        silence_prefix = np.cumsum(silence, axis=1)
-        silence_at = silence_prefix[np.arange(trials), self._simulated]
-
-        success_ordered = self._success_col[order]
-        sim_per_row = np.repeat(self._simulated, nodes_per_trial)
-        finished = (success_ordered >= 1) & (success_ordered <= sim_per_row)
-
-        return emit_study_results(
-            [self._driver.describe(t) for t in range(trials)],
-            nodes_per_trial,
-            row_starts,
-            self._arrival_col[order].tolist(),
-            success_ordered.tolist(),
-            finished.tolist(),
-            self._broadcasts_col[order].tolist(),
+        return emit_lockstep_results(
+            [self._driver.describe(t) for t in range(self._trials)],
+            self._config.horizon,
+            self._capacity,
+            self._node_count,
+            self._arrival_col,
+            self._success_col,
+            self._broadcasts_col,
             self._simulated,
-            cum_arrivals,
-            prefix,
-            silence_at,
+            self._arrivals_m,
+            self._jam_m,
+            self._success_m,
+            self._counts_m,
             self._protocol_name,
             LockstepStudyKernel.name,
         )
+
+
+def emit_lockstep_results(
+    adversary_names: List[str],
+    horizon: int,
+    capacity: int,
+    node_count: np.ndarray,
+    arrival_col: np.ndarray,
+    success_col: np.ndarray,
+    broadcasts_col: np.ndarray,
+    simulated: np.ndarray,
+    arrivals_m: np.ndarray,
+    jam_m: np.ndarray,
+    success_m: np.ndarray,
+    counts_m: np.ndarray,
+    protocol_name: str,
+    backend_name: str,
+) -> List[SimulationResult]:
+    """Assemble results from the lockstep loop's columnar bookkeeping.
+
+    Shared by the numpy lockstep kernel and the compiled (``lockstep-jit``)
+    kernel — both produce the same flat outcome columns and per-slot study
+    matrices, so the prefix-plane construction and per-trial assembly are
+    identical.
+    """
+    trials = len(adversary_names)
+    nodes_per_trial = node_count
+    row_starts = np.concatenate(
+        ([0], np.cumsum(nodes_per_trial))
+    ).astype(np.int64)
+    order = np.concatenate(
+        [
+            t * capacity + np.arange(nodes_per_trial[t], dtype=np.int64)
+            for t in range(trials)
+        ]
+    ) if int(nodes_per_trial.sum()) else np.zeros(0, dtype=np.int64)
+
+    cum_arrivals = np.cumsum(arrivals_m, axis=1)
+    stacked = np.stack((success_m, jam_m))
+    stacked[:, :, 0] = False
+    # int64 planes so each trial's counters are zero-copy views into the
+    # shared study matrices, exactly as the batched kernel emits them.
+    prefix = np.empty((3, trials, horizon + 1), dtype=np.int64)
+    np.cumsum(stacked, axis=2, out=prefix[:2])
+    successes_before = np.zeros_like(cum_arrivals)
+    successes_before[:, 1:] = prefix[0, :, :-1]
+    active_full = (cum_arrivals - successes_before) > 0
+    active_full[:, 0] = False
+    np.cumsum(active_full, axis=1, out=prefix[2])
+    silence = (~jam_m) & (counts_m == 0)
+    silence[:, 0] = False
+    silence_prefix = np.cumsum(silence, axis=1)
+    silence_at = silence_prefix[np.arange(trials), simulated]
+
+    success_ordered = success_col[order]
+    sim_per_row = np.repeat(simulated, nodes_per_trial)
+    finished = (success_ordered >= 1) & (success_ordered <= sim_per_row)
+
+    return emit_study_results(
+        adversary_names,
+        nodes_per_trial,
+        row_starts,
+        arrival_col[order].tolist(),
+        success_ordered.tolist(),
+        finished.tolist(),
+        broadcasts_col[order].tolist(),
+        simulated,
+        cum_arrivals,
+        prefix,
+        silence_at,
+        protocol_name,
+        backend_name,
+    )

@@ -41,6 +41,7 @@ from ..results import PrefixCounters, SimulationResult
 
 __all__ = [
     "SeedPlan",
+    "StudyProbe",
     "compile_adversary_schedules",
     "emit_study_results",
     "iter_blocks",
@@ -53,6 +54,91 @@ __all__ = [
 #: single trial above the cap makes the study ineligible (the per-trial path
 #: has its own replay fallback).
 MAX_BLOCK_ELEMENTS = 1 << 24
+
+
+class StudyProbe:
+    """Memoized eligibility probe shared by every rung of the study ladder.
+
+    Each study kernel's ``unsupported_reason`` needs a throwaway protocol
+    instance (and its lockstep program / compiled tables) plus a throwaway
+    adversary instance to answer eligibility questions.  Constructing those
+    per rung repeats the same factory calls three times per dispatch; the
+    runner builds one probe per ``run_trials`` dispatch instead and passes
+    it down.  Probe instances are never handed a generator and never run,
+    so sharing them across rungs cannot perturb any stream.
+    """
+
+    def __init__(self, protocol_factory, adversary_factory) -> None:
+        self._protocol_factory = protocol_factory
+        self._adversary_factory = adversary_factory
+        self._protocol = None
+        self._program = None
+        self._program_known = False
+        self._program_taken = False
+        self._adversary = None
+        self._peak: Dict[int, Optional[int]] = {}
+
+    @property
+    def protocol(self):
+        """A memoized probe protocol instance (never given a generator)."""
+        if self._protocol is None:
+            self._protocol = self._protocol_factory()
+        return self._protocol
+
+    @property
+    def program(self):
+        """The probe protocol's lockstep program (memoized; may be ``None``)."""
+        if not self._program_known:
+            self._program = self.protocol.lockstep_program()
+            self._program_known = True
+        return self._program
+
+    def take_program(self):
+        """A never-bound lockstep program for an execution block.
+
+        The first call hands out the probe's own (still unbound) program so
+        single-block studies construct exactly one; later calls build fresh
+        programs, as each block needs its own bound state.
+        """
+        program = self.program
+        if program is not None and not self._program_taken:
+            self._program_taken = True
+            return program
+        return self._protocol_factory().lockstep_program()
+
+    @property
+    def adversary(self):
+        """A memoized probe adversary instance (type/flag checks only)."""
+        if self._adversary is None:
+            self._adversary = self._adversary_factory()
+        return self._adversary
+
+    def peak_arrivals(self, horizon: int) -> Optional[int]:
+        """Peak single-slot arrival count of a throwaway adversary instance.
+
+        Probes with a fixed-seed generator — only the schedule's *shape*
+        matters, and the probe never touches any run's seed streams.  Only
+        composed adversaries with non-adaptive arrivals are probed: their
+        arrival strategies precompile in vectorized form, whereas a bespoke
+        adversary may fall back to the per-slot Python loop — more expensive
+        than the decision the probe informs.  Jamming is never probed (it
+        cannot change the population, and precompiling it would burn a
+        horizon of throwaway randomness per study).
+        """
+        if horizon in self._peak:
+            return self._peak[horizon]
+        peak: Optional[int] = None
+        probe = self._adversary_factory()
+        if type(probe) is ComposedAdversary and not probe.arrivals.adaptive:
+            try:
+                probe.setup(np.random.default_rng(0), horizon)
+                arrivals = probe.arrivals.precompile(horizon)
+            except Exception:
+                arrivals = None
+            if arrivals is not None:
+                peak = int(arrivals.max(initial=0))
+        self._peak[horizon] = peak
+        return peak
 
 
 def iter_blocks(nodes_per_trial: np.ndarray, horizon: int):

@@ -4,7 +4,10 @@ Trials are independent by construction (each gets its own root seed from
 :func:`repro.rng.trial_seeds`), which makes them embarrassingly parallel: pass
 ``workers=N`` to fan trials out over ``N`` forked worker processes.  Seeds are
 derived identically in the serial and parallel paths, so a parallel study is
-seed-for-seed identical to a serial one — only wall-clock changes.
+seed-for-seed identical to a serial one — only wall-clock changes.  Each
+worker returns its shard's bulk prefix/node columns through one
+``multiprocessing.shared_memory`` block (:mod:`repro.sim.shm`); only O(1)
+metadata per trial crosses the pickle pipe.
 
 Backends
 --------
@@ -14,16 +17,21 @@ Backends
 * ``"batched-study"`` — the whole study (or each worker's shard of it) is
   executed by :class:`~repro.sim.backends.BatchedStudyKernel` in one numpy
   pass; requires a vector-eligible protocol and a precompilable adversary.
+* ``"lockstep-jit"`` — the lockstep semantics lowered into one fused slot
+  loop (:class:`~repro.sim.backends.CompiledStudyKernel`), numba-compiled
+  when numba is installed; demotes automatically (and silently) to the
+  numpy lockstep kernel when it cannot run, with identical results.
 * ``"lockstep"`` — the study is executed by
   :class:`~repro.sim.backends.LockstepStudyKernel`, which advances all
   trials one slot at a time with array operations; serves feedback-driven
   protocols with a columnar :class:`~repro.protocols.base.LockstepProgram`
   (the paper's CJZ algorithm, windowed/sawtooth backoff) against any
   adversary, adaptive ones included.
-* ``"auto"`` (default) — batched-study when the study is eligible, else
-  lockstep when the protocol has a columnar program *and* the study carries
-  enough concurrent population to amortize the kernel's fixed per-slot cost
-  (≥ 8 trials, or trials × peak single-slot arrivals ≥ 24 — see
+* ``"auto"`` (default) — batched-study when the study is eligible, else the
+  compiled lockstep tier (falling through to numpy lockstep internally)
+  when the protocol has a columnar program *and* the study carries enough
+  concurrent population to amortize the kernel's fixed per-slot cost (≥ 8
+  trials, or trials × peak single-slot arrivals ≥ 24 — see
   :meth:`LockstepStudyKernel.auto_preferred`), else per trial the
   vectorized kernel when eligible, else the reference kernel.
 * ``"vectorized"`` / ``"reference"`` — per-trial kernels, forwarded to every
@@ -61,15 +69,19 @@ from ..protocols.base import ProtocolFactory
 from ..rng import SeedLike, SeedTree, TrialSeedBatch
 from .backends import (
     AUTO_BACKEND,
+    COMPILED_BACKEND,
     LOCKSTEP_BACKEND,
     STUDY_BACKEND,
     STUDY_BACKENDS,
     BatchedStudyKernel,
+    CompiledStudyKernel,
     LockstepStudyKernel,
     available_study_backends,
 )
+from .backends.studysupport import StudyProbe
 from .engine import Simulator, SimulatorConfig
 from .results import SimulationResult
+from .shm import export_study, import_study
 
 __all__ = ["TrialRunner", "TrialStudy", "run_trials"]
 
@@ -283,7 +295,10 @@ def _run_trial_chunk(index: int):
         runner._pipeline.fresh() if runner._pipeline is not None else None
     )
     results = runner._run_chunk(chunks[index], shard_pipeline)
-    return results, shard_pipeline
+    # Bulk columns travel through a shared-memory block (pickle only carries
+    # O(1) metadata per trial); ineligible shards fall back to plain pickle
+    # inside export_study.
+    return export_study(results), shard_pipeline
 
 
 class TrialRunner:
@@ -439,20 +454,25 @@ class TrialRunner:
         protocol_name = (
             getattr(self._protocol_factory, "protocol_name", None) or "protocol"
         )
+        # One probe per dispatch: every rung's eligibility questions reuse
+        # the same memoized protocol/program/adversary instances instead of
+        # re-invoking the factories per kernel.
+        probe = StudyProbe(self._protocol_factory, self._adversary_factory)
         for kernel, explicit in (
             (BatchedStudyKernel(), STUDY_BACKEND),
+            (CompiledStudyKernel(), COMPILED_BACKEND),
             (LockstepStudyKernel(), LOCKSTEP_BACKEND),
         ):
             if self._backend not in (AUTO_BACKEND, explicit):
                 continue
             if (
                 self._backend == AUTO_BACKEND
-                and explicit == LOCKSTEP_BACKEND
+                and explicit in (COMPILED_BACKEND, LOCKSTEP_BACKEND)
                 and not kernel.auto_preferred(
-                    self._adversary_factory, self._config, len(seeds)
+                    self._adversary_factory, self._config, len(seeds), probe
                 )
             ):
-                # Too little concurrent population for the lockstep tier to
+                # Too little concurrent population for the lockstep tiers to
                 # pay off; stay on the per-trial ladder.
                 continue
             reason = kernel.unsupported_reason(
@@ -460,6 +480,7 @@ class TrialRunner:
                 self._adversary_factory,
                 self._config,
                 self._collectors,
+                probe,
             )
             if reason is None:
                 results = kernel.run_study(
@@ -468,6 +489,7 @@ class TrialRunner:
                     self._config,
                     seeds,
                     protocol_name=protocol_name,
+                    probe=probe,
                 )
                 if results is not None:
                     return [
@@ -501,7 +523,9 @@ class TrialRunner:
             initargs=(self, chunks),
         ) as pool:
             shards = pool.map(_run_trial_chunk, range(len(chunks)))
-        results = [result for shard, _ in shards for result in shard]
+        results = [
+            result for payload, _ in shards for result in import_study(payload)
+        ]
         pipelines = [shard_pipeline for _, shard_pipeline in shards]
         return results, [p for p in pipelines if p is not None]
 

@@ -1,0 +1,203 @@
+"""Shared-memory transport for parallel study results.
+
+``workers=N`` forks the trial runner; historically every worker's results
+travelled back through the pool's pickle pipe — O(trials × horizon) int64
+prefix columns serialized byte by byte.  This module moves the bulk numeric
+payload through one ``multiprocessing.shared_memory`` block per worker
+instead: the worker lays every result's four prefix columns and per-node
+outcome arrays into the block, and the parent re-wraps them as zero-copy
+numpy views.  Only O(1) metadata per trial (summaries, names, provenance)
+still crosses the pickle boundary.
+
+Results that carry non-columnar payloads (released counters in streaming
+mode, retained event traces) fall back to the plain pickle path unchanged —
+correctness never depends on the transport.
+
+Lifecycle: the worker copies into the block, closes its mapping and
+unregisters the segment from its ``resource_tracker`` (the parent owns
+cleanup).  The parent attaches, **unlinks immediately** — the segment then
+lives exactly as long as the parent's mappings — and pins the mapping on
+each rehydrated result (``_shm_block``) so views stay valid for the study's
+lifetime.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from ..types import NodeStats
+from .results import PrefixCounters, SimulationResult
+
+try:  # pragma: no cover - stdlib, but keep the transport optional
+    from multiprocessing import resource_tracker
+except Exception:  # pragma: no cover
+    resource_tracker = None
+
+__all__ = ["export_study", "import_study"]
+
+#: Prefix columns per result, in PrefixCounters order.
+_PREFIX_FIELDS = ("active", "arrivals", "jammed", "successes")
+#: Per-node int64 arrays per result: node id, arrival slot, success slot
+#: (-1 encodes "unfinished"), broadcast count.
+_NODE_FIELDS = 4
+
+
+class _PinnedBlock(shared_memory.SharedMemory):
+    """An attached segment whose mapping outlives interpreter teardown.
+
+    The parent hands out zero-copy numpy views into the mapping, so
+    ``close()`` would raise ``BufferError`` for as long as any view is
+    alive.  The segment is already unlinked; letting the OS reclaim the
+    mapping at process exit is the intended lifecycle.
+    """
+
+    def close(self) -> None:  # pragma: no cover - exercised at GC/shutdown
+        try:
+            super().close()
+        except BufferError:
+            pass
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach the segment from this process's resource tracker.
+
+    The tracker would otherwise unlink the segment when its owning process
+    exits; ownership is transferred explicitly (worker → parent), so
+    tracking is disabled on both sides.
+    """
+    if resource_tracker is None:
+        return
+    try:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker variations across versions
+        pass
+
+
+def export_study(results: List[SimulationResult]):
+    """Pack a worker shard for the trip back to the parent.
+
+    Returns ``("shm", name, headers)`` with the numeric payload staged in a
+    shared-memory block, or ``("pickle", results)`` when any result cannot
+    be laid out columnar (streamed-away counters, retained traces) — the
+    caller sends the returned tuple through the pool either way.
+    """
+    if not results or any(
+        result.counters is None or result.trace is not None
+        for result in results
+    ):
+        return ("pickle", results)
+
+    headers: List[Dict[str, Any]] = []
+    total_words = 0
+    for result in results:
+        prefix_len = len(result.counters)
+        node_count = len(result.node_stats)
+        headers.append(
+            {
+                "summary": result.summary,
+                "protocol_name": result.protocol_name,
+                "adversary_name": result.adversary_name,
+                "horizon": result.horizon,
+                "seed": result.seed,
+                "extra": result.extra,
+                "backend": result.backend,
+                "wall_time_seconds": result.wall_time_seconds,
+                "prefix_len": prefix_len,
+                "node_count": node_count,
+            }
+        )
+        total_words += len(_PREFIX_FIELDS) * prefix_len
+        total_words += _NODE_FIELDS * node_count
+
+    shm = shared_memory.SharedMemory(
+        create=True, size=max(8, total_words * 8)
+    )
+    try:
+        block = np.frombuffer(shm.buf, dtype=np.int64)
+        cursor = 0
+        for result in results:
+            counters = result.counters
+            for name in _PREFIX_FIELDS:
+                column = getattr(counters, name)
+                block[cursor : cursor + column.shape[0]] = column
+                cursor += column.shape[0]
+            stats = list(result.node_stats.values())
+            count = len(stats)
+            for offset, value in enumerate(
+                (
+                    [s.node_id for s in stats],
+                    [s.arrival_slot for s in stats],
+                    [
+                        -1 if s.success_slot is None else s.success_slot
+                        for s in stats
+                    ],
+                    [s.broadcast_count for s in stats],
+                )
+            ):
+                block[cursor + offset * count : cursor + (offset + 1) * count] = value
+            cursor += _NODE_FIELDS * count
+        name = shm.name
+        del block
+    finally:
+        _untrack(shm)
+        shm.close()
+    return ("shm", name, headers)
+
+
+def import_study(payload) -> List[SimulationResult]:
+    """Rehydrate a worker shard in the parent (zero-copy for shm payloads)."""
+    kind = payload[0]
+    if kind == "pickle":
+        return payload[1]
+    _, name, headers = payload
+    shm = _PinnedBlock(name=name)
+    # Unlink now (which also unregisters the parent's tracker entry): the
+    # segment survives exactly as long as mappings exist, so a crash after
+    # this point cannot leak it.
+    shm.unlink()
+    block = np.frombuffer(shm.buf, dtype=np.int64)
+    cursor = 0
+    results: List[SimulationResult] = []
+    for header in headers:
+        prefix_len = header["prefix_len"]
+        columns = {}
+        for field in _PREFIX_FIELDS:
+            columns[field] = block[cursor : cursor + prefix_len]
+            cursor += prefix_len
+        count = header["node_count"]
+        per_node: Tuple[np.ndarray, ...] = tuple(
+            block[cursor + offset * count : cursor + (offset + 1) * count]
+            for offset in range(_NODE_FIELDS)
+        )
+        cursor += _NODE_FIELDS * count
+        ids, arrivals, successes, broadcasts = (
+            column.tolist() for column in per_node
+        )
+        node_stats = {
+            node_id: NodeStats(
+                node_id=node_id,
+                arrival_slot=arrivals[i],
+                success_slot=None if successes[i] < 0 else successes[i],
+                broadcast_count=broadcasts[i],
+            )
+            for i, node_id in enumerate(ids)
+        }
+        result = SimulationResult(
+            summary=header["summary"],
+            node_stats=node_stats,
+            counters=PrefixCounters(**columns),
+            protocol_name=header["protocol_name"],
+            adversary_name=header["adversary_name"],
+            horizon=header["horizon"],
+            seed=header["seed"],
+            extra=header["extra"],
+            backend=header["backend"],
+            wall_time_seconds=header["wall_time_seconds"],
+        )
+        # Pin the mapping: the counters are views into it.
+        result._shm_block = shm
+        results.append(result)
+    return results

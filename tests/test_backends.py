@@ -53,11 +53,12 @@ class TestBackendSelection:
             "auto",
             "batched-study",
             "lockstep",
+            "lockstep-jit",
             "reference",
             "vectorized",
         )
 
-    @pytest.mark.parametrize("backend", ["batched-study", "lockstep"])
+    @pytest.mark.parametrize("backend", ["batched-study", "lockstep", "lockstep-jit"])
     def test_simulator_rejects_study_backend(self, backend):
         with pytest.raises(ConfigurationError, match="whole trial studies"):
             make_simulator(
