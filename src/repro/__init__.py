@@ -30,9 +30,11 @@ from __future__ import annotations
 
 from typing import Optional
 
+from . import faults
 from .channel import MultipleAccessChannel, NoCollisionDetection, WithCollisionDetection
 from .core import AlgorithmParameters, ChenJiangZhengProtocol, cjz_factory
-from .errors import ConfigurationError, ReproError
+from .errors import ConfigurationError, FaultInjected, ReproError, WorkerError
+from .faults import FaultPlan, FaultRule
 from .functions import (
     GFamily,
     RateFunction,
@@ -49,7 +51,15 @@ from .metrics import (
     summarize_energy,
     summarize_latencies,
 )
-from .sim import PrefixCounters, SimulationResult, Simulator, SimulatorConfig, run_trials
+from .sim import (
+    PrefixCounters,
+    RunHealth,
+    SimulationResult,
+    Simulator,
+    SimulatorConfig,
+    SupervisorPolicy,
+    run_trials,
+)
 from .spec import (
     AdversarySpec,
     PipelineSpec,
@@ -65,6 +75,13 @@ __all__ = [
     "__version__",
     "ReproError",
     "ConfigurationError",
+    "FaultInjected",
+    "WorkerError",
+    "FaultPlan",
+    "FaultRule",
+    "faults",
+    "RunHealth",
+    "SupervisorPolicy",
     "AdversarySpec",
     "ProtocolSpec",
     "StudySpec",

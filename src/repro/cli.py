@@ -39,6 +39,7 @@ import argparse
 import csv
 import io
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
@@ -99,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="simulation slot kernel (auto picks vectorized when eligible)",
     )
+    simulate_parser.add_argument(
+        "--explain-backend",
+        action="store_true",
+        help="also print the backend ladder: which kernel was selected, "
+        "which rungs were skipped or ineligible and why",
+    )
     simulate_parser.set_defaults(func=_cmd_simulate)
 
     scenarios_parser = subparsers.add_parser(
@@ -152,6 +159,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--format", choices=["table", "json", "csv"], default="table"
+    )
+    sweep_parser.add_argument(
+        "--on-error",
+        choices=["raise", "skip", "retry"],
+        default="raise",
+        help="per-point failure policy: raise immediately (default), record "
+        "the failure and continue, or retry the point first",
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="extra attempts per point under --on-error retry (default: 1)",
+    )
+    sweep_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="append per-point outcomes to this JSONL journal "
+        "(default with --resume: <store>/sweep-journal.jsonl)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip points the journal marks done (served from the store) "
+        "and re-attempt failed ones",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -297,7 +330,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         f"({result.slots_per_second:,.0f} slots/s, "
         f"{result.wall_time_seconds * 1000:.1f} ms)"
     )
+    if args.explain_backend:
+        print()
+        print(_explain_backend_text(args, horizon))
     return 0
+
+
+def _explain_backend_text(args: argparse.Namespace, horizon: Optional[int]) -> str:
+    """The study-ladder explanation for the simulate command's workload."""
+    from . import cjz_factory
+    from .sim import SimulatorConfig
+    from .sim.backends.compiled import interpreter_mode
+    from .sim.runner import TrialRunner
+    from .spec import AdversarySpec
+
+    if args.scenario is not None:
+        from .workloads import get_scenario
+
+        named = get_scenario(args.scenario)
+        adversary_spec = named.adversary_spec()
+        horizon = horizon or named.spec.horizon
+    else:
+        adversary_spec = AdversarySpec.batch(
+            args.arrivals, jam_fraction=args.jam
+        )
+    horizon = horizon or 4096
+    runner = TrialRunner(
+        cjz_factory(),
+        adversary_spec.factory(horizon),
+        SimulatorConfig(horizon=horizon),
+        backend=args.backend,
+    )
+    lines = ["backend ladder (single trial):"]
+    for row in runner.explain_backend(1):
+        lines.append(
+            f"  {row['backend']:<24} {row['status']:<10} {row['reason']}"
+        )
+    lines.append(
+        "environment: "
+        f"REPRO_DISABLE_NUMBA={os.environ.get('REPRO_DISABLE_NUMBA', '')!r} "
+        f"REPRO_COMPILED_FORCE_PYTHON="
+        f"{os.environ.get('REPRO_COMPILED_FORCE_PYTHON', '')!r} "
+        f"(compiled interpreter mode: {interpreter_mode()})"
+    )
+    return "\n".join(lines)
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -392,19 +468,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = Sweep(base, _parse_axes(args.axis))
     plan = StudyPlan.from_sweep(sweep)
     store = None if args.no_store else StudyStore(args.store)
-    results = plan.run(store=store)
+    journal = args.journal
+    if journal is None and args.resume:
+        if store is None:
+            raise SpecError("--resume needs --journal or an enabled store")
+        journal = store.root / "sweep-journal.jsonl"
+    results = plan.run(
+        store=store,
+        on_error=args.on_error,
+        retries=args.retries,
+        journal=journal,
+        resume=args.resume,
+    )
     rows = sweep_rows(results)
     print(_render_sweep_rows(rows, args.format))
     if args.format == "table":
         cached = sum(1 for r in results if r.cached)
+        failed = sum(1 for r in results if r.failed)
         dispatch = sum(r.dispatch_seconds for r in results)
         run_time = sum(r.run_seconds for r in results)
         where = "disabled" if store is None else str(store.root)
         print(
-            f"{len(results)} points ({cached} cached), "
-            f"simulation {run_time:.2f}s + dispatch {dispatch * 1000:.0f}ms; "
-            f"store: {where}"
+            f"{len(results)} points ({cached} cached"
+            + (f", {failed} failed" if failed else "")
+            + f"), simulation {run_time:.2f}s + dispatch "
+            f"{dispatch * 1000:.0f}ms; store: {where}"
         )
+        unhealthy = [
+            r
+            for r in results
+            if r.study is not None
+            and getattr(r.study, "health", None) is not None
+            and not r.study.health.clean
+        ]
+        for r in unhealthy:
+            print(f"health [{r.spec.display_label}]: {r.study.health.describe()}")
+        if journal is not None:
+            print(f"journal: {journal}")
     return 0
 
 

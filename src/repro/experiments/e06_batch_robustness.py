@@ -68,7 +68,17 @@ class BatchRobustnessExperiment(Experiment):
         sizes = [base_n, base_n * 2, base_n * 4, base_n * 8]
         table = Table(
             title=f"Deliveries within {WINDOW_MULTIPLIER}·n slots, 25% jamming",
-            columns=["jammer", "n", "window", "delivered", "delivered fraction"],
+            columns=[
+                "jammer",
+                "n",
+                "window",
+                "delivered",
+                "delivered fraction",
+                "retries",
+                "failures",
+                "demotions",
+                "health",
+            ],
         )
         fractions_random: List[float] = []
         for jammer in ("none", "random", "reactive"):
@@ -87,7 +97,18 @@ class BatchRobustnessExperiment(Experiment):
                 fraction = delivered / n
                 if jammer == "random":
                     fractions_random.append(fraction)
-                table.add_row(jammer, n, window, delivered, fraction)
+                health = study.health
+                table.add_row(
+                    jammer,
+                    n,
+                    window,
+                    delivered,
+                    fraction,
+                    health.retries,
+                    health.shard_failures,
+                    len(health.demotions),
+                    "clean" if health.clean else health.describe(),
+                )
         result.tables.append(table)
 
         min_fraction = min(fractions_random)

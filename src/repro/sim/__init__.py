@@ -10,9 +10,10 @@ from .backends import (
     available_study_backends,
 )
 from .engine import Simulator, SimulatorConfig
+from .health import HealthEvent, RunHealth
 from .node import Node
 from .results import PrefixColumn, PrefixCounters, SimulationResult
-from .runner import TrialRunner, TrialStudy, run_trials
+from .runner import SupervisorPolicy, TrialRunner, TrialStudy, run_trials
 
 __all__ = [
     "Simulator",
@@ -21,6 +22,9 @@ __all__ = [
     "PrefixColumn",
     "PrefixCounters",
     "SimulationResult",
+    "HealthEvent",
+    "RunHealth",
+    "SupervisorPolicy",
     "TrialRunner",
     "TrialStudy",
     "run_trials",

@@ -44,6 +44,7 @@ from ...adversary.columnar import (
 from ...errors import ConfigurationError
 from ...protocols.base import LOCKSTEP_SENTINEL
 from ...rng import lockstep_streams_ok, pcg64_bulk_init
+from ..health import note_demotion
 from ..results import SimulationResult
 from .lockstep import (
     _BLOCK_TRIAL_SLOTS,
@@ -309,23 +310,44 @@ class CompiledStudyKernel:
 def _run_compiled(
     adversary_factory, config, trial_trees, protocol_name, probe
 ) -> Optional[List[SimulationResult]]:
-    """The compiled path proper; ``None`` means demote to numpy lockstep."""
+    """The compiled path proper; ``None`` means demote to numpy lockstep.
+
+    Every bail-out used to be silent; each now records a ``demotion``
+    health event with the concrete reason before returning ``None``.
+    """
     mode = interpreter_mode()
     if mode == "off":
+        _demote(
+            "compiled interpreter is off (REPRO_DISABLE_NUMBA set or numba "
+            "not importable)"
+        )
         return None
     program = probe.program
     if program is None or config.keep_trace or config.horizon >= 2**31:
+        _demote(
+            "no columnar program"
+            if program is None
+            else "keep_trace retains per-slot events"
+            if config.keep_trace
+            else "horizon exceeds the interpreter's int32 slot budget"
+        )
         return None
     tables = program.compiled_tables(config.horizon)
     if tables is None:
+        _demote("protocol program cannot lower to compiled tables")
         return None
     if not lockstep_streams_ok() or not compiled_streams_ok(mode):
+        _demote(
+            f"RNG stream self-test failed for the {mode!r} interpreter mode"
+        )
         return None
     kernels = _kernels_for(mode)
     if kernels is None:
+        _demote(f"no interpreter module for mode {mode!r}")
         return None
     plan = SeedPlan.build(trial_trees)
     if not plan.fast:
+        _demote("trial seeds not derivable on the bulk fast path")
         return None
 
     block_trials = max(1, _BLOCK_TRIAL_SLOTS // (config.horizon + 1))
@@ -343,6 +365,11 @@ def _run_compiled(
             return None
         results.extend(block)
     return results
+
+
+def _demote(reason: str) -> None:
+    """Record the compiled tier handing this study to the numpy kernel."""
+    note_demotion(CompiledStudyKernel.name, LockstepStudyKernel.name, reason)
 
 
 def _lower_driver(
@@ -419,15 +446,24 @@ def _run_block(
     trials = plan.trials
     driver = build_lockstep_driver(adversary_factory, config, plan)
     if driver is None:
+        _demote("no columnar lockstep driver for this adversary")
         return None
     lowered = _lower_driver(driver, config, horizon, trials)
     if lowered is None:
+        _demote(
+            "adversary driver is outside the three lowerable columnar "
+            "families"
+        )
         return None
     adv_mode, arr_sched, jam_sched, adv_i, adv_f, capacity = lowered
 
     rows = trials * capacity
     plan_width = max(1, tables.plan_width)
     if rows * plan_width > MAX_BLOCK_ELEMENTS:
+        _demote(
+            f"block of {rows}×{plan_width} elements exceeds the "
+            "interpreter's memory budget"
+        )
         return None
 
     # Seed every (trial, node) stream up front: one bulk hash for the whole
@@ -436,6 +472,7 @@ def _run_block(
     trial_ids = np.repeat(np.arange(trials, dtype=np.int64), capacity)
     states = plan.node_states_pairs(trial_ids, node_ids)
     if states is None:
+        _demote("node RNG states not bulk-derivable for these seed trees")
         return None
     shi, slo, ihi, ilo = (
         np.ascontiguousarray(limb) for limb in pcg64_bulk_init(states)
@@ -500,12 +537,21 @@ def _run_block(
         else:
             with np.errstate(over="ignore"):
                 status = invoke()
-    except Exception:
+    except Exception as exc:
+        _demote(f"interpreter raised {type(exc).__name__}: {exc}")
         return None
     if int(status) != 0:
         # Status 1: max_nodes exceeded mid-run (adaptive arrivals) — the
         # numpy rerun raises the identical ConfigurationError.  Status 2:
         # defensive capacity overflow — the numpy kernel grows instead.
+        _demote(
+            "interpreter bailed mid-run "
+            + (
+                "(max_nodes exceeded; the numpy rerun raises the same error)"
+                if int(status) == 1
+                else "(capacity overflow; the numpy kernel grows instead)"
+            )
+        )
         return None
 
     return emit_lockstep_results(

@@ -9,6 +9,19 @@ worker returns its shard's bulk prefix/node columns through one
 ``multiprocessing.shared_memory`` block (:mod:`repro.sim.shm`); only O(1)
 metadata per trial crosses the pickle pipe.
 
+Worker shards run under a *supervisor* (:class:`SupervisorPolicy`): each
+shard is dispatched asynchronously to its own forked process, crashes are
+detected (instead of surfacing as an opaque ``RemoteError`` or a hang),
+hung shards are terminated after a configurable timeout, and failed shards
+are retried with capped exponential backoff.  Because every shard is a
+deterministic contiguous trial range, a retried shard reproduces exactly
+the results the crashed attempt would have produced — faults never change
+results, only wall-clock.  When a shard exhausts its retries the pool
+degrades gracefully: the shard runs in-process serially (or, with
+``degrade=False``, raises a typed :class:`~repro.errors.WorkerError`
+carrying the shard index and trial range).  Every recovery action is
+recorded on the study's :class:`~repro.sim.health.RunHealth`.
+
 Backends
 --------
 
@@ -57,14 +70,19 @@ O(1) per-trial summary surface.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 import warnings
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass, field, replace
+from multiprocessing import connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .. import faults
 from ..adversary.base import Adversary
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, WorkerError
 from ..protocols.base import ProtocolFactory
 from ..rng import SeedLike, SeedTree, TrialSeedBatch
 from .backends import (
@@ -80,10 +98,16 @@ from .backends import (
 )
 from .backends.studysupport import StudyProbe
 from .engine import Simulator, SimulatorConfig
+from .health import RunHealth, collecting, note, note_demotion
 from .results import SimulationResult
-from .shm import export_study, import_study
+from .shm import discard_payload, export_study, import_study
 
-__all__ = ["TrialRunner", "TrialStudy", "run_trials"]
+__all__ = [
+    "SupervisorPolicy",
+    "TrialRunner",
+    "TrialStudy",
+    "run_trials",
+]
 
 AdversaryFactory = Callable[[], Adversary]
 
@@ -132,7 +156,10 @@ class TrialStudy:
     a platform without ``fork``), so reports never claim parallelism that did
     not happen.  ``from_cache`` marks studies loaded from a
     :class:`~repro.spec.StudyStore` rather than simulated; their ``results``
-    are summary-level :class:`~repro.spec.CachedResult` objects.
+    are summary-level :class:`~repro.spec.CachedResult` objects.  ``health``
+    is the structured :class:`~repro.sim.health.RunHealth` record of the
+    run: shard retries/failures, backend demotion events with reasons,
+    transport fallbacks and pool degradation (empty = clean run).
     """
 
     results: List[SimulationResult] = field(default_factory=list)
@@ -140,6 +167,7 @@ class TrialStudy:
     effective_workers: int = 1
     from_cache: bool = False
     pipeline: Optional[Any] = None
+    health: RunHealth = field(default_factory=RunHealth, compare=False)
     _metric_cache: Dict[MetricExtractor, Tuple[int, np.ndarray]] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -230,6 +258,7 @@ class TrialStudy:
             "mean_unfinished": self.mean(_extract_unfinished),
             "mean_wall_time_s": self.mean(_extract_wall_time),
             "mean_slots_per_s": self.mean(_extract_slots_per_second),
+            **self.health.summary_fields(),
         }
 
 
@@ -272,33 +301,117 @@ def _coerce_pipeline(pipeline):
     )
 
 
-# Per-worker state, set by the pool initializer.  With the "fork" start
-# method initargs reach the child by memory copy, so unpicklable
-# protocol/adversary factories (closures) never cross a pickle boundary —
-# only the chunk index travels through the task queue.  Binding the
-# state per pool (rather than in the parent before forking) keeps concurrent
-# TrialRunner.run calls from seeing each other's trials.
-_PARALLEL_STATE: Optional[Tuple["TrialRunner", List[List[SeedTree]]]] = None
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """How the parallel pool supervises its worker shards.
+
+    ``timeout`` is the per-shard wall-clock budget in seconds (``None`` =
+    wait forever, the historical behavior); a shard that exceeds it is
+    terminated and treated as hung.  Failed shards (crash, hang, exception,
+    result-import failure) are retried up to ``retries`` times with capped
+    exponential backoff (``backoff_base * 2**(attempt-1)``, at most
+    ``backoff_cap`` seconds).  After a hang the pool also *degrades*: its
+    concurrency cap drops by one, so a machine that cannot sustain N workers
+    converges toward serial execution.  When the retry budget is exhausted,
+    ``degrade=True`` runs the shard in-process serially (results are still
+    produced, identical seed for seed); ``degrade=False`` raises a typed
+    :class:`~repro.errors.WorkerError` instead.
+
+    ``REPRO_SHARD_TIMEOUT`` and ``REPRO_SHARD_RETRIES`` override the
+    defaults process-wide (read once per :class:`TrialRunner`).
+    """
+
+    timeout: Optional[float] = None
+    retries: int = 2
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    degrade: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout is not None and self.timeout <= 0:
+            raise ConfigurationError("supervisor timeout must be positive")
+        if self.retries < 0:
+            raise ConfigurationError("supervisor retries must be >= 0")
+
+    @classmethod
+    def from_env(cls) -> "SupervisorPolicy":
+        timeout = os.environ.get("REPRO_SHARD_TIMEOUT")
+        retries = os.environ.get("REPRO_SHARD_RETRIES")
+        return cls(
+            timeout=float(timeout) if timeout else None,
+            retries=int(retries) if retries else 2,
+        )
+
+    def backoff(self, attempt: int) -> float:
+        """Pre-retry delay before the given (1-based) re-attempt."""
+        return min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
 
 
-def _init_trial_worker(runner: "TrialRunner", chunks: List[List[SeedTree]]) -> None:
-    global _PARALLEL_STATE
-    _PARALLEL_STATE = (runner, chunks)
+#: Exit code of a worker killed by an injected ``worker-crash`` fault.
+_FAULT_EXIT_CODE = 23
+#: How long an injected ``worker-hang`` sleeps (far past any sane timeout).
+_HANG_SLEEP_SECONDS = 3600.0
 
 
-def _run_trial_chunk(index: int):
-    assert _PARALLEL_STATE is not None, "worker started without parallel state"
-    runner, chunks = _PARALLEL_STATE
-    # Each shard reduces into its own fresh pipeline clone; the parent merges
-    # the returned partials in shard (= trial) order.
-    shard_pipeline = (
-        runner._pipeline.fresh() if runner._pipeline is not None else None
-    )
-    results = runner._run_chunk(chunks[index], shard_pipeline)
-    # Bulk columns travel through a shared-memory block (pickle only carries
-    # O(1) metadata per trial); ineligible shards fall back to plain pickle
-    # inside export_study.
-    return export_study(results), shard_pipeline
+@dataclass
+class _ShardTask:
+    """One contiguous trial range awaiting (re-)execution."""
+
+    index: int
+    chunk: List[SeedTree]
+    trial_lo: int
+    trial_hi: int
+    attempt: int = 0
+    force_pickle: bool = False
+
+
+def _shard_entry(
+    runner: "TrialRunner",
+    chunk: List[SeedTree],
+    conn,
+    index: int,
+    attempt: int,
+    force_pickle: bool,
+) -> None:
+    """Worker-process entry point for one shard.
+
+    Runs in a forked child, so the runner (with its possibly unpicklable
+    closures) arrives by memory copy — nothing but the result payload ever
+    crosses a pickle boundary.  Sends ``("ok", payload, pipeline, events)``
+    on success or ``("error", description)`` on a deterministic exception;
+    a crash sends nothing and is detected by the supervisor through the
+    process sentinel.
+    """
+    try:
+        plan = faults.active_plan()
+        if plan.fires(
+            "worker-crash", shard=index, attempt=attempt, trials=len(chunk)
+        ):
+            os._exit(_FAULT_EXIT_CODE)
+        if plan.fires(
+            "worker-hang", shard=index, attempt=attempt, trials=len(chunk)
+        ):
+            time.sleep(_HANG_SLEEP_SECONDS)
+        # Each shard reduces into its own fresh pipeline clone; the parent
+        # merges the returned partials in shard (= trial) order.
+        shard_pipeline = (
+            runner._pipeline.fresh() if runner._pipeline is not None else None
+        )
+        shard_health = RunHealth()
+        with collecting(shard_health):
+            results = runner._run_chunk(chunk, shard_pipeline)
+            # Bulk columns travel through a shared-memory block (pickle only
+            # carries O(1) metadata per trial); ineligible shards — and
+            # retries after a parent-side attach failure — use plain pickle.
+            payload = export_study(results, force_pickle=force_pickle)
+        conn.send(("ok", payload, shard_pipeline, shard_health.events))
+    except BaseException as exc:  # noqa: BLE001 - report, parent decides
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 class TrialRunner:
@@ -338,6 +451,11 @@ class TrialRunner:
         are sharded contiguously across workers (batched within each shard
         when the batched study kernel applies).  Results are returned in
         trial order and are seed-for-seed identical to a serial run.
+    supervisor:
+        The :class:`SupervisorPolicy` governing shard timeouts, retries and
+        degradation under ``workers > 1``.  Defaults to
+        :meth:`SupervisorPolicy.from_env` (which honors
+        ``REPRO_SHARD_TIMEOUT`` / ``REPRO_SHARD_RETRIES``).
     """
 
     def __init__(
@@ -351,6 +469,7 @@ class TrialRunner:
         workers: int = 1,
         pipeline=None,
         streaming: bool = False,
+        supervisor: Optional[SupervisorPolicy] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be >= 1")
@@ -381,6 +500,7 @@ class TrialRunner:
         self._workers = workers
         self._pipeline = _coerce_pipeline(pipeline)
         self._streaming = streaming
+        self._supervisor = supervisor or SupervisorPolicy.from_env()
 
     def run_single(self, seed: SeedLike) -> SimulationResult:
         """Execute one trial with the given root seed."""
@@ -402,27 +522,36 @@ class TrialRunner:
         # Each run reduces into a fresh clone, so studies from consecutive
         # run() calls never share (or overwrite) each other's metrics.
         pipeline = self._pipeline.fresh() if self._pipeline is not None else None
-        study = TrialStudy(label=self._label, pipeline=pipeline)
-        if workers > 1:
-            if "fork" in multiprocessing.get_all_start_methods():
-                results, shard_pipelines = self._run_parallel(
-                    seeds.trees, workers
+        health = RunHealth(requested_workers=self._workers)
+        study = TrialStudy(label=self._label, pipeline=pipeline, health=health)
+        with collecting(health):
+            if workers > 1:
+                if "fork" in multiprocessing.get_all_start_methods():
+                    results, shard_pipelines = self._run_parallel(
+                        seeds.trees, workers, health
+                    )
+                    study.results.extend(results)
+                    if pipeline is not None:
+                        # Shards are contiguous trial ranges; merging their
+                        # partials left to right reproduces the serial
+                        # reduction.
+                        for shard_pipeline in shard_pipelines:
+                            pipeline.merge(shard_pipeline)
+                    study.effective_workers = workers
+                    health.effective_workers = workers
+                    return study
+                health.record(
+                    "fallback",
+                    "pool",
+                    "platform lacks the 'fork' start method; running serially",
                 )
-                study.results.extend(results)
-                if pipeline is not None:
-                    # Shards are contiguous trial ranges; merging their
-                    # partials left to right reproduces the serial reduction.
-                    for shard_pipeline in shard_pipelines:
-                        pipeline.merge(shard_pipeline)
-                study.effective_workers = workers
-                return study
-            warnings.warn(
-                "workers>1 requires the 'fork' start method, which this "
-                "platform lacks; running trials serially",
-                RuntimeWarning,
-                stacklevel=2,
-            )
-        study.results.extend(self._run_chunk(seeds, pipeline))
+                warnings.warn(
+                    "workers>1 requires the 'fork' start method, which this "
+                    "platform lacks; running trials serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            study.results.extend(self._run_chunk(seeds, pipeline))
         return study
 
     # ------------------------------------------------------------- internals
@@ -451,6 +580,7 @@ class TrialRunner:
         mid-eligibility (returns ``None``) never consumes trial seeds, so
         escalating to the next rung stays seed-for-seed identical.
         """
+        faults.active_plan().maybe_raise("kernel", trials=len(seeds))
         protocol_name = (
             getattr(self._protocol_factory, "protocol_name", None) or "protocol"
         )
@@ -498,6 +628,12 @@ class TrialRunner:
                 # The study bailed without consuming any trial seeds
                 # (oversized block, missing probability vector, slow seed
                 # path, ...): escalate down the ladder.
+                note_demotion(
+                    explicit,
+                    "per-trial ladder",
+                    "study kernel bailed at run time (oversized block, "
+                    "slow seed path, or unreplicable streams)",
+                )
             if self._backend == explicit:
                 if reason is None:
                     # An explicitly requested study kernel that bailed
@@ -512,22 +648,378 @@ class TrialRunner:
             for trial_seed in trees
         ]
 
+    def explain_backend(self, trials: int) -> List[Dict[str, str]]:
+        """Dry-run the study backend ladder: per rung, would it run and why.
+
+        Mirrors :meth:`_run_chunk`'s dispatch decisions without consuming
+        seeds or executing anything.  Each row carries ``backend``,
+        ``status`` (``selected`` / ``eligible`` / ``skipped`` /
+        ``ineligible``) and a human ``reason``; exactly one row is
+        ``selected``.  Run-time demotions (a kernel bailing mid-dispatch)
+        are inherently not predictable here — they surface on the executed
+        study's :class:`~repro.sim.health.RunHealth` instead.
+        """
+        from .backends.compiled import interpreter_mode
+
+        probe = StudyProbe(self._protocol_factory, self._adversary_factory)
+        rows: List[Dict[str, str]] = []
+        selected = False
+        for kernel, explicit in (
+            (BatchedStudyKernel(), STUDY_BACKEND),
+            (CompiledStudyKernel(), COMPILED_BACKEND),
+            (LockstepStudyKernel(), LOCKSTEP_BACKEND),
+        ):
+            if self._backend not in (AUTO_BACKEND, explicit):
+                rows.append(
+                    {
+                        "backend": explicit,
+                        "status": "skipped",
+                        "reason": f"backend={self._backend!r} requested",
+                    }
+                )
+                continue
+            if (
+                self._backend == AUTO_BACKEND
+                and explicit in (COMPILED_BACKEND, LOCKSTEP_BACKEND)
+                and not kernel.auto_preferred(
+                    self._adversary_factory, self._config, trials, probe
+                )
+            ):
+                rows.append(
+                    {
+                        "backend": explicit,
+                        "status": "skipped",
+                        "reason": "too little concurrent population for the "
+                        "lockstep tiers to amortize their per-slot cost",
+                    }
+                )
+                continue
+            reason = kernel.unsupported_reason(
+                self._protocol_factory,
+                self._adversary_factory,
+                self._config,
+                self._collectors,
+                probe,
+            )
+            if reason is not None:
+                rows.append(
+                    {
+                        "backend": explicit,
+                        "status": "ineligible",
+                        "reason": reason,
+                    }
+                )
+                continue
+            note = ""
+            if explicit == COMPILED_BACKEND:
+                mode = interpreter_mode()
+                note = (
+                    f" (interpreter mode: {mode}"
+                    + (
+                        "; will demote to the numpy lockstep kernel"
+                        if mode == "off"
+                        else ""
+                    )
+                    + ")"
+                )
+            rows.append(
+                {
+                    "backend": explicit,
+                    "status": "eligible" if selected else "selected",
+                    "reason": (
+                        "shadowed by a higher rung" if selected else "first "
+                        "eligible rung of the study ladder"
+                    )
+                    + note,
+                }
+            )
+            selected = True
+        rows.append(
+            {
+                "backend": f"per-trial ({self._per_trial_backend()})",
+                "status": "eligible" if selected else "selected",
+                "reason": "shadowed by a study kernel"
+                if selected
+                else "no study kernel is eligible; each trial picks its own "
+                "slot kernel",
+            }
+        )
+        return rows
+
     def _run_parallel(
-        self, seeds: List[SeedTree], workers: int
+        self, seeds: List[SeedTree], workers: int, health: RunHealth
     ) -> Tuple[List[SimulationResult], List[Any]]:
+        """Dispatch contiguous shards to supervised worker processes.
+
+        Each shard runs in its own forked process with async result
+        collection, so one worker crashing or hanging can neither take the
+        study down nor block it forever.  Failed shards are retried
+        (identical trial ranges → identical results), hangs shrink the
+        concurrency cap, and exhausted shards degrade to in-process serial
+        execution (or raise :class:`~repro.errors.WorkerError` under
+        ``degrade=False``).  Shard results and pipeline partials are merged
+        in shard index (= trial) order regardless of completion order.
+        """
         chunks = _contiguous_chunks(seeds, workers)
+        policy = self._supervisor
         context = multiprocessing.get_context("fork")
-        with context.Pool(
-            processes=len(chunks),
-            initializer=_init_trial_worker,
-            initargs=(self, chunks),
-        ) as pool:
-            shards = pool.map(_run_trial_chunk, range(len(chunks)))
+        pending = deque()
+        lo = 0
+        for index, chunk in enumerate(chunks):
+            pending.append(
+                _ShardTask(index, chunk, trial_lo=lo, trial_hi=lo + len(chunk))
+            )
+            lo += len(chunk)
+        #: sentinel -> (task, process, parent_conn, deadline)
+        running: Dict[Any, Tuple[_ShardTask, Any, Any, Optional[float]]] = {}
+        shard_results: Dict[int, List[SimulationResult]] = {}
+        shard_pipelines: Dict[int, Any] = {}
+        limit = len(chunks)
+        try:
+            while pending or running:
+                while pending and len(running) < limit:
+                    task = pending.popleft()
+                    if task.attempt > policy.retries:
+                        self._shard_exhausted(
+                            task, policy, health, shard_results, shard_pipelines
+                        )
+                        continue
+                    if task.attempt > 0:
+                        time.sleep(policy.backoff(task.attempt))
+                        health.record(
+                            "retry",
+                            "worker",
+                            f"shard {task.index} (trials "
+                            f"{task.trial_lo}..{task.trial_hi - 1}) "
+                            f"re-dispatched",
+                            shard=task.index,
+                            attempt=task.attempt,
+                        )
+                    parent_conn, child_conn = context.Pipe(duplex=False)
+                    process = context.Process(
+                        target=_shard_entry,
+                        args=(
+                            self,
+                            task.chunk,
+                            child_conn,
+                            task.index,
+                            task.attempt,
+                            task.force_pickle,
+                        ),
+                        daemon=True,
+                    )
+                    process.start()
+                    child_conn.close()
+                    deadline = (
+                        None
+                        if policy.timeout is None
+                        else time.monotonic() + policy.timeout
+                    )
+                    running[process.sentinel] = (
+                        task, process, parent_conn, deadline
+                    )
+                if not running:
+                    continue
+                self._collect_ready(
+                    running, pending, health, shard_results, shard_pipelines
+                )
+                limit = self._apply_degradation(health, limit, len(chunks))
+        except BaseException:
+            for _, process, conn, _ in running.values():
+                _reap(process, conn)
+            raise
         results = [
-            result for payload, _ in shards for result in import_study(payload)
+            result
+            for index in range(len(chunks))
+            for result in shard_results[index]
         ]
-        pipelines = [shard_pipeline for _, shard_pipeline in shards]
-        return results, [p for p in pipelines if p is not None]
+        pipelines = [
+            shard_pipelines[index]
+            for index in range(len(chunks))
+            if shard_pipelines.get(index) is not None
+        ]
+        return results, pipelines
+
+    def _collect_ready(
+        self,
+        running: Dict[Any, Tuple[_ShardTask, Any, Any, Optional[float]]],
+        pending,
+        health: RunHealth,
+        shard_results: Dict[int, List[SimulationResult]],
+        shard_pipelines: Dict[int, Any],
+    ) -> None:
+        """Wait for any shard event, then settle every decided shard."""
+        waitables = []
+        now = time.monotonic()
+        wait_timeout: Optional[float] = None
+        for sentinel, (_, _, conn, deadline) in running.items():
+            waitables.extend((conn, sentinel))
+            if deadline is not None:
+                remaining = max(0.0, deadline - now)
+                wait_timeout = (
+                    remaining
+                    if wait_timeout is None
+                    else min(wait_timeout, remaining)
+                )
+        connection.wait(waitables, timeout=wait_timeout)
+        now = time.monotonic()
+        for sentinel in list(running):
+            task, process, conn, deadline = running[sentinel]
+            failure: Optional[Tuple[str, str]] = None
+            # Liveness must be sampled BEFORE the pipe: a worker that sends
+            # its result and exits between the two checks would otherwise
+            # read as dead-with-empty-pipe (a phantom crash).  Observed dead
+            # first, any completed send is already visible to poll().
+            was_alive = process.is_alive()
+            if conn.poll():
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    failure = ("crash", _exit_detail(process))
+                else:
+                    if message[0] == "ok":
+                        _, payload, pipeline, events = message
+                        plan = faults.active_plan()
+                        try:
+                            if plan.fires(
+                                "shm-attach",
+                                shard=task.index,
+                                attempt=task.attempt,
+                                trials=len(task.chunk),
+                            ):
+                                raise OSError("injected shm attach failure")
+                            shard_results[task.index] = import_study(payload)
+                        except Exception as exc:
+                            discard_payload(payload)
+                            failure = (
+                                "import-error",
+                                f"shard result import failed ({exc}); "
+                                "retrying with the pickle transport",
+                            )
+                        else:
+                            shard_pipelines[task.index] = pipeline
+                            health.extend(list(events), shard=task.index)
+                    else:
+                        failure = ("error", message[1])
+            elif not was_alive:
+                failure = ("crash", _exit_detail(process))
+            elif deadline is not None and now >= deadline:
+                failure = (
+                    "hang",
+                    f"no result within {self._supervisor.timeout}s; "
+                    "worker terminated",
+                )
+            else:
+                continue  # still running
+            del running[sentinel]
+            _reap(process, conn)
+            if failure is None:
+                continue
+            kind, detail = failure
+            health.record(
+                kind, "worker", detail, shard=task.index, attempt=task.attempt
+            )
+            pending.append(
+                replace(
+                    task,
+                    attempt=task.attempt + 1,
+                    force_pickle=task.force_pickle or kind == "import-error",
+                )
+            )
+
+    def _apply_degradation(
+        self, health: RunHealth, limit: int, total: int
+    ) -> int:
+        """Shrink the concurrency cap by one per observed hang (floor 1).
+
+        A hang usually means the machine cannot sustain the requested degree
+        of parallelism (memory pressure, CPU oversubscription), so retrying
+        at the same width would likely hang again; the pool converges toward
+        serial execution instead.
+        """
+        hangs = sum(1 for e in health.events if e.kind == "hang")
+        target = max(1, total - hangs)
+        if target < limit:
+            health.record(
+                "degrade",
+                "pool",
+                f"concurrency reduced to {target} after {hangs} hung "
+                f"shard(s)",
+            )
+        return min(limit, target)
+
+    def _shard_exhausted(
+        self,
+        task: _ShardTask,
+        policy: SupervisorPolicy,
+        health: RunHealth,
+        shard_results: Dict[int, List[SimulationResult]],
+        shard_pipelines: Dict[int, Any],
+    ) -> None:
+        """Retry budget spent: degrade to in-process execution or raise."""
+        last_failure = next(
+            (
+                e.detail
+                for e in reversed(health.events)
+                if e.shard == task.index and e.kind in
+                ("crash", "hang", "error", "import-error")
+            ),
+            "",
+        )
+        if not policy.degrade:
+            raise WorkerError(
+                f"shard {task.index} (trials {task.trial_lo}.."
+                f"{task.trial_hi - 1}) failed after {task.attempt} "
+                f"attempt(s)" + (f": {last_failure}" if last_failure else ""),
+                shard_index=task.index,
+                trial_range=(task.trial_lo, task.trial_hi),
+                attempts=task.attempt,
+                cause=last_failure,
+            )
+        health.record(
+            "fallback",
+            "worker",
+            f"shard {task.index} degraded to in-process serial execution "
+            f"after {task.attempt} failed attempt(s)",
+            shard=task.index,
+            attempt=task.attempt,
+        )
+        pipeline = (
+            self._pipeline.fresh() if self._pipeline is not None else None
+        )
+        shard_results[task.index] = self._run_chunk(task.chunk, pipeline)
+        shard_pipelines[task.index] = pipeline
+
+
+def _exit_detail(process) -> str:
+    """Describe how a shard process died (exit code or signal)."""
+    process.join(timeout=1.0)
+    code = process.exitcode
+    if code is None:
+        return "worker exited without reporting a result"
+    if code < 0:
+        return f"worker killed by signal {-code}"
+    return f"worker exited with code {code} without reporting a result"
+
+
+def _reap(process, conn) -> None:
+    """Tear down a settled (or condemned) shard process and its pipe."""
+    try:
+        conn.close()
+    except Exception:  # pragma: no cover - best-effort cleanup
+        pass
+    if process.is_alive():
+        process.terminate()
+        process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - terminate() ignored
+            process.kill()
+            process.join(timeout=1.0)
+    else:
+        process.join(timeout=1.0)
+    try:
+        process.close()
+    except Exception:  # pragma: no cover - interpreter variations
+        pass
 
 
 def _contiguous_chunks(seeds: List[SeedTree], workers: int) -> List[List[SeedTree]]:
@@ -554,6 +1046,7 @@ def run_trials(
     workers: int = 1,
     pipeline=None,
     streaming: bool = False,
+    supervisor: Optional[SupervisorPolicy] = None,
 ) -> TrialStudy:
     """Convenience wrapper: build the config and runner and execute the trials.
 
@@ -577,5 +1070,6 @@ def run_trials(
         workers=workers,
         pipeline=pipeline,
         streaming=streaming,
+        supervisor=supervisor,
     )
     return runner.run(trials=trials, seed=seed)

@@ -11,7 +11,12 @@ still crosses the pickle boundary.
 
 Results that carry non-columnar payloads (released counters in streaming
 mode, retained event traces) fall back to the plain pickle path unchanged —
-correctness never depends on the transport.
+correctness never depends on the transport.  The same fallback fires when
+shared-memory staging itself fails (segment creation denied, ``/dev/shm``
+full, an injected ``shm-export`` fault): the shard is re-exported through
+pickle and a ``fallback`` event is recorded on the run's health.  A *parent*
+-side attach failure is handled one level up — the supervised pool retries
+the shard with the pickle transport forced (``force_pickle=True``).
 
 Lifecycle: the worker copies into the block, closes its mapping and
 unregisters the segment from its ``resource_tracker`` (the parent owns
@@ -28,7 +33,9 @@ from typing import Any, Dict, List, Tuple
 
 import numpy as np
 
+from .. import faults
 from ..types import NodeStats
+from . import health
 from .results import PrefixCounters, SimulationResult
 
 try:  # pragma: no cover - stdlib, but keep the transport optional
@@ -36,7 +43,7 @@ try:  # pragma: no cover - stdlib, but keep the transport optional
 except Exception:  # pragma: no cover
     resource_tracker = None
 
-__all__ = ["export_study", "import_study"]
+__all__ = ["discard_payload", "export_study", "import_study"]
 
 #: Prefix columns per result, in PrefixCounters order.
 _PREFIX_FIELDS = ("active", "arrivals", "jammed", "successes")
@@ -76,20 +83,32 @@ def _untrack(shm: shared_memory.SharedMemory) -> None:
         pass
 
 
-def export_study(results: List[SimulationResult]):
+def export_study(results: List[SimulationResult], force_pickle: bool = False):
     """Pack a worker shard for the trip back to the parent.
 
     Returns ``("shm", name, headers)`` with the numeric payload staged in a
     shared-memory block, or ``("pickle", results)`` when any result cannot
-    be laid out columnar (streamed-away counters, retained traces) — the
-    caller sends the returned tuple through the pool either way.
+    be laid out columnar (streamed-away counters, retained traces), when
+    ``force_pickle`` is set (a supervisor retry after a parent-side attach
+    failure), or when shared-memory staging itself fails — the caller sends
+    the returned tuple through the pool either way.
     """
-    if not results or any(
+    if force_pickle or not results or any(
         result.counters is None or result.trace is not None
         for result in results
     ):
         return ("pickle", results)
+    try:
+        return _export_shm(results)
+    except Exception as exc:
+        health.note(
+            "fallback", "shm", f"shared-memory export failed ({exc}); using pickle"
+        )
+        return ("pickle", results)
 
+
+def _export_shm(results: List[SimulationResult]):
+    faults.active_plan().maybe_raise("shm-export", trials=len(results))
     headers: List[Dict[str, Any]] = []
     total_words = 0
     for result in results:
@@ -141,10 +160,38 @@ def export_study(results: List[SimulationResult]):
             cursor += _NODE_FIELDS * count
         name = shm.name
         del block
+    except BaseException:
+        # Failed mid-stage: nobody will ever attach, so unlink here rather
+        # than leak the segment (the caller falls back to pickle).
+        try:
+            shm.unlink()
+        except OSError:  # pragma: no cover - best-effort cleanup
+            pass
+        raise
     finally:
         _untrack(shm)
         shm.close()
     return ("shm", name, headers)
+
+
+def discard_payload(payload) -> None:
+    """Release a staged shm payload that will never be imported.
+
+    Used by the supervised pool when the parent-side attach (or rehydration)
+    fails: the worker has already detached and untracked the segment, so
+    without this the block would outlive the study.  Best effort — a segment
+    that cannot be attached cannot be freed early and falls to the OS.
+    """
+    if not payload or payload[0] != "shm":
+        return
+    try:
+        segment = shared_memory.SharedMemory(name=payload[1])
+    except Exception:
+        return
+    try:
+        segment.unlink()
+    finally:
+        segment.close()
 
 
 def import_study(payload) -> List[SimulationResult]:

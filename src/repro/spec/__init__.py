@@ -60,7 +60,7 @@ from .rates import RATE_FUNCTIONS, rate_function_from_spec, rate_function_to_spe
 from .registry import ParamField, RegistryEntry, SpecRegistry
 from .store import CachedResult, StudyStore
 from .study import StudySpec, canonical_json
-from .sweep import PlanResult, StudyPlan, Sweep, sweep_rows
+from .sweep import PlanJournal, PlanResult, StudyPlan, Sweep, sweep_rows
 
 __all__ = [
     "ADVERSARIES",
@@ -74,6 +74,7 @@ __all__ = [
     "CachedResult",
     "ParamField",
     "PipelineSpec",
+    "PlanJournal",
     "PlanResult",
     "ProtocolSpec",
     "RegistryEntry",

@@ -9,7 +9,12 @@ aggregation API of :class:`~repro.sim.TrialStudy` consumes; per-slot prefix
 arrays and traces are deliberately not cached (they are horizon-sized and
 only needed by bound-checking experiments, which run uncached).
 
-Layout: ``<root>/<hash[:2]>/<hash>.json``, written atomically.
+Layout: ``<root>/<hash[:2]>/<hash>.json``, written atomically.  An entry
+that exists but cannot be parsed is *corrupt*, not merely missing: it is
+moved to ``<root>/corrupt/`` (with a warning and a ``quarantine`` event on
+any active :class:`~repro.sim.health.RunHealth`) so the evidence survives
+for diagnosis while the caller transparently re-runs the study.  A missing
+file stays a plain silent miss.
 """
 
 from __future__ import annotations
@@ -17,12 +22,14 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
+from .. import faults
 from ..errors import SpecError
 from .study import StudySpec
 
@@ -152,15 +159,28 @@ class StudyStore:
     def get(self, spec: StudySpec):
         """The cached :class:`~repro.sim.TrialStudy`, or ``None`` on a miss.
 
-        Corrupt or schema-incompatible entries read as misses (the caller
-        re-runs and overwrites them) rather than failing the study.
+        A missing entry is a silent miss.  An entry that exists but cannot
+        be read or parsed is quarantined to ``<root>/corrupt/`` (warning +
+        health event) and then reads as a miss, so the caller re-runs and
+        overwrites it; the corrupt bytes stay on disk for diagnosis.
+        Schema-incompatible entries from older library versions are plain
+        misses — they are valid files, just stale.
         """
         from ..sim.runner import TrialStudy
 
         path = self.path_for(spec)
+        if not path.exists():
+            return None
         try:
             payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError as exc:
+            self._quarantine(path, f"unreadable entry: {exc}")
+            return None
+        except json.JSONDecodeError as exc:
+            self._quarantine(path, f"invalid JSON: {exc}")
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path, "entry is not a JSON object")
             return None
         if payload.get("schema") != _SCHEMA_VERSION:
             return None
@@ -205,10 +225,46 @@ class StudyStore:
             except OSError:
                 pass
             raise
+        plan = faults.active_plan()
+        if plan.fires("store-corrupt", hash=payload["hash"]):
+            # Injected fault: truncate the just-published entry mid-JSON,
+            # simulating a torn write from a crashed process.
+            path.write_text(path.read_text()[: max(1, path.stat().st_size // 2)])
         return path
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry to ``<root>/corrupt/`` instead of hiding it."""
+        from ..sim import health
+
+        target = self._root / "corrupt" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:
+            # Cannot move it (permissions, cross-device store): leave the
+            # evidence in place; the caller still treats the read as a miss.
+            target = path
+        warnings.warn(
+            f"study store entry {path.name} is corrupt ({reason}); "
+            f"quarantined to {target} and treating as a cache miss",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        health.note("quarantine", "store", f"{path.name}: {reason}")
+
     def entries(self) -> List[str]:
-        """Hashes of all stored studies (sorted, for inspection/tests)."""
+        """Hashes of all stored studies (sorted; quarantined entries excluded)."""
         if not self._root.exists():
             return []
-        return sorted(p.stem for p in self._root.glob("*/*.json"))
+        return sorted(
+            p.stem
+            for p in self._root.glob("*/*.json")
+            if p.parent.name != "corrupt"
+        )
+
+    def corrupt_entries(self) -> List[str]:
+        """File names quarantined to ``<root>/corrupt/`` (sorted)."""
+        corrupt = self._root / "corrupt"
+        if not corrupt.exists():
+            return []
+        return sorted(p.name for p in corrupt.glob("*.json"))

@@ -8,20 +8,32 @@ list of specs through the standard backend ladder, consulting a
 from disk.  Per-point dispatch bookkeeping (expansion, hashing, cache
 lookup) is timed separately from simulation so the overhead stays
 observable — the design target is dispatch < 10% of study runtime.
+
+Long sweeps are *resumable*: :meth:`StudyPlan.run` can journal every
+point's outcome (done/failed) to an append-only JSONL file, tolerate
+per-point failures (``on_error="skip"`` records the failure and moves on;
+``"retry"`` re-attempts the point before giving up), and on a later
+invocation with ``resume=True`` skip the points the journal marks done
+(served from the store) while re-attempting the failed ones.  The journal
+is keyed by spec hash, so editing unrelated points of a sweep never
+invalidates completed work.
 """
 
 from __future__ import annotations
 
 import itertools
+import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+from .. import faults
 from ..errors import SpecError
 from .store import StudyStore
 from .study import StudySpec
 
-__all__ = ["PlanResult", "StudyPlan", "Sweep", "sweep_rows"]
+__all__ = ["PlanJournal", "PlanResult", "StudyPlan", "Sweep", "sweep_rows"]
 
 
 @dataclass(frozen=True)
@@ -87,7 +99,13 @@ def _point_label(base: StudySpec, overrides: Mapping[str, Any]) -> str:
 
 @dataclass
 class PlanResult:
-    """One executed grid point: spec, study, provenance and timing."""
+    """One executed grid point: spec, study, provenance and timing.
+
+    ``study`` is ``None`` — and ``failed`` / ``error`` are set — for points
+    that exhausted their attempts under ``on_error="skip"`` / ``"retry"``.
+    ``attempts`` counts executions of this point in this run (0 when the
+    point was served from the cache or the resume journal).
+    """
 
     spec: StudySpec
     study: Any
@@ -95,6 +113,52 @@ class PlanResult:
     cached: bool = False
     dispatch_seconds: float = 0.0
     run_seconds: float = 0.0
+    failed: bool = False
+    error: str = ""
+    attempts: int = 0
+
+
+class PlanJournal:
+    """Append-only JSONL record of per-point sweep outcomes.
+
+    One record per completed or failed point, keyed by spec hash; the last
+    record for a hash wins, so re-running a sweep with the same journal
+    simply appends the new outcomes.  The file is human-greppable and
+    crash-tolerant: a torn final line (the writing process died mid-append)
+    is ignored on load.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("a") as handle:
+            handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Latest record per spec hash (empty when the file doesn't exist)."""
+        state: Dict[str, Dict[str, Any]] = {}
+        try:
+            lines = self._path.read_text().splitlines()
+        except OSError:
+            return state
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn trailing line from a crashed writer
+            digest = record.get("hash")
+            if digest:
+                state[str(digest)] = record
+        return state
 
 
 class StudyPlan:
@@ -129,25 +193,86 @@ class StudyPlan:
         self,
         store: Optional[StudyStore] = None,
         progress: Optional[Callable[[PlanResult], None]] = None,
+        on_error: str = "raise",
+        retries: int = 1,
+        journal: Optional[Union[str, Path, PlanJournal]] = None,
+        resume: bool = False,
     ) -> List[PlanResult]:
         """Execute every point in order, consulting ``store`` first.
 
         ``dispatch_seconds`` covers everything the plan adds on top of the
         study itself (hashing, cache lookup, result registration);
         ``run_seconds`` is the study execution (zero for cache hits).
+
+        ``on_error`` governs per-point failures: ``"raise"`` (default)
+        propagates immediately, ``"skip"`` records a failed
+        :class:`PlanResult` and continues, ``"retry"`` re-attempts the
+        point up to ``retries`` extra times before treating it like
+        ``"skip"``.  With a ``journal``, every point's outcome is appended
+        as it happens; ``resume=True`` then skips points the journal marks
+        done (serving them from ``store`` when possible) and re-attempts
+        only the failed/unseen ones.
         """
+        if on_error not in ("raise", "skip", "retry"):
+            raise SpecError(
+                f"on_error must be 'raise', 'skip' or 'retry', got {on_error!r}"
+            )
+        if retries < 0:
+            raise SpecError(f"retries must be >= 0, got {retries!r}")
+        if journal is not None and not isinstance(journal, PlanJournal):
+            journal = PlanJournal(journal)
+        if resume and journal is None:
+            raise SpecError("resume=True requires a journal")
+        completed = (
+            {
+                digest
+                for digest, record in journal.load().items()
+                if record.get("status") == "done"
+            }
+            if resume
+            else set()
+        )
+        attempts_allowed = 1 + (retries if on_error == "retry" else 0)
         results: List[PlanResult] = []
-        for spec, overrides in zip(self._specs, self._overrides):
+        for index, (spec, overrides) in enumerate(
+            zip(self._specs, self._overrides)
+        ):
             dispatch_start = time.perf_counter()
+            digest = spec.spec_hash()
             study = store.get(spec) if store is not None else None
             cached = study is not None
+            if study is None and digest in completed:
+                # The journal says this point finished but the store no
+                # longer has it (different store, pruned entry, quarantined
+                # corruption): fall through and re-run it.
+                completed.discard(digest)
             dispatch_elapsed = time.perf_counter() - dispatch_start
             run_elapsed = 0.0
+            attempts = 0
+            error = ""
             if study is None:
                 run_start = time.perf_counter()
-                study = spec.run()
+                plan = faults.active_plan()
+                for attempt in range(attempts_allowed):
+                    attempts = attempt + 1
+                    try:
+                        plan.maybe_raise(
+                            "sweep-point", point=index, attempt=attempt
+                        )
+                        study = spec.run()
+                        break
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                        if on_error == "raise":
+                            if journal is not None:
+                                journal.append(
+                                    _journal_record(
+                                        spec, digest, "failed", error, attempts
+                                    )
+                                )
+                            raise
                 run_elapsed = time.perf_counter() - run_start
-                if store is not None:
+                if study is not None and store is not None:
                     publish_start = time.perf_counter()
                     store.put(spec, study)
                     dispatch_elapsed += time.perf_counter() - publish_start
@@ -158,26 +283,69 @@ class StudyPlan:
                 cached=cached,
                 dispatch_seconds=dispatch_elapsed,
                 run_seconds=run_elapsed,
+                failed=study is None,
+                error=error if study is None else "",
+                attempts=attempts,
             )
+            if journal is not None:
+                journal.append(
+                    _journal_record(
+                        spec,
+                        digest,
+                        "failed" if result.failed else "done",
+                        result.error,
+                        attempts,
+                    )
+                )
             results.append(result)
             if progress is not None:
                 progress(result)
         return results
 
 
+def _journal_record(
+    spec: StudySpec, digest: str, status: str, error: str, attempts: int
+) -> Dict[str, Any]:
+    record: Dict[str, Any] = {
+        "hash": digest,
+        "label": spec.display_label,
+        "status": status,
+        "attempts": attempts,
+    }
+    if error:
+        record["error"] = error
+    return record
+
+
 def sweep_rows(results: Sequence[PlanResult]) -> List[Dict[str, Any]]:
-    """Flat per-point rows (overrides + aggregates) for tables/CSV/JSON."""
+    """Flat per-point rows (overrides + aggregates) for tables/CSV/JSON.
+
+    Failed points (``on_error="skip"``/``"retry"``) contribute a row with
+    ``status="failed"`` and their error text instead of aggregates.  Rows
+    are normalized to the union of all keys (first-seen order, missing
+    values blank), so a sweep mixing failed and successful points still
+    renders as one rectangular table/CSV.
+    """
     rows = []
     for result in results:
         row: Dict[str, Any] = {
             "label": result.spec.display_label,
             "hash": result.spec.spec_hash()[:12],
             "cached": result.cached,
+            "status": "failed" if result.failed else "ok",
         }
         for path, value in result.overrides.items():
             row[path] = value
-        row.update(result.study.summary_row())
+        if result.failed:
+            row["error"] = result.error
+        else:
+            row.update(result.study.summary_row())
         row["dispatch_seconds"] = result.dispatch_seconds
         row["run_seconds"] = result.run_seconds
         rows.append(row)
-    return rows
+    keys: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    return [{key: row.get(key, "") for key in keys} for row in rows]

@@ -1,0 +1,204 @@
+"""Supervised worker pool: crash/hang/attach-failure recovery (fork only).
+
+Every test injects faults through a deterministic :class:`repro.faults.FaultPlan`
+and asserts the recovered parallel study is bit-identical to the serial one —
+faults may cost wall-clock, never results.
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro import faults
+from repro.adversary import (
+    BatchArrivals,
+    ComposedAdversary,
+    RandomFractionJamming,
+)
+from repro.errors import ConfigurationError, WorkerError
+from repro.metrics import MetricPipeline, SuccessTimelineReducer
+from repro.protocols import ProbabilityBackoff, make_factory
+from repro.sim import SupervisorPolicy, run_trials
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="supervised pool requires the fork start method",
+)
+
+
+def study(trials=12, seed=7, **kwargs):
+    return run_trials(
+        protocol_factory=make_factory(ProbabilityBackoff, 1.0),
+        adversary_factory=lambda: ComposedAdversary(
+            BatchArrivals(8), RandomFractionJamming(0.2)
+        ),
+        horizon=200,
+        trials=trials,
+        seed=seed,
+        **kwargs,
+    )
+
+
+def summaries(result_study):
+    return [r.summary for r in result_study.results]
+
+
+class TestSupervisorPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(timeout=0)
+        with pytest.raises(ConfigurationError):
+            SupervisorPolicy(retries=-1)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "2.5")
+        monkeypatch.setenv("REPRO_SHARD_RETRIES", "5")
+        policy = SupervisorPolicy.from_env()
+        assert policy.timeout == 2.5
+        assert policy.retries == 5
+
+    def test_backoff_caps(self):
+        policy = SupervisorPolicy(backoff_base=0.1, backoff_cap=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(5) == pytest.approx(0.3)
+
+
+class TestCrashRecovery:
+    def test_injected_crash_retries_and_matches_serial(self):
+        """The acceptance test: one worker killed mid-study, retried, and
+        the recovered results are bit-identical to the serial run with
+        exactly one retry recorded."""
+        serial = study()
+        with faults.injected(
+            {"rules": [{"site": "worker-crash", "shard": 1, "attempt": 0}]}
+        ):
+            parallel = study(workers=4)
+        assert summaries(parallel) == summaries(serial)
+        assert parallel.health.retries == 1
+        assert parallel.health.shard_failures == 1
+        assert [e.kind for e in parallel.health.events if e.kind == "crash"] == [
+            "crash"
+        ]
+        assert parallel.effective_workers == 4
+
+    def test_crash_with_pipeline_merges_identically(self):
+        """Shard retry must not disturb the ordered pipeline merge."""
+        serial = study(pipeline=MetricPipeline([SuccessTimelineReducer()]))
+        with faults.injected(
+            {"rules": [{"site": "worker-crash", "shard": 2, "attempt": 0}]}
+        ):
+            parallel = study(
+                workers=4, pipeline=MetricPipeline([SuccessTimelineReducer()])
+            )
+        assert summaries(parallel) == summaries(serial)
+        serial_metrics = serial.metrics()
+        parallel_metrics = parallel.metrics()
+        assert serial_metrics.keys() == parallel_metrics.keys()
+        for key in serial_metrics:
+            assert parallel_metrics[key] == serial_metrics[key]
+
+    def test_worker_error_carries_shard_and_trial_range(self):
+        """Satellite regression test: a permanently failing shard surfaces a
+        typed WorkerError naming the shard and its trial range."""
+        with faults.injected({"rules": [{"site": "worker-crash", "shard": 1}]}):
+            with pytest.raises(WorkerError) as info:
+                study(
+                    workers=4,
+                    supervisor=SupervisorPolicy(retries=0, degrade=False),
+                )
+        assert info.value.shard_index == 1
+        assert info.value.trial_range == (3, 6)
+        assert info.value.attempts == 1
+        assert "shard 1" in str(info.value)
+
+    def test_exhausted_retries_degrade_to_inline_serial(self):
+        """A shard that crashes on every attempt still completes in-process,
+        identical to serial."""
+        serial = study()
+        with faults.injected({"rules": [{"site": "worker-crash", "shard": 1}]}):
+            parallel = study(workers=4, supervisor=SupervisorPolicy(retries=1))
+        assert summaries(parallel) == summaries(serial)
+        assert parallel.health.degraded
+        assert any(e.kind == "fallback" for e in parallel.health.events)
+
+
+class TestHangRecovery:
+    def test_hang_terminated_within_timeout_and_degrades(self):
+        serial = study()
+        start = time.monotonic()
+        with faults.injected(
+            {"rules": [{"site": "worker-hang", "shard": 2, "attempt": 0}]}
+        ):
+            parallel = study(workers=4, supervisor=SupervisorPolicy(timeout=0.5))
+        elapsed = time.monotonic() - start
+        assert summaries(parallel) == summaries(serial)
+        # One timeout window plus the retry, not the 3600s injected sleep.
+        assert elapsed < 10.0
+        assert any(e.kind == "hang" for e in parallel.health.events)
+        assert any(e.kind == "degrade" for e in parallel.health.events)
+        assert parallel.health.retries == 1
+
+
+class TestTransportRecovery:
+    def test_shm_attach_failure_retries_with_pickle(self):
+        serial = study()
+        with faults.injected(
+            {"rules": [{"site": "shm-attach", "shard": 0, "attempt": 0}]}
+        ):
+            parallel = study(workers=4)
+        assert summaries(parallel) == summaries(serial)
+        assert any(e.kind == "import-error" for e in parallel.health.events)
+        assert parallel.health.retries == 1
+
+    def test_shm_export_failure_falls_back_to_pickle_in_worker(self):
+        """Worker-side staging failure never fails the shard: it re-exports
+        through pickle and records a fallback event."""
+        serial = study()
+        # The export site fires inside the worker (coords carry only the
+        # shard's trial count), so this rule makes every shard fall back.
+        with faults.injected({"rules": [{"site": "shm-export"}]}):
+            parallel = study(workers=4)
+        assert summaries(parallel) == summaries(serial)
+        fallbacks = [e for e in parallel.health.events if e.kind == "fallback"]
+        assert any(e.site == "shm" for e in fallbacks)
+        # No retry needed: the worker recovered on its own.
+        assert parallel.health.retries == 0
+
+
+class TestHealthPlumbing:
+    def test_clean_run_has_clean_health(self):
+        parallel = study(workers=3)
+        assert parallel.health.clean
+        assert parallel.health.describe() == "clean"
+        assert parallel.health.requested_workers == 3
+        assert parallel.health.effective_workers == 3
+
+    def test_summary_row_carries_health_columns(self):
+        with faults.injected(
+            {"rules": [{"site": "worker-crash", "shard": 0, "attempt": 0}]}
+        ):
+            parallel = study(workers=4)
+        row = parallel.summary_row()
+        assert row["health_retries"] == 1.0
+        assert row["health_failures"] == 1.0
+        assert row["health_demotions"] == 0.0
+
+    def test_health_round_trips_through_dict(self):
+        with faults.injected(
+            {"rules": [{"site": "worker-crash", "shard": 0, "attempt": 0}]}
+        ):
+            parallel = study(workers=4)
+        from repro.sim import RunHealth
+
+        restored = RunHealth.from_dict(parallel.health.to_dict())
+        assert restored.events == parallel.health.events
+        assert restored.retries == parallel.health.retries
+
+    def test_kernel_fault_site_fires_in_serial_path(self):
+        from repro.errors import FaultInjected
+
+        with faults.injected({"rules": [{"site": "kernel", "times": 1}]}):
+            with pytest.raises(FaultInjected):
+                study()

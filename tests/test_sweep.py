@@ -265,3 +265,152 @@ class TestSweepCli:
         )
         assert code == 0
         assert "ethernet-burst" in capsys.readouterr().out
+
+
+class TestStoreQuarantine:
+    def test_corrupt_entry_quarantined_with_warning(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        path = store.put(spec, spec.run())
+        path.write_text('{"schema": 1, "results": [{"succ')  # truncated JSON
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.get(spec) is None
+        # The evidence moved to <root>/corrupt/, not deleted.
+        assert not path.exists()
+        assert store.corrupt_entries() == [path.name]
+        # Quarantined entries never pollute the hash listing.
+        assert store.entries() == []
+
+    def test_quarantined_point_reruns_and_heals(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        live = spec.run(store=store)
+        store.path_for(spec).write_text("{torn")
+        with pytest.warns(RuntimeWarning):
+            healed = spec.run(store=store)
+        assert not healed.from_cache
+        timing = ("mean_wall_time_s", "mean_slots_per_s")
+        assert {
+            k: v for k, v in healed.summary_row().items() if k not in timing
+        } == {k: v for k, v in live.summary_row().items() if k not in timing}
+        # The store is whole again: next read is a clean cache hit.
+        assert store.get(spec) is not None
+
+    def test_store_corrupt_fault_truncates_entry(self, tmp_path):
+        from repro import faults
+
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(horizon=256)
+        with faults.injected({"rules": [{"site": "store-corrupt"}]}):
+            path = store.put(spec, spec.run())
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(path.read_text())
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            assert store.get(spec) is None
+
+
+class TestResumableSweep:
+    def _plan(self):
+        return StudyPlan.from_sweep(
+            Sweep(aloha_spec(horizon=128), {"trials": [1, 2, 3]})
+        )
+
+    def test_on_error_skip_records_failed_points(self, tmp_path):
+        from repro import faults
+
+        with faults.injected({"rules": [{"site": "sweep-point", "point": 1}]}):
+            results = self._plan().run(
+                store=StudyStore(tmp_path), on_error="skip"
+            )
+        assert [r.failed for r in results] == [False, True, False]
+        assert results[1].study is None
+        assert "FaultInjected" in results[1].error
+        assert results[1].attempts == 1
+
+    def test_on_error_retry_reattempts_before_skipping(self, tmp_path):
+        from repro import faults
+
+        # attempt 0 fails, attempt 1 succeeds (the rule pins attempt=0).
+        with faults.injected(
+            {"rules": [{"site": "sweep-point", "point": 1, "attempt": 0}]}
+        ):
+            results = self._plan().run(
+                store=StudyStore(tmp_path), on_error="retry", retries=1
+            )
+        assert not any(r.failed for r in results)
+        assert results[1].attempts == 2
+
+    def test_on_error_raise_propagates(self):
+        from repro import faults
+        from repro.errors import FaultInjected
+
+        with faults.injected({"rules": [{"site": "sweep-point", "point": 0}]}):
+            with pytest.raises(FaultInjected):
+                self._plan().run()
+
+    def test_invalid_on_error_rejected(self):
+        with pytest.raises(SpecError, match="on_error"):
+            self._plan().run(on_error="explode")
+
+    def test_resume_requires_journal(self):
+        with pytest.raises(SpecError, match="journal"):
+            self._plan().run(resume=True)
+
+    def test_journal_records_outcomes(self, tmp_path):
+        from repro import faults
+        from repro.spec import PlanJournal
+
+        journal = PlanJournal(tmp_path / "journal.jsonl")
+        with faults.injected({"rules": [{"site": "sweep-point", "point": 2}]}):
+            self._plan().run(
+                store=StudyStore(tmp_path / "store"),
+                on_error="skip",
+                journal=journal,
+            )
+        state = journal.load()
+        statuses = sorted(record["status"] for record in state.values())
+        assert statuses == ["done", "done", "failed"]
+
+    def test_resume_skips_done_and_reattempts_failed(self, tmp_path):
+        from repro import faults
+        from repro.spec import PlanJournal
+
+        store = StudyStore(tmp_path / "store")
+        journal = PlanJournal(tmp_path / "journal.jsonl")
+        with faults.injected({"rules": [{"site": "sweep-point", "point": 1}]}):
+            first = self._plan().run(
+                store=store, on_error="skip", journal=journal
+            )
+        assert first[1].failed
+        # No faults now: the resumed run serves done points from the store
+        # (attempts == 0) and re-runs only the failed one.
+        second = self._plan().run(store=store, journal=journal, resume=True)
+        assert not any(r.failed for r in second)
+        assert [r.attempts for r in second] == [0, 1, 0]
+        assert [r.cached for r in second] == [True, False, True]
+        assert all(
+            record["status"] == "done" for record in journal.load().values()
+        )
+
+    def test_journal_tolerates_torn_trailing_line(self, tmp_path):
+        from repro.spec import PlanJournal
+
+        journal = PlanJournal(tmp_path / "journal.jsonl")
+        journal.append({"hash": "abc", "status": "done"})
+        with journal.path.open("a") as handle:
+            handle.write('{"hash": "def", "sta')  # writer died mid-append
+        assert list(journal.load()) == ["abc"]
+
+    def test_failed_rows_stay_rectangular(self, tmp_path):
+        from repro import faults
+
+        with faults.injected({"rules": [{"site": "sweep-point", "point": 0}]}):
+            results = self._plan().run(
+                store=StudyStore(tmp_path), on_error="skip"
+            )
+        rows = sweep_rows(results)
+        assert all(set(rows[0]) == set(row) for row in rows)
+        assert rows[0]["status"] == "failed"
+        assert rows[1]["status"] == "ok"
+        assert rows[1]["error"] == ""
+        assert rows[0]["mean_successes"] == ""
