@@ -70,6 +70,7 @@ __all__ = [
     "render_comparison",
     "run_experiment_suite",
     "run_micro_suite",
+    "run_service_suite",
     "write_bench",
 ]
 
@@ -490,6 +491,67 @@ def run_experiment_suite(
     return records
 
 
+def run_service_suite(
+    seed: int = 20210219, repeats: int = 3
+) -> List[Dict[str, object]]:
+    """Time the sweep service: a cold submit round trip, then cached hits.
+
+    Spins an in-process :class:`~repro.serve.BackgroundServer` over a
+    throwaway 2-shard store, submits a small spec batch cold (execution +
+    protocol overhead) and then re-submits it ``repeats`` times so every
+    point is answered from memory — the cached-hit path is pure server/
+    client/serialization cost.  One ``micro`` record,
+    ``id="service-submit-roundtrip"``; older baselines without it compare
+    clean (records absent from the baseline are skipped).
+    """
+    import tempfile
+
+    from .serve import BackgroundServer, ServeClient
+    from .workloads import scenario_study
+
+    horizon = 256
+    trials = 2
+    base = scenario_study("adversarial-jam").with_overrides(
+        {"trials": trials, "horizon": horizon}
+    )
+    specs = [base.with_overrides({"seed": seed + index}) for index in range(4)]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-serve-") as root:
+        with BackgroundServer(root, shards=2, workers=2) as server:
+            client = ServeClient(*server.address)
+            start = time.perf_counter()
+            outcomes = client.submit(specs)
+            cold = time.perf_counter() - start
+            failed = [o for o in outcomes if not o.ok]
+            if failed:
+                raise ConfigurationError(
+                    f"service bench submit failed: {failed[0].error}"
+                )
+            cached_best = float("inf")
+            for _ in range(max(1, repeats)):
+                start = time.perf_counter()
+                client.submit(specs)
+                cached_best = min(cached_best, time.perf_counter() - start)
+    return [
+        {
+            "kind": "micro",
+            "id": "service-submit-roundtrip",
+            "backend": "serve",
+            "scale": "smoke",
+            "params": {
+                "specs": len(specs),
+                "trials": trials,
+                "horizon": horizon,
+                "seed": seed,
+            },
+            "wall_time_s": cold,
+            "slots_per_second": len(specs) * trials * horizon / cold,
+            "cold_submit_s": cold,
+            "cached_submit_s": cached_best,
+            "cached_hits_per_second": len(specs) / cached_best,
+        }
+    ]
+
+
 def collect_bench(
     scale: str = "smoke",
     seed: int = 20210219,
@@ -501,6 +563,10 @@ def collect_bench(
     benchmarks = run_micro_suite(
         scale=scale, seed=seed, backends=backends, repeats=repeats
     )
+    if backends is None:
+        # The service round trip is backend-independent; a --backends
+        # restriction means "time these kernels", so it is skipped there.
+        benchmarks.extend(run_service_suite(seed=seed, repeats=repeats))
     if include_experiments:
         benchmarks.extend(run_experiment_suite(seed=seed))
     return {

@@ -31,6 +31,16 @@ Run the benchmark suite and persist the performance trajectory::
 
     python -m repro.cli bench --scale smoke --output BENCH_$(date +%F).json
     python -m repro.cli bench --compare BENCH_old.json BENCH_new.json
+
+Serve StudySpec JSON over TCP (deduped async job queue + sharded store)::
+
+    python -m repro.cli serve --port 7421 --workers 4 --shards 4
+    python -m repro.cli submit --server :7421 --scenario adversarial-jam \\
+        --axis horizon=4096,8192
+    python -m repro.cli sweep --server :7421 --scenario adversarial-jam \\
+        --axis adversary.jamming.params.fraction=0.0,0.25
+    python -m repro.cli client stats --server :7421
+    python -m repro.cli store stats --root .repro-store
 """
 
 from __future__ import annotations
@@ -186,7 +196,145 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip points the journal marks done (served from the store) "
         "and re-attempt failed ones",
     )
+    sweep_parser.add_argument(
+        "--server",
+        default=None,
+        metavar="HOST:PORT",
+        help="submit the grid to a running `repro serve` daemon instead of "
+        "executing locally (thin client; rows stream back)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the sweep-service daemon: accept StudySpec JSON over TCP, "
+        "dedupe and execute through a sharded study store",
+    )
+    serve_parser.add_argument(
+        "--host", default=None, help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=None, help="TCP port (default 7421)"
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="concurrent job executions (default 2)",
+    )
+    serve_parser.add_argument(
+        "--store-root",
+        default=None,
+        help="sharded store directory (default .repro-store)",
+    )
+    serve_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard directories behind the consistent-hash ring (default 2; "
+        "an existing store keeps its ring.json topology)",
+    )
+    serve_parser.add_argument(
+        "--virtual-nodes",
+        type=int,
+        default=None,
+        help="virtual nodes per shard on the ring (default 128)",
+    )
+    serve_parser.add_argument(
+        "--store-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-shard byte budget; evict LRU-by-atime after each job "
+        "(default: unlimited)",
+    )
+    serve_parser.set_defaults(func=_cmd_serve)
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help="submit a StudySpec (or a sweep grid over one) to a running "
+        "`repro serve` daemon and stream the results back",
+    )
+    submit_base = submit_parser.add_mutually_exclusive_group(required=True)
+    submit_base.add_argument(
+        "--spec", default=None, help="path to a StudySpec JSON file ('-' for stdin)"
+    )
+    submit_base.add_argument(
+        "--scenario", default=None, help="use a named scenario's study spec as the base"
+    )
+    submit_parser.add_argument(
+        "--axis",
+        action="append",
+        default=[],
+        metavar="PATH=V1,V2,...",
+        help="sweep axis over the base spec (repeatable; cartesian product)",
+    )
+    submit_parser.add_argument("--trials", type=int, default=None)
+    submit_parser.add_argument("--seed", type=int, default=None)
+    submit_parser.add_argument(
+        "--priority",
+        type=int,
+        default=0,
+        help="queue priority (lower runs first; default 0)",
+    )
+    submit_parser.add_argument(
+        "--no-wait",
+        action="store_true",
+        help="enqueue and print job hashes instead of waiting for results",
+    )
+    submit_parser.add_argument(
+        "--format", choices=["table", "json", "csv"], default="table"
+    )
+    _add_server_argument(submit_parser)
+    submit_parser.set_defaults(func=_cmd_submit)
+
+    client_parser = subparsers.add_parser(
+        "client",
+        help="query a running `repro serve` daemon (status/stats/shutdown)",
+    )
+    client_parser.add_argument(
+        "action", choices=["stats", "status", "result", "shutdown"]
+    )
+    client_parser.add_argument(
+        "hashes", nargs="*", help="spec hashes (status/result)"
+    )
+    _add_server_argument(client_parser)
+    client_parser.set_defaults(func=_cmd_client)
+
+    store_parser = subparsers.add_parser(
+        "store",
+        help="inspect and maintain a sharded study store "
+        "(stats / evict / rebalance)",
+    )
+    store_parser.add_argument("action", choices=["stats", "evict", "rebalance"])
+    store_parser.add_argument(
+        "--root",
+        default=".repro-store",
+        help="store directory (default: .repro-store)",
+    )
+    store_parser.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="per-shard byte budget for evict",
+    )
+    store_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="new shard count for rebalance (default: keep current)",
+    )
+    store_parser.add_argument(
+        "--virtual-nodes",
+        type=int,
+        default=None,
+        help="new virtual-node count for rebalance",
+    )
+    store_parser.add_argument(
+        "--format", choices=["text", "json"], default="text"
+    )
+    store_parser.set_defaults(func=_cmd_store)
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -240,6 +388,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.set_defaults(func=_cmd_bench)
 
     return parser
+
+
+def _add_server_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server",
+        default=None,
+        metavar="HOST:PORT",
+        help="sweep-server address (default: REPRO_SERVE_HOST/REPRO_SERVE_PORT "
+        "or 127.0.0.1:7421)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="client socket timeout in seconds (default 300)",
+    )
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -437,7 +601,7 @@ def _sweep_base_spec(args: argparse.Namespace):
         spec = StudySpec.from_json(Path(args.spec).read_text())
     overrides: Dict[str, Any] = {}
     for name in ("trials", "seed", "backend", "workers", "streaming"):
-        value = getattr(args, name)
+        value = getattr(args, name, None)
         if value is not None:
             overrides[name] = value
     return spec.with_overrides(overrides)
@@ -461,12 +625,59 @@ def _render_sweep_rows(rows: List[Dict[str, Any]], fmt: str) -> str:
     return table.render()
 
 
+def _serve_address(args: argparse.Namespace) -> str:
+    """Resolve the server address: --server flag, env vars, then defaults."""
+    if getattr(args, "server", None):
+        address = args.server
+    else:
+        host = os.environ.get("REPRO_SERVE_HOST", "127.0.0.1")
+        port = os.environ.get("REPRO_SERVE_PORT", "7421")
+        address = f"{host}:{port}"
+    if ":" not in address:
+        address = f"127.0.0.1:{address}" if address.isdigit() else f"{address}:7421"
+    elif address.startswith(":"):
+        address = f"127.0.0.1{address}"
+    return address
+
+
+def _serve_client(args: argparse.Namespace):
+    from .serve import ServeClient
+
+    return ServeClient.from_address(
+        _serve_address(args), timeout=getattr(args, "timeout", 300.0)
+    )
+
+
+def _env_int(name: str, fallback: int) -> int:
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return fallback
+    try:
+        return int(value)
+    except ValueError as exc:
+        raise SpecError(f"{name} must be an integer, got {value!r}") from exc
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .spec import StudyPlan, StudyStore, Sweep, sweep_rows
 
     base = _sweep_base_spec(args)
     sweep = Sweep(base, _parse_axes(args.axis))
     plan = StudyPlan.from_sweep(sweep)
+    if args.server is not None:
+        client = _serve_client(args)
+        results = client.run_plan(plan.specs, overrides=sweep.points())
+        rows = sweep_rows(results)
+        print(_render_sweep_rows(rows, args.format))
+        if args.format == "table":
+            cached = sum(1 for r in results if r.cached)
+            failed = sum(1 for r in results if r.failed)
+            print(
+                f"{len(results)} points ({cached} cached"
+                + (f", {failed} failed" if failed else "")
+                + f") served by {_serve_address(args)}"
+            )
+        return 1 if any(r.failed for r in results) else 0
     store = None if args.no_store else StudyStore(args.store)
     journal = args.journal
     if journal is None and args.resume:
@@ -505,6 +716,170 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"health [{r.spec.display_label}]: {r.study.health.describe()}")
         if journal is not None:
             print(f"journal: {journal}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import ShardedStudyStore, SweepServer
+
+    host = args.host or os.environ.get("REPRO_SERVE_HOST") or "127.0.0.1"
+    port = args.port if args.port is not None else _env_int("REPRO_SERVE_PORT", 7421)
+    workers = (
+        args.workers
+        if args.workers is not None
+        else _env_int("REPRO_SERVE_WORKERS", 2)
+    )
+    store_root = (
+        args.store_root or os.environ.get("REPRO_SERVE_STORE") or ".repro-store"
+    )
+    shards = (
+        args.shards if args.shards is not None else _env_int("REPRO_SERVE_SHARDS", 2)
+    )
+    budget = args.store_budget
+    if budget is None and os.environ.get("REPRO_STORE_BUDGET"):
+        budget = _env_int("REPRO_STORE_BUDGET", 0)
+    store = ShardedStudyStore(
+        store_root, shards=shards, virtual_nodes=args.virtual_nodes
+    )
+
+    async def _daemon() -> None:
+        server = SweepServer(
+            store, host=host, port=port, workers=workers, store_budget=budget
+        )
+        await server.start()
+        bound_host, bound_port = server.address
+        print(
+            f"repro serve: listening on {bound_host}:{bound_port} "
+            f"({workers} workers, {len(store.shards)} shards @ {store.root})",
+            flush=True,
+        )
+        await server.serve_until_shutdown()
+
+    try:
+        asyncio.run(_daemon())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .spec import Sweep, sweep_rows
+
+    base = _sweep_base_spec(args)
+    sweep = Sweep(base, _parse_axes(args.axis))
+    specs = sweep.expand()
+    client = _serve_client(args)
+    if args.no_wait:
+        outcomes = client.submit(specs, wait=False, priority=args.priority)
+        if args.format == "json":
+            print(
+                json.dumps(
+                    [
+                        {"hash": o.hash, "status": o.status, "label": o.label}
+                        for o in outcomes
+                    ],
+                    indent=2,
+                    sort_keys=True,
+                )
+            )
+        else:
+            for outcome in outcomes:
+                print(f"{outcome.hash}  {outcome.status}  {outcome.label}")
+        return 0
+    results = client.run_plan(specs, overrides=sweep.points(), priority=args.priority)
+    rows = sweep_rows(results)
+    print(_render_sweep_rows(rows, args.format))
+    if args.format == "table":
+        cached = sum(1 for r in results if r.cached)
+        failed = sum(1 for r in results if r.failed)
+        print(
+            f"{len(results)} points ({cached} cached"
+            + (f", {failed} failed" if failed else "")
+            + f") served by {_serve_address(args)}"
+        )
+    return 1 if any(r.failed for r in results) else 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    client = _serve_client(args)
+    if args.action == "stats":
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "shutdown":
+        client.shutdown()
+        print("shutdown requested")
+        return 0
+    if args.action == "status":
+        rows = client.status(args.hashes or None)
+        print(json.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    # result
+    if not args.hashes:
+        raise SpecError("repro client result needs at least one spec hash")
+    outcomes = client.results(args.hashes, wait=True)
+    payload = []
+    for outcome in outcomes:
+        row: Dict[str, Any] = {
+            "hash": outcome.hash,
+            "status": outcome.status,
+            "cached": outcome.cached,
+            "attempts": outcome.attempts,
+            "run_seconds": outcome.run_seconds,
+            "label": outcome.label,
+        }
+        if outcome.error:
+            row["error"] = outcome.error
+        if outcome.study is not None:
+            row["summary"] = outcome.study.summary_row()
+        payload.append(row)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from .serve import ShardedStudyStore
+
+    store = ShardedStudyStore(args.root, shards=None, virtual_nodes=None)
+    if args.action == "stats":
+        report = store.stats()
+    elif args.action == "evict":
+        if args.budget is None:
+            raise SpecError("repro store evict needs --budget BYTES")
+        report = store.evict(args.budget)
+    else:  # rebalance
+        report = store.rebalance(
+            shards=args.shards, virtual_nodes=args.virtual_nodes
+        )
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if args.action == "stats":
+        print(f"store {report['root']}: {report['entries']} entries, "
+              f"{report['bytes']:,} bytes, {report['virtual_nodes']} vnodes/shard")
+        for name, shard in sorted(report["shards"].items()):
+            corrupt = (
+                f", {shard['corrupt']} corrupt" if shard["corrupt"] else ""
+            )
+            print(
+                f"  {name}: {shard['entries']} entries, "
+                f"{shard['bytes']:,} bytes{corrupt}"
+            )
+    elif args.action == "evict":
+        over = report["over_budget_shards"]
+        print(
+            f"evicted {len(report['evicted'])} entries "
+            f"({report['freed_bytes']:,} bytes) to fit "
+            f"{report['budget_bytes']:,} bytes/shard"
+            + (f"; still over budget: {', '.join(over)}" if over else "")
+        )
+    else:
+        print(
+            f"rebalanced to {len(report['shards'])} shards "
+            f"({report['virtual_nodes']} vnodes): {report['moved']} moved, "
+            f"{report['kept']} kept"
+        )
     return 0
 
 

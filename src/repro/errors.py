@@ -65,6 +65,11 @@ class FaultInjected(ReproError):
         self.site = site
 
 
+class ServeError(ReproError):
+    """Raised by the sweep service: protocol violations, unreachable or
+    misbehaving servers, and failed jobs surfaced to a waiting client."""
+
+
 class AnalysisError(ReproError):
     """Raised when analysis routines receive unusable data."""
 

@@ -27,6 +27,9 @@ Injection sites (the string each instrumented component asks about):
                        ``point``, ``attempt``)
 ``store-corrupt``      a just-written study-store entry is truncated on disk
                        (coords: ``hash``)
+``serve-job``          a sweep-service job fails before execution (coords:
+                       ``hash``, ``attempt``) — the server records the job
+                       as failed and reports the error to waiting clients
 =====================  ======================================================
 
 Rules either name exact coordinates (``{"site": "worker-crash", "shard": 1,
@@ -74,6 +77,7 @@ KNOWN_SITES = (
     "kernel",
     "sweep-point",
     "store-corrupt",
+    "serve-job",
 )
 
 

@@ -1,0 +1,55 @@
+"""Sweep service: an async serving layer over the spec/sweep stack.
+
+The local workflow — :class:`~repro.spec.StudyPlan` executing
+:class:`~repro.spec.StudySpec` points against a single-directory
+:class:`~repro.spec.StudyStore` — scales to one process.  This package
+promotes it into a small serving subsystem, four layers deep:
+
+* **Protocol** (:mod:`repro.serve.protocol`) — a newline-delimited JSON
+  request/response protocol over TCP.  Requests: ``submit`` (one spec, an
+  explicit spec list, or a sweep), ``status``, ``result`` (blocking, with
+  per-job streaming), ``stats`` and ``shutdown``.  Stdlib only.
+* **Server** (:mod:`repro.serve.server`) — :class:`SweepServer`, an
+  ``asyncio`` daemon (``repro serve``) with an async priority queue and a
+  bounded executor pool.  Identical in-flight specs are hash-deduped: N
+  submitters of the same spec attach to one execution and all receive the
+  result; a spec already in the store is answered instantly without
+  touching the queue.  Execution goes through ``StudySpec.run`` and
+  therefore the exact same backend ladder and supervised worker pool as a
+  local run — results are seed-for-seed identical, and
+  :class:`~repro.sim.health.RunHealth` events (retries, crashes,
+  demotions) surface in job status.
+* **Sharded store** (:mod:`repro.serve.sharded`) —
+  :class:`ShardedStudyStore` implements the :class:`~repro.spec.StudyStore`
+  surface but routes each ``spec_hash()`` to one of K shard directories via
+  a consistent-hash ring (:class:`ConsistentHashRing`, configurable virtual
+  nodes), with an LRU-by-atime eviction policy under a byte budget and
+  ``repro store stats|evict|rebalance`` maintenance commands.
+* **Client** (:mod:`repro.serve.client`) — :class:`ServeClient`, the
+  synchronous library client behind ``repro submit`` / ``repro client``
+  and ``repro sweep --server host:port``.
+
+Everything is bit-identical to local execution: a served sweep returns
+seed-for-seed the same summaries as ``StudyPlan.run`` with a plain
+``StudyStore``.
+"""
+
+from .client import JobOutcome, ServeClient, study_from_payload
+from .protocol import PROTOCOL_VERSION, decode_line, encode_message
+from .ring import ConsistentHashRing
+from .server import BackgroundServer, ServerStats, SweepServer
+from .sharded import ShardedStudyStore
+
+__all__ = [
+    "BackgroundServer",
+    "ConsistentHashRing",
+    "JobOutcome",
+    "PROTOCOL_VERSION",
+    "ServeClient",
+    "ServerStats",
+    "ShardedStudyStore",
+    "SweepServer",
+    "decode_line",
+    "encode_message",
+    "study_from_payload",
+]

@@ -1,0 +1,284 @@
+"""Synchronous client for the sweep service.
+
+:class:`ServeClient` is the library behind ``repro submit``, ``repro
+client`` and ``repro sweep --server``: a blocking, connection-per-request
+TCP client that speaks the protocol of :mod:`repro.serve.protocol` with
+nothing beyond the stdlib.  Results arrive as the store's summary records
+and are rehydrated into :class:`~repro.sim.TrialStudy` objects
+(:func:`study_from_payload`), so everything downstream — ``summary_row()``,
+``sweep_rows``, the analysis tables — works identically on served and
+local studies.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ServeError
+from ..spec.study import StudySpec
+from ..spec.sweep import PlanResult, Sweep
+from .protocol import decode_line, encode_message
+
+__all__ = ["JobOutcome", "ServeClient", "study_from_payload"]
+
+
+def study_from_payload(payload: Mapping[str, Any]):
+    """Rehydrate a study from its wire payload (summary surface only)."""
+    from ..sim.health import RunHealth
+    from ..sim.runner import TrialStudy
+    from ..spec.store import record_result
+
+    health_data = payload.get("health") or {}
+    return TrialStudy(
+        results=[record_result(r) for r in payload.get("results", [])],
+        label=str(payload.get("label", "")),
+        effective_workers=int(payload.get("effective_workers", 1)),
+        from_cache=bool(payload.get("from_cache", False)),
+        health=RunHealth.from_dict(health_data),
+    )
+
+
+@dataclass
+class JobOutcome:
+    """One job's terminal report as received from the server."""
+
+    hash: str
+    status: str
+    cached: bool = False
+    error: str = ""
+    attempts: int = 0
+    run_seconds: float = 0.0
+    label: str = ""
+    health: Dict[str, float] = field(default_factory=dict)
+    study: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("done", "cached")
+
+    @classmethod
+    def from_event(cls, event: Mapping[str, Any]) -> "JobOutcome":
+        study = None
+        if event.get("study") is not None:
+            study = study_from_payload(event["study"])
+        return cls(
+            hash=str(event.get("hash", "")),
+            status=str(event.get("status", "unknown")),
+            cached=bool(event.get("cached", False)),
+            error=str(event.get("error", "")),
+            attempts=int(event.get("attempts", 0)),
+            run_seconds=float(event.get("run_seconds", 0.0)),
+            label=str(event.get("label", "")),
+            health={
+                key: float(value)
+                for key, value in event.items()
+                if key.startswith("health_")
+            },
+            study=study,
+        )
+
+
+class ServeClient:
+    """Blocking client; one TCP connection per request, streams supported."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout: Optional[float] = 300.0,
+    ) -> None:
+        self._host = host
+        self._port = int(port)
+        self._timeout = timeout
+
+    @classmethod
+    def from_address(
+        cls, address: str, timeout: Optional[float] = 300.0
+    ) -> "ServeClient":
+        """Build from a ``host:port`` string (``:port`` → localhost)."""
+        host, sep, port = address.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ServeError(
+                f"invalid server address {address!r}; expected host:port"
+            )
+        return cls(host or "127.0.0.1", int(port), timeout=timeout)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._host, self._port
+
+    # ------------------------------------------------------------ plumbing
+
+    def _connect(self) -> socket.socket:
+        try:
+            return socket.create_connection(
+                (self._host, self._port), timeout=self._timeout
+            )
+        except OSError as exc:
+            raise ServeError(
+                f"cannot reach sweep server at {self._host}:{self._port}: {exc}"
+            ) from exc
+
+    def _request(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Send one request; yield the ack and then any streamed events."""
+        conn = self._connect()
+        try:
+            conn.sendall(encode_message(message))
+            reader = conn.makefile("rb")
+            try:
+                for line in reader:
+                    if not line.strip():
+                        continue
+                    yield decode_line(line)
+            finally:
+                reader.close()
+        except socket.timeout as exc:
+            raise ServeError(
+                f"sweep server at {self._host}:{self._port} timed out"
+            ) from exc
+        except OSError as exc:
+            # Reset/refused mid-request (e.g. the server shut down between
+            # our write and its reply) is a protocol-level failure, not a
+            # programming error.
+            raise ServeError(
+                f"connection to sweep server at {self._host}:{self._port} "
+                f"failed: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def _collect(
+        self, message: Dict[str, Any], expect_stream: bool
+    ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
+        """The validated ack plus streamed events (up to ``end``)."""
+        ack: Optional[Dict[str, Any]] = None
+        events: List[Dict[str, Any]] = []
+        for received in self._request(message):
+            if ack is None:
+                if not received.get("ok", False):
+                    raise ServeError(
+                        received.get("error", "server rejected the request")
+                    )
+                ack = received
+                if not expect_stream:
+                    break
+                continue
+            if received.get("event") == "end":
+                break
+            events.append(received)
+        if ack is None:
+            raise ServeError(
+                f"sweep server at {self._host}:{self._port} closed the "
+                "connection without answering"
+            )
+        return ack, events
+
+    # ------------------------------------------------------------- library
+
+    def submit(
+        self,
+        specs: Union[StudySpec, Sequence[StudySpec]],
+        wait: bool = True,
+        priority: int = 0,
+    ) -> List[JobOutcome]:
+        """Submit spec(s); with ``wait`` return terminal outcomes in spec
+        order, otherwise the submission statuses."""
+        if isinstance(specs, StudySpec):
+            spec_list = [specs]
+        else:
+            spec_list = list(specs)
+        message = {
+            "op": "submit",
+            "specs": [spec.to_dict() for spec in spec_list],
+            "priority": int(priority),
+            "wait": bool(wait),
+        }
+        ack, events = self._collect(message, expect_stream=wait)
+        if not wait:
+            return [JobOutcome.from_event(row) for row in ack.get("jobs", [])]
+        outcomes = {
+            event.get("hash"): JobOutcome.from_event(event) for event in events
+        }
+        ordered: List[JobOutcome] = []
+        for spec in spec_list:
+            digest = spec.spec_hash()
+            outcome = outcomes.get(digest)
+            if outcome is None:
+                raise ServeError(f"server streamed no result for {digest[:12]}")
+            ordered.append(outcome)
+        return ordered
+
+    def submit_sweep(
+        self, sweep: Sweep, wait: bool = True, priority: int = 0
+    ) -> List[JobOutcome]:
+        return self.submit(sweep.expand(), wait=wait, priority=priority)
+
+    def run_plan(
+        self,
+        specs: Sequence[StudySpec],
+        overrides: Optional[Sequence[Mapping[str, Any]]] = None,
+        priority: int = 0,
+    ) -> List[PlanResult]:
+        """Execute specs remotely, shaped like ``StudyPlan.run`` results.
+
+        The thin-client path of ``repro sweep --server``: rows from the
+        returned list render through the exact same
+        :func:`~repro.spec.sweep.sweep_rows` pipeline as a local plan.
+        """
+        if overrides is not None and len(overrides) != len(specs):
+            raise ServeError("overrides must align one-to-one with specs")
+        outcomes = self.submit(list(specs), wait=True, priority=priority)
+        results: List[PlanResult] = []
+        for index, (spec, outcome) in enumerate(zip(specs, outcomes)):
+            results.append(
+                PlanResult(
+                    spec=spec,
+                    study=outcome.study,
+                    overrides=dict(overrides[index]) if overrides else {},
+                    cached=outcome.cached,
+                    run_seconds=outcome.run_seconds,
+                    failed=not outcome.ok,
+                    error=outcome.error if not outcome.ok else "",
+                    attempts=outcome.attempts,
+                )
+            )
+        return results
+
+    def status(
+        self, hashes: Optional[Sequence[str]] = None
+    ) -> List[Dict[str, Any]]:
+        message: Dict[str, Any] = {"op": "status"}
+        if hashes is not None:
+            message["hashes"] = [str(h) for h in hashes]
+        ack, _ = self._collect(message, expect_stream=False)
+        return list(ack.get("jobs", []))
+
+    def results(
+        self, hashes: Sequence[str], wait: bool = True
+    ) -> List[JobOutcome]:
+        message = {
+            "op": "result",
+            "hashes": [str(h) for h in hashes],
+            "wait": bool(wait),
+        }
+        _, events = self._collect(message, expect_stream=True)
+        return [JobOutcome.from_event(event) for event in events]
+
+    def stats(self) -> Dict[str, Any]:
+        ack, _ = self._collect({"op": "stats"}, expect_stream=False)
+        return {
+            key: value for key, value in ack.items() if key not in ("ok", "op")
+        }
+
+    def shutdown(self) -> None:
+        self._collect({"op": "shutdown"}, expect_stream=False)
+
+    def ping(self) -> bool:
+        """Whether a server answers at the address (no exception)."""
+        try:
+            self.stats()
+            return True
+        except ServeError:
+            return False

@@ -1,0 +1,601 @@
+"""The sweep-service daemon: async job queue, dedupe, dispatch.
+
+:class:`SweepServer` is a stdlib-``asyncio`` TCP daemon speaking the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`.  Its
+execution model:
+
+* Every submitted :class:`~repro.spec.StudySpec` becomes a :class:`Job`
+  keyed by ``spec_hash()``.  Submitting a spec whose job is already queued
+  or running *attaches* to it — one execution, every submitter receives the
+  result.  A spec already present in the store is answered instantly from
+  disk without touching the queue.
+* Queued jobs wait in an ``asyncio.PriorityQueue`` (lower ``priority``
+  first, FIFO within a priority) and are drained by ``workers`` dispatcher
+  tasks, each running one job at a time in a thread of a bounded executor.
+* A job executes through ``StudySpec.run(store=...)`` — the exact same
+  backend ladder, supervised worker pool (:class:`~repro.sim.runner.
+  SupervisorPolicy` retries/backoff/degradation) and content-addressed
+  store as a local run, so served results are seed-for-seed identical to
+  ``StudyPlan.run`` and :class:`~repro.sim.health.RunHealth` events
+  (crashes, retries, demotions) surface in job status as
+  ``health_retries`` / ``health_failures`` / ``health_demotions``.
+* With a ``store_budget``, the store is brought back under its byte budget
+  after every executed job (LRU-by-atime eviction; entries written during
+  the current server session are never evicted).
+
+:class:`BackgroundServer` runs the whole daemon on a private event loop in
+a daemon thread — the harness used by the test suite and the
+``service-submit-roundtrip`` benchmark.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .. import faults
+from ..errors import ReproError, ServeError
+from ..spec.store import result_record
+from ..spec.study import StudySpec
+from ..spec.sweep import Sweep
+from .protocol import (
+    KNOWN_OPS,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_message,
+    error_message,
+)
+from .sharded import ShardedStudyStore
+
+__all__ = [
+    "BackgroundServer",
+    "Job",
+    "ServerStats",
+    "SweepServer",
+    "study_payload",
+]
+
+#: Job lifecycle states.  ``cached`` is terminal like ``done`` but records
+#: that the store answered without an execution.
+JOB_STATES = ("queued", "running", "done", "failed", "cached")
+
+
+def study_payload(study) -> Dict[str, Any]:
+    """Wire form of a study: the store's summary records + provenance."""
+    health = getattr(study, "health", None)
+    return {
+        "label": study.label,
+        "effective_workers": int(getattr(study, "effective_workers", 1)),
+        "from_cache": bool(getattr(study, "from_cache", False)),
+        "results": [result_record(result) for result in study.results],
+        "health": health.to_dict() if health is not None else {},
+    }
+
+
+@dataclass
+class Job:
+    """One deduped unit of work: a spec, its state, and its result payload."""
+
+    spec: StudySpec
+    digest: str
+    priority: int = 0
+    status: str = "queued"
+    submitters: int = 1
+    attempts: int = 0
+    error: str = ""
+    run_seconds: float = 0.0
+    payload: Optional[Dict[str, Any]] = None
+    health: Dict[str, float] = field(default_factory=dict)
+    event: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed", "cached")
+
+    def status_row(self) -> Dict[str, Any]:
+        row: Dict[str, Any] = {
+            "hash": self.digest,
+            "label": self.spec.display_label,
+            "status": self.status,
+            "cached": self.status == "cached",
+            "priority": self.priority,
+            "submitters": self.submitters,
+            "attempts": self.attempts,
+            "run_seconds": self.run_seconds,
+        }
+        if self.error:
+            row["error"] = self.error
+        row.update(self.health)
+        return row
+
+
+@dataclass
+class ServerStats:
+    """Monotonic counters reported by the ``stats`` op."""
+
+    submitted: int = 0
+    deduped: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    failed: int = 0
+    evicted: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "deduped": self.deduped,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failed": self.failed,
+            "evicted": self.evicted,
+        }
+
+
+class SweepServer:
+    """Asyncio TCP server executing StudySpecs through a deduped job queue."""
+
+    def __init__(
+        self,
+        store,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        store_budget: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise ServeError("the sweep server needs at least one worker")
+        if store_budget is not None and store_budget < 0:
+            raise ServeError("store budget must be >= 0 bytes")
+        self._store = store
+        self._host = host
+        self._port = int(port)
+        self._workers = int(workers)
+        self._budget = store_budget
+        self._jobs: Dict[str, Job] = {}
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._seq = itertools.count()
+        self._stats = ServerStats()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._dispatchers: List[asyncio.Task] = []
+        self._shutdown = asyncio.Event()
+        self._started_at = 0.0
+
+    # ---------------------------------------------------------- lifecycle
+
+    @property
+    def stats(self) -> ServerStats:
+        return self._stats
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound — resolves ``port=0`` ephemerals."""
+        if self._server is None or not self._server.sockets:
+            raise ServeError("server is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return str(host), int(port)
+
+    async def start(self) -> None:
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-serve"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self._host,
+            self._port,
+            limit=MAX_LINE_BYTES,
+        )
+        self._started_at = time.monotonic()
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop())
+            for _ in range(self._workers)
+        ]
+
+    async def serve_until_shutdown(self) -> None:
+        """Block until a ``shutdown`` request (or :meth:`request_shutdown`)."""
+        await self._shutdown.wait()
+        await self.stop()
+
+    def request_shutdown(self) -> None:
+        self._shutdown.set()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._dispatchers:
+            task.cancel()
+        for task in self._dispatchers:
+            with contextlib.suppress(asyncio.CancelledError):
+                await task
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ---------------------------------------------------------- job intake
+
+    def _submit_spec(self, spec: StudySpec, priority: int) -> Job:
+        """Dedupe-aware submission; never blocks on execution."""
+        digest = spec.spec_hash()
+        self._stats.submitted += 1
+        job = self._jobs.get(digest)
+        if job is not None:
+            if job.status in ("queued", "running"):
+                # Attach: this submitter rides the in-flight execution.
+                job.submitters += 1
+                self._stats.deduped += 1
+                return job
+            if job.status in ("done", "cached"):
+                job.submitters += 1
+                self._stats.cache_hits += 1
+                return job
+            # failed: fall through and re-queue the same job record.
+        if job is None:
+            cached = self._store_get(spec)
+            if cached is not None:
+                job = Job(
+                    spec=spec,
+                    digest=digest,
+                    priority=priority,
+                    status="cached",
+                    payload=study_payload(cached),
+                )
+                job.event.set()
+                self._jobs[digest] = job
+                self._stats.cache_hits += 1
+                return job
+            job = Job(spec=spec, digest=digest, priority=priority)
+            self._jobs[digest] = job
+        else:
+            job.status = "queued"
+            job.error = ""
+            job.priority = priority
+            job.event = asyncio.Event()
+        self._queue.put_nowait((priority, next(self._seq), digest))
+        return job
+
+    def _store_get(self, spec: StudySpec):
+        if self._store is None:
+            return None
+        try:
+            return self._store.get(spec)
+        except ReproError:
+            # A sick store must not take submissions down with it; the job
+            # simply executes as a cache miss.
+            return None
+
+    # ------------------------------------------------------------ dispatch
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            _priority, _seq, digest = await self._queue.get()
+            job = self._jobs.get(digest)
+            if job is None or job.status != "queued":
+                continue  # stale queue entry (e.g. resubmitted meanwhile)
+            job.status = "running"
+            job.attempts += 1
+            start = time.perf_counter()
+            try:
+                payload, health = await loop.run_in_executor(
+                    self._executor, self._execute, job.spec, job.attempts - 1
+                )
+                job.payload = payload
+                job.health = health
+                job.status = "done"
+                self._stats.executed += 1
+            except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.status = "failed"
+                self._stats.failed += 1
+            job.run_seconds = time.perf_counter() - start
+            job.event.set()
+
+    def _execute(
+        self, spec: StudySpec, attempt: int
+    ) -> Tuple[Dict[str, Any], Dict[str, float]]:
+        """Run one job in an executor thread (the dispatcher awaits it)."""
+        faults.active_plan().maybe_raise(
+            "serve-job", hash=spec.spec_hash(), attempt=attempt
+        )
+        study = spec.run(store=self._store)
+        health = getattr(study, "health", None)
+        health_fields = dict(health.summary_fields()) if health is not None else {}
+        if self._budget is not None and hasattr(self._store, "evict"):
+            report = self._store.evict(self._budget)
+            self._stats.evicted += len(report["evicted"])
+        return study_payload(study), health_fields
+
+    # --------------------------------------------------------- connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while not self._shutdown.is_set():
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        writer, error_message("request line too long")
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line)
+                    await self._handle_message(message, writer)
+                except ReproError as exc:
+                    await self._send(writer, error_message(str(exc)))
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        writer.write(encode_message(message))
+        await writer.drain()
+
+    async def _handle_message(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        op = message.get("op")
+        if op not in KNOWN_OPS:
+            raise ServeError(
+                f"unknown op {op!r}; known ops: {', '.join(KNOWN_OPS)}"
+            )
+        if op == "submit":
+            await self._op_submit(message, writer)
+        elif op == "status":
+            await self._op_status(message, writer)
+        elif op == "result":
+            await self._op_result(message, writer)
+        elif op == "stats":
+            await self._op_stats(writer)
+        else:  # shutdown
+            await self._send(writer, {"ok": True, "op": "shutdown"})
+            self._shutdown.set()
+
+    def _specs_from_message(self, message: Dict[str, Any]) -> List[StudySpec]:
+        if "spec" in message:
+            raw: Iterable[Any] = [message["spec"]]
+        elif "specs" in message:
+            raw = message["specs"]
+            if not isinstance(raw, Sequence) or isinstance(raw, (str, bytes)):
+                raise ServeError("'specs' must be a list of study specs")
+        elif "sweep" in message:
+            sweep = message["sweep"]
+            if not isinstance(sweep, dict):
+                raise ServeError("'sweep' must be {'base': ..., 'axes': ...}")
+            base = StudySpec.from_dict(sweep.get("base", {}))
+            return Sweep(base, sweep.get("axes", {})).expand()
+        else:
+            raise ServeError("submit needs 'spec', 'specs' or 'sweep'")
+        specs = [StudySpec.from_dict(entry) for entry in raw]
+        if not specs:
+            raise ServeError("submit carried no specs")
+        return specs
+
+    async def _op_submit(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        specs = self._specs_from_message(message)
+        priority = int(message.get("priority", 0))
+        jobs = [self._submit_spec(spec, priority) for spec in specs]
+        await self._send(
+            writer,
+            {
+                "ok": True,
+                "op": "submit",
+                "version": PROTOCOL_VERSION,
+                "jobs": [job.status_row() for job in jobs],
+            },
+        )
+        if message.get("wait", False):
+            await self._stream_results([job.digest for job in jobs], writer)
+
+    async def _op_status(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        digests = message.get("hashes")
+        if digests is None:
+            rows = [job.status_row() for job in self._jobs.values()]
+        else:
+            rows = []
+            for digest in digests:
+                job = self._jobs.get(str(digest))
+                if job is None:
+                    rows.append({"hash": str(digest), "status": "unknown"})
+                else:
+                    rows.append(job.status_row())
+        await self._send(writer, {"ok": True, "op": "status", "jobs": rows})
+
+    async def _op_result(
+        self, message: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        digests = message.get("hashes")
+        if not isinstance(digests, list):
+            raise ServeError("result needs 'hashes': [spec_hash, ...]")
+        await self._send(
+            writer, {"ok": True, "op": "result", "count": len(digests)}
+        )
+        if message.get("wait", True):
+            await self._stream_results([str(d) for d in digests], writer)
+        else:
+            for digest in digests:
+                job = self._jobs.get(str(digest))
+                if job is None:
+                    event = {
+                        "event": "result",
+                        "hash": str(digest),
+                        "status": "unknown",
+                    }
+                else:
+                    event = self._result_event(job)
+                await self._send(writer, event)
+            await self._send(writer, {"event": "end"})
+
+    async def _op_stats(self, writer: asyncio.StreamWriter) -> None:
+        by_state = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            by_state[job.status] = by_state.get(job.status, 0) + 1
+        payload: Dict[str, Any] = {
+            "ok": True,
+            "op": "stats",
+            "version": PROTOCOL_VERSION,
+            "workers": self._workers,
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "queue_depth": self._queue.qsize(),
+            "jobs": by_state,
+            **self._stats.to_dict(),
+        }
+        if hasattr(self._store, "stats"):
+            payload["store"] = self._store.stats()
+        await self._send(writer, payload)
+
+    def _result_event(self, job: Job) -> Dict[str, Any]:
+        event = {"event": "result", **job.status_row()}
+        if job.payload is not None:
+            event["study"] = job.payload
+        return event
+
+    async def _stream_results(
+        self, digests: List[str], writer: asyncio.StreamWriter
+    ) -> None:
+        """One ``result`` event per job, in completion order, then ``end``."""
+        waiters: Dict[asyncio.Task, Job] = {}
+        for digest in dict.fromkeys(digests):  # de-dup, keep order
+            job = self._jobs.get(digest)
+            if job is None:
+                await self._send(
+                    writer,
+                    {"event": "result", "hash": digest, "status": "unknown"},
+                )
+                continue
+            waiters[asyncio.create_task(job.event.wait())] = job
+        remaining = set(waiters)
+        while remaining:
+            done, remaining = await asyncio.wait(
+                remaining, return_when=asyncio.FIRST_COMPLETED
+            )
+            for task in done:
+                await self._send(writer, self._result_event(waiters[task]))
+        await self._send(writer, {"event": "end"})
+
+
+class BackgroundServer:
+    """A :class:`SweepServer` on its own event loop in a daemon thread.
+
+    Context-manager harness for tests, benchmarks and library embedding::
+
+        with BackgroundServer(store_root, shards=2, workers=2) as server:
+            client = ServeClient(*server.address)
+            ...
+    """
+
+    def __init__(
+        self,
+        store_root: Union[str, Path],
+        shards: int = 2,
+        workers: int = 2,
+        virtual_nodes: Optional[int] = None,
+        store_budget: Optional[int] = None,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self._store_root = store_root
+        self._shards = shards
+        self._workers = workers
+        self._virtual_nodes = virtual_nodes
+        self._budget = store_budget
+        self._host = host
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[SweepServer] = None
+        self._address: Optional[Tuple[str, int]] = None
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._address is None:
+            raise ServeError("background server is not running")
+        return self._address
+
+    @property
+    def server(self) -> SweepServer:
+        if self._server is None:
+            raise ServeError("background server is not running")
+        return self._server
+
+    def __enter__(self) -> "BackgroundServer":
+        started = threading.Event()
+
+        def runner() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            try:
+                loop.run_until_complete(self._main(started))
+            except BaseException as exc:  # noqa: BLE001 — surfaced to caller
+                self._startup_error = exc
+            finally:
+                started.set()
+                with contextlib.suppress(Exception):
+                    loop.close()
+
+        self._thread = threading.Thread(
+            target=runner, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise ServeError(
+                f"background server failed to start: {self._startup_error}"
+            ) from self._startup_error
+        if self._address is None:
+            raise ServeError("background server did not come up in time")
+        return self
+
+    async def _main(self, started: threading.Event) -> None:
+        store = ShardedStudyStore(
+            self._store_root,
+            shards=self._shards,
+            virtual_nodes=self._virtual_nodes,
+        )
+        self._server = SweepServer(
+            store,
+            host=self._host,
+            port=0,
+            workers=self._workers,
+            store_budget=self._budget,
+        )
+        await self._server.start()
+        self._address = self._server.address
+        started.set()
+        await self._server.serve_until_shutdown()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._server is not None:
+            with contextlib.suppress(RuntimeError):
+                self._loop.call_soon_threadsafe(self._server.request_shutdown)
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+        self._address = None

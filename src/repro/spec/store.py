@@ -25,7 +25,7 @@ import tempfile
 import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -33,7 +33,7 @@ from .. import faults
 from ..errors import SpecError
 from .study import StudySpec
 
-__all__ = ["CachedResult", "StudyStore"]
+__all__ = ["CachedResult", "StudyStore", "record_result", "result_record"]
 
 _SCHEMA_VERSION = 1
 
@@ -101,7 +101,8 @@ class CachedResult:
         )
 
 
-def _result_record(result) -> Dict[str, Any]:
+def result_record(result) -> Dict[str, Any]:
+    """JSON record of one result's summary surface (store/wire format)."""
     return {
         "successes": int(result.total_successes),
         "arrivals": int(result.total_arrivals),
@@ -118,7 +119,8 @@ def _result_record(result) -> Dict[str, Any]:
     }
 
 
-def _record_result(record: Dict[str, Any]) -> CachedResult:
+def record_result(record: Mapping[str, Any]) -> CachedResult:
+    """Rehydrate a :class:`CachedResult` from its JSON record."""
     return CachedResult(
         total_successes=int(record["successes"]),
         total_arrivals=int(record["arrivals"]),
@@ -185,7 +187,7 @@ class StudyStore:
         if payload.get("schema") != _SCHEMA_VERSION:
             return None
         study = TrialStudy(
-            results=[_record_result(r) for r in payload.get("results", [])],
+            results=[record_result(r) for r in payload.get("results", [])],
             label=str(payload.get("label", "")),
             effective_workers=int(payload.get("effective_workers", 1)),
             from_cache=True,
@@ -193,7 +195,14 @@ class StudyStore:
         return study
 
     def put(self, spec: StudySpec, study) -> Path:
-        """Persist a study summary; returns the written path."""
+        """Persist a study summary; returns the written path.
+
+        Safe under concurrent same-hash writers across processes: each
+        writer stages into its own ``mkstemp`` file and publishes with an
+        atomic ``os.replace``, so the race resolves to
+        *last-writer-wins-or-noop* — both writers serialized the identical
+        deterministic payload — and a torn entry is impossible.
+        """
         if getattr(study, "from_cache", False):
             # Re-serializing a cached study is a no-op by construction.
             return self.path_for(spec)
@@ -206,7 +215,7 @@ class StudyStore:
             "spec": spec.to_dict(),
             "label": study.label,
             "effective_workers": study.effective_workers,
-            "results": [_result_record(r) for r in study.results],
+            "results": [result_record(r) for r in study.results],
         }
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -236,10 +245,27 @@ class StudyStore:
         """Move a corrupt entry to ``<root>/corrupt/`` instead of hiding it."""
         from ..sim import health
 
-        target = self._root / "corrupt" / path.name
+        corrupt_dir = self._root / "corrupt"
+        target = corrupt_dir / path.name
         try:
-            target.parent.mkdir(parents=True, exist_ok=True)
+            corrupt_dir.mkdir(parents=True, exist_ok=True)
+            # A concurrent quarantine of the same entry (another process hit
+            # the same corruption first) may already hold the destination:
+            # the second mover must neither raise nor clobber the evidence
+            # the first one saved, so it picks the next free suffix.
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = corrupt_dir / f"{path.name}.{suffix}"
             os.replace(path, target)
+        except FileNotFoundError:
+            # The concurrent mover won outright — the source is gone, the
+            # evidence is already in corrupt/.  Nothing to move or warn
+            # about a second time.
+            health.note(
+                "quarantine", "store", f"{path.name}: {reason} (already moved)"
+            )
+            return
         except OSError:
             # Cannot move it (permissions, cross-device store): leave the
             # evidence in place; the caller still treats the read as a miss.

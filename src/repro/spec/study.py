@@ -23,7 +23,6 @@ from .protocol import ProtocolSpec
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.runner import TrialStudy
-    from .store import StudyStore
 
 __all__ = ["StudySpec", "canonical_json"]
 
@@ -88,9 +87,13 @@ class StudySpec:
     def run(
         self,
         collectors: Sequence = (),
-        store: Optional["StudyStore"] = None,
+        store: Optional[Any] = None,
     ) -> "TrialStudy":
         """Execute the study (or return the cached result from ``store``).
+
+        ``store`` is duck-typed on the get/put surface: a plain
+        :class:`~repro.spec.store.StudyStore` or a sharded
+        :class:`~repro.serve.ShardedStudyStore` behave identically here.
 
         Cache lookups key on :meth:`spec_hash`; collector- and
         pipeline-carrying runs are never served from the cache because a

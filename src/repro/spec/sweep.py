@@ -30,7 +30,6 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .. import faults
 from ..errors import SpecError
-from .store import StudyStore
 from .study import StudySpec
 
 __all__ = ["PlanJournal", "PlanResult", "StudyPlan", "Sweep", "sweep_rows"]
@@ -191,7 +190,7 @@ class StudyPlan:
 
     def run(
         self,
-        store: Optional[StudyStore] = None,
+        store: Optional[Any] = None,
         progress: Optional[Callable[[PlanResult], None]] = None,
         on_error: str = "raise",
         retries: int = 1,
@@ -199,6 +198,11 @@ class StudyPlan:
         resume: bool = False,
     ) -> List[PlanResult]:
         """Execute every point in order, consulting ``store`` first.
+
+        ``store`` is anything with the :class:`~repro.spec.store.StudyStore`
+        get/put surface — a plain store or a
+        :class:`~repro.serve.ShardedStudyStore`; placement is invisible to
+        the plan.
 
         ``dispatch_seconds`` covers everything the plan adds on top of the
         study itself (hashing, cache lookup, result registration);

@@ -174,3 +174,35 @@ class TestComparison:
             if "speedup_vs_vectorized" in record:
                 record["speedup_vs_vectorized"] *= 0.95
         assert compare_bench(bench_data, current, threshold=0.2) == []
+
+
+class TestServiceSuite:
+    @pytest.fixture(scope="class")
+    def service_records(self):
+        from repro.bench import run_service_suite
+
+        return run_service_suite(seed=7, repeats=1)
+
+    def test_roundtrip_record_shape(self, service_records):
+        assert len(service_records) == 1
+        record = service_records[0]
+        assert record["kind"] == "micro"
+        assert record["id"] == "service-submit-roundtrip"
+        assert record["backend"] == "serve"
+        assert record["wall_time_s"] > 0
+        assert record["slots_per_second"] > 0
+        assert record["cold_submit_s"] >= record["cached_submit_s"]
+        assert record["cached_hits_per_second"] > 0
+
+    def test_compare_tolerates_baseline_without_service_record(
+        self, bench_data, service_records
+    ):
+        # An older baseline predating the service benchmark must compare
+        # clean against a current file that carries it.
+        current = json.loads(json.dumps(bench_data))
+        current["benchmarks"] = current["benchmarks"] + service_records
+        assert compare_bench(bench_data, current, threshold=0.2) == []
+
+    def test_backend_restriction_skips_service_suite(self, bench_data):
+        ids = {b["id"] for b in bench_data["benchmarks"]}
+        assert "service-submit-roundtrip" not in ids

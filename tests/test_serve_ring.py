@@ -1,0 +1,97 @@
+"""Tests for the consistent-hash ring behind the sharded study store."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import SpecError
+from repro.serve import ConsistentHashRing
+
+
+def sample_keys(count: int):
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(count)]
+
+
+class TestConstruction:
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(SpecError):
+            ConsistentHashRing([])
+
+    def test_virtual_nodes_must_be_positive(self):
+        with pytest.raises(SpecError):
+            ConsistentHashRing(["a"], virtual_nodes=0)
+
+    def test_duplicate_nodes_collapse(self):
+        ring = ConsistentHashRing(["a", "b", "a"])
+        assert ring.nodes == ["a", "b"]
+
+    def test_node_order_is_canonical(self):
+        assert (
+            ConsistentHashRing(["b", "a"]).nodes
+            == ConsistentHashRing(["a", "b"]).nodes
+        )
+
+
+class TestRouting:
+    def test_deterministic_across_instances(self):
+        keys = sample_keys(200)
+        first = ConsistentHashRing(["a", "b", "c"])
+        second = ConsistentHashRing(["a", "b", "c"])
+        assert [first.node_for(k) for k in keys] == [
+            second.node_for(k) for k in keys
+        ]
+
+    def test_single_node_takes_everything(self):
+        ring = ConsistentHashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in sample_keys(50))
+
+    def test_distribution_is_roughly_balanced(self):
+        ring = ConsistentHashRing(["a", "b", "c", "d"], virtual_nodes=128)
+        counts = ring.distribution(sample_keys(4000))
+        assert set(counts) == {"a", "b", "c", "d"}
+        for count in counts.values():
+            # Expected 1000 per shard; 128 vnodes keeps the spread tight
+            # enough that a 2x band is a safe, non-flaky assertion.
+            assert 500 <= count <= 2000
+
+    def test_all_nodes_reachable(self):
+        ring = ConsistentHashRing(["a", "b", "c"])
+        seen = {ring.node_for(k) for k in sample_keys(1000)}
+        assert seen == {"a", "b", "c"}
+
+
+class TestConsistency:
+    def test_removing_one_shard_remaps_only_its_keys(self):
+        """The headline consistent-hash property on a 10k-key sample.
+
+        Dropping 1 of K shards must remap only the keys that shard owned
+        (expected 1/K) — bounded here at 2/K — and every key that stays
+        must stay on exactly the shard it was on.
+        """
+        keys = sample_keys(10_000)
+        for k in (3, 5):
+            nodes = [f"shard-{i:02d}" for i in range(k)]
+            ring = ConsistentHashRing(nodes)
+            before = {key: ring.node_for(key) for key in keys}
+            removed = nodes[1]
+            shrunk = ring.with_nodes([n for n in nodes if n != removed])
+            moved = 0
+            for key in keys:
+                after = shrunk.node_for(key)
+                if before[key] == removed:
+                    assert after != removed
+                    moved += 1
+                else:
+                    assert after == before[key], (
+                        f"key on surviving shard {before[key]} moved to {after}"
+                    )
+            assert moved <= 2 * len(keys) // k
+
+    def test_adding_a_shard_only_steals_keys(self):
+        keys = sample_keys(5000)
+        ring = ConsistentHashRing(["a", "b", "c"])
+        before = {key: ring.node_for(key) for key in keys}
+        grown = ring.with_nodes(["a", "b", "c", "d"])
+        for key in keys:
+            after = grown.node_for(key)
+            assert after == before[key] or after == "d"

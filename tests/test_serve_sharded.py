@@ -1,0 +1,240 @@
+"""Tests for the consistent-hash sharded study store."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.errors import SpecError
+from repro.serve import ShardedStudyStore
+from repro.spec import AdversarySpec, ProtocolSpec, StudySpec, StudyStore
+
+SEED = 77
+
+
+def aloha_spec(seed=SEED, horizon=512) -> StudySpec:
+    return StudySpec(
+        protocol=ProtocolSpec(kind="slotted-aloha", params={"probability": 0.05}),
+        adversary=AdversarySpec.batch(8, jam_fraction=0.25),
+        horizon=horizon,
+        trials=1,
+        seed=seed,
+    )
+
+
+def fill(store, count, seed0=0):
+    """Run and put ``count`` distinct tiny studies; returns their specs."""
+    specs = [aloha_spec(seed=seed0 + i) for i in range(count)]
+    for spec in specs:
+        store.put(spec, spec.run())
+    return specs
+
+
+class TestTopology:
+    def test_ring_config_persisted_and_reloaded(self, tmp_path):
+        first = ShardedStudyStore(tmp_path, shards=3)
+        assert first.shards == ["shard-00", "shard-01", "shard-02"]
+        reopened = ShardedStudyStore(tmp_path)
+        assert reopened.shards == first.shards
+        assert reopened.ring.virtual_nodes == first.ring.virtual_nodes
+
+    def test_conflicting_shard_count_rejected(self, tmp_path):
+        ShardedStudyStore(tmp_path, shards=2)
+        with pytest.raises(SpecError, match="rebalance"):
+            ShardedStudyStore(tmp_path, shards=4)
+
+    def test_conflicting_virtual_nodes_rejected(self, tmp_path):
+        ShardedStudyStore(tmp_path, shards=2, virtual_nodes=64)
+        with pytest.raises(SpecError, match="rebalance"):
+            ShardedStudyStore(tmp_path, virtual_nodes=32)
+
+    def test_matching_explicit_topology_accepted(self, tmp_path):
+        ShardedStudyStore(tmp_path, shards=2, virtual_nodes=64)
+        again = ShardedStudyStore(tmp_path, shards=2, virtual_nodes=64)
+        assert len(again.shards) == 2
+
+    def test_corrupt_ring_config_rejected(self, tmp_path):
+        ShardedStudyStore(tmp_path, shards=2)
+        (tmp_path / "ring.json").write_text("{not json")
+        with pytest.raises(SpecError, match="ring"):
+            ShardedStudyStore(tmp_path)
+
+
+class TestStoreSurface:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=3)
+        spec = aloha_spec()
+        study = spec.run()
+        store.put(spec, study)
+        assert spec in store
+        cached = store.get(spec)
+        assert cached is not None
+        assert cached.from_cache
+        assert (
+            cached.summary_row()["mean_successes"]
+            == study.summary_row()["mean_successes"]
+        )
+
+    def test_entry_lands_on_its_ring_shard(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=3)
+        for spec in fill(store, 8):
+            digest = spec.spec_hash()
+            shard = store.shard_for(spec)
+            assert store.ring.node_for(digest) == shard
+            assert (tmp_path / shard / digest[:2] / f"{digest}.json").exists()
+
+    def test_entries_merged_across_shards(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=3)
+        specs = fill(store, 10)
+        assert store.entries() == sorted(s.spec_hash() for s in specs)
+
+    def test_placement_agrees_across_instances(self, tmp_path):
+        writer = ShardedStudyStore(tmp_path, shards=3)
+        specs = fill(writer, 6)
+        reader = ShardedStudyStore(tmp_path)
+        for spec in specs:
+            assert spec in reader
+            assert reader.get(spec) is not None
+
+    def test_shard_store_is_a_plain_study_store(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=2)
+        spec = fill(store, 1)[0]
+        shard = store.shard_store(store.shard_for(spec))
+        assert isinstance(shard, StudyStore)
+        assert shard.get(spec) is not None
+        with pytest.raises(SpecError, match="unknown shard"):
+            store.shard_store("shard-99")
+
+    def test_works_as_study_plan_store(self, tmp_path):
+        from repro.spec import StudyPlan, Sweep
+
+        store = ShardedStudyStore(tmp_path, shards=2)
+        plan = StudyPlan.from_sweep(
+            Sweep(aloha_spec(), {"horizon": [256, 512]})
+        )
+        first = plan.run(store=store)
+        assert all(not r.cached for r in first)
+        second = plan.run(store=store)
+        assert all(r.cached for r in second)
+
+
+class TestStats:
+    def test_stats_totals_match_shards(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=3)
+        fill(store, 8)
+        stats = store.stats()
+        assert stats["entries"] == 8
+        assert stats["entries"] == sum(
+            s["entries"] for s in stats["shards"].values()
+        )
+        assert stats["bytes"] == sum(s["bytes"] for s in stats["shards"].values())
+        assert stats["bytes"] > 0
+        assert set(stats["shards"]) == set(store.shards)
+
+
+class TestEviction:
+    def _aged_store(self, tmp_path, count):
+        """A store whose entries look like an earlier session wrote them."""
+        writer = ShardedStudyStore(tmp_path, shards=2)
+        specs = fill(writer, count)
+        past = time.time() - 3600
+        for spec in specs:
+            os.utime(writer.path_for(spec), (past, past))
+        return ShardedStudyStore(tmp_path), specs
+
+    def test_evict_brings_shards_under_budget(self, tmp_path):
+        store, _specs = self._aged_store(tmp_path, 12)
+        entry_bytes = max(
+            s["bytes"] for s in store.stats()["shards"].values()
+        )
+        budget = entry_bytes // 2
+        report = store.evict(budget)
+        assert report["evicted"]
+        assert report["freed_bytes"] > 0
+        assert not report["over_budget_shards"]
+        for shard in store.stats()["shards"].values():
+            assert shard["bytes"] <= budget
+
+    def test_evict_oldest_atime_first(self, tmp_path):
+        store, specs = self._aged_store(tmp_path, 6)
+        # Touch all but one entry so a single entry is clearly the LRU,
+        # with an atime ordering the eviction must respect.
+        lru = specs[0]
+        now = time.time()
+        for spec in specs[1:]:
+            os.utime(store.path_for(spec), (now - 10, now - 3600))
+        stats = store.stats()
+        shard = store.shard_for(lru)
+        budget = stats["shards"][shard]["bytes"] - 1  # evict exactly one
+        report = store.evict(budget)
+        assert lru.spec_hash() in report["evicted"]
+
+    def test_current_session_entries_never_evicted(self, tmp_path):
+        store, _specs = self._aged_store(tmp_path, 4)
+        mine = aloha_spec(seed=999)
+        store.put(mine, mine.run())
+        report = store.evict(0)  # zero budget: evict everything allowed
+        assert mine.spec_hash() not in report["evicted"]
+        assert mine in store
+        # The shard holding only the protected entry stays over budget and
+        # says so rather than deleting it.
+        assert store.shard_for(mine) in report["over_budget_shards"]
+
+    def test_entries_newer_than_open_are_protected(self, tmp_path):
+        writer = ShardedStudyStore(tmp_path, shards=2)
+        reader = ShardedStudyStore(tmp_path)
+        spec = fill(writer, 1)[0]  # written after reader opened
+        report = reader.evict(0)
+        assert spec.spec_hash() not in report["evicted"]
+
+    def test_negative_budget_rejected(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=2)
+        with pytest.raises(SpecError):
+            store.evict(-1)
+
+
+class TestRebalance:
+    def test_rebalance_moves_entries_to_new_homes(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=2)
+        specs = fill(store, 12)
+        report = store.rebalance(shards=4)
+        assert report["shards"] == [f"shard-{i:02d}" for i in range(4)]
+        assert report["moved"] + report["kept"] == 12
+        assert store.entries() == sorted(s.spec_hash() for s in specs)
+        for spec in specs:
+            assert store.get(spec) is not None
+        config = json.loads((tmp_path / "ring.json").read_text())
+        assert len(config["shards"]) == 4
+
+    def test_rebalance_moves_roughly_one_over_k(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=4)
+        fill(store, 40)
+        report = store.rebalance(shards=3)
+        # Dropping 1 of 4 shards should move ~1/4 of entries; allow a wide
+        # band (the sample is small) but reject wholesale reshuffles.
+        assert report["moved"] <= 30
+
+    def test_rebalance_without_args_repairs_placement(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=2)
+        spec = fill(store, 1)[0]
+        digest = spec.spec_hash()
+        # Simulate a hand-copied entry sitting on the wrong shard.
+        home = store.shard_for(spec)
+        wrong = next(s for s in store.shards if s != home)
+        misplaced = tmp_path / wrong / digest[:2] / f"{digest}.json"
+        misplaced.parent.mkdir(parents=True, exist_ok=True)
+        os.replace(store.path_for(spec), misplaced)
+        assert store.get(spec) is None
+        report = store.rebalance()
+        assert report["moved"] == 1
+        assert store.get(spec) is not None
+
+    def test_reopen_after_rebalance_uses_new_topology(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=2)
+        specs = fill(store, 6)
+        store.rebalance(shards=3)
+        reopened = ShardedStudyStore(tmp_path)
+        assert len(reopened.shards) == 3
+        for spec in specs:
+            assert reopened.get(spec) is not None

@@ -1,0 +1,144 @@
+"""Concurrency regression tests for the content-addressed study store.
+
+Two races the store must survive:
+
+* two processes quarantining the same corrupt entry — the second mover must
+  neither raise nor clobber the evidence the first one saved;
+* N processes writing the same spec hash at once — the atomic-rename
+  publish must resolve to a complete entry, never a torn one.
+"""
+
+import json
+import multiprocessing
+import warnings
+
+import pytest
+
+from repro.spec import AdversarySpec, ProtocolSpec, StudySpec, StudyStore
+
+
+def aloha_spec(seed=5, horizon=512) -> StudySpec:
+    return StudySpec(
+        protocol=ProtocolSpec(kind="slotted-aloha", params={"probability": 0.05}),
+        adversary=AdversarySpec.batch(8, jam_fraction=0.25),
+        horizon=horizon,
+        trials=1,
+        seed=seed,
+    )
+
+
+class TestConcurrentQuarantine:
+    def test_second_mover_with_occupied_target_does_not_raise(self, tmp_path):
+        """Regression: the quarantine destination already exists because a
+        concurrent process quarantined the same entry first.  The second
+        mover must pick a fresh name and keep both evidence files."""
+        store = StudyStore(tmp_path)
+        spec = aloha_spec()
+        path = store.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn")
+        # Pre-create the quarantine target, as the first mover would have.
+        corrupt_dir = tmp_path / "corrupt"
+        corrupt_dir.mkdir()
+        (corrupt_dir / path.name).write_text("first mover's evidence")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            assert store.get(spec) is None  # quarantines, must not raise
+        assert not path.exists()
+        assert (corrupt_dir / path.name).read_text() == "first mover's evidence"
+        assert (corrupt_dir / f"{path.name}.1").read_text() == "{torn"
+
+    def test_source_already_moved_is_silent(self, tmp_path):
+        """The other process won the race outright: by the time we try to
+        move the corrupt entry, it is gone.  No exception, no warning."""
+        store = StudyStore(tmp_path)
+        spec = aloha_spec()
+        path = store.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn")
+
+        import os as _os
+
+        real_replace = _os.replace
+
+        def racing_replace(src, dst, **kwargs):
+            # Simulate the concurrent mover finishing between the exists()
+            # scan and our own rename.
+            if str(src) == str(path):
+                real_replace(src, tmp_path / "corrupt" / path.name)
+                raise FileNotFoundError(src)
+            return real_replace(src, dst, **kwargs)
+
+        from repro.spec import store as store_module
+
+        original = store_module.os.replace
+        store_module.os.replace = racing_replace
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # any warning fails the test
+                assert store.get(spec) is None
+        finally:
+            store_module.os.replace = original
+        assert (tmp_path / "corrupt" / path.name).exists()
+
+    def test_repeated_quarantines_accumulate_suffixes(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = aloha_spec()
+        path = store.path_for(spec)
+        path.parent.mkdir(parents=True)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for _ in range(3):
+                path.write_text("{torn")
+                assert store.get(spec) is None
+        names = store.corrupt_entries()
+        assert path.name in names
+        assert len([n for n in names if n.startswith(path.name)]) >= 1
+        corrupt = tmp_path / "corrupt"
+        assert (corrupt / f"{path.name}.1").exists()
+        assert (corrupt / f"{path.name}.2").exists()
+
+
+def _write_same_entry(root, seed, barrier, failures):
+    """Worker: run the shared spec and race everyone else to publish it."""
+    try:
+        store = StudyStore(root)
+        spec = aloha_spec(seed=100)
+        study = spec.run()
+        barrier.wait(timeout=60)
+        for _ in range(5):
+            store.put(spec, study)
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        failures.put(repr(exc))
+
+
+class TestConcurrentPut:
+    def test_same_hash_writers_never_tear_the_entry(self, tmp_path):
+        """N processes publish the identical spec simultaneously; the entry
+        must always parse and the store must read it back clean."""
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(4)
+        failures = context.Queue()
+        workers = [
+            context.Process(
+                target=_write_same_entry, args=(tmp_path, i, barrier, failures)
+            )
+            for i in range(4)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=120)
+            assert worker.exitcode == 0
+        assert failures.empty()
+        store = StudyStore(tmp_path)
+        spec = aloha_spec(seed=100)
+        path = store.path_for(spec)
+        payload = json.loads(path.read_text())  # parses → not torn
+        assert payload["hash"] == spec.spec_hash()
+        cached = store.get(spec)
+        assert cached is not None
+        assert cached.from_cache
+        # No stray mkstemp staging files left behind.
+        assert list(path.parent.glob("*.tmp")) == []
+        assert store.corrupt_entries() == []
