@@ -69,6 +69,7 @@ __all__ = [
     "profile_workload",
     "render_comparison",
     "run_experiment_suite",
+    "run_fused_sweep_suite",
     "run_micro_suite",
     "run_service_suite",
     "write_bench",
@@ -552,6 +553,103 @@ def run_service_suite(
     ]
 
 
+def run_fused_sweep_suite(
+    seed: int = 20210219, repeats: int = 3
+) -> List[Dict[str, object]]:
+    """Time fused vs per-point dispatch of a 64-point CJZ sweep grid.
+
+    The grid is 16 seeds × 4 jamming fractions of a small-trial CJZ study —
+    the regime fusion targets, where per-point fixed costs (probe/driver
+    construction, pool seeding, the slot loop's Python overhead) dominate
+    the simulation itself.  Both paths run with ``store=None`` on the
+    pinned numpy lockstep backend; the suite *asserts* that the fused rows
+    equal the per-point rows (timing fields aside) before reporting, so a
+    speedup can never be bought with drift.  One ``micro`` record,
+    ``id="sweep-fused-grid"``, carrying ``fused_speedup`` — a same-machine
+    wall-time ratio like the other normalized metrics; older baselines
+    without the id compare clean.
+    """
+    from .spec import StudySpec, StudyPlan, Sweep, sweep_rows
+
+    base = StudySpec.from_dict(
+        {
+            "protocol": {
+                "kind": "cjz",
+                "params": {"g": {"kind": "constant", "value": 4.0}},
+            },
+            "adversary": {
+                "kind": "composed",
+                "arrivals": {"kind": "batch", "params": {"count": 12}},
+                "jamming": {
+                    "kind": "random-fraction",
+                    "params": {"fraction": 0.0},
+                },
+            },
+            "horizon": 192,
+            "trials": 2,
+            "seed": seed,
+            "backend": "lockstep",
+        }
+    )
+    sweep = Sweep(
+        base,
+        {
+            "adversary.jamming.params.fraction": [0.0, 0.1, 0.2, 0.3],
+            "seed": [seed + index for index in range(16)],
+        },
+    )
+
+    def _run(fuse: bool) -> Tuple[float, List[Dict[str, object]]]:
+        best, rows = float("inf"), None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            results = StudyPlan.from_sweep(sweep).run(fuse=fuse)
+            elapsed = time.perf_counter() - start
+            if elapsed < best:
+                best, rows = elapsed, sweep_rows(results)
+        return best, rows
+
+    fused_s, fused_rows = _run(True)
+    serial_s, serial_rows = _run(False)
+    timing_fields = {
+        "mean_wall_time_s",
+        "mean_slots_per_s",
+        "dispatch_seconds",
+        "run_seconds",
+    }
+
+    def _strip(rows):
+        return [
+            {k: v for k, v in row.items() if k not in timing_fields}
+            for row in rows
+        ]
+
+    if _strip(fused_rows) != _strip(serial_rows):
+        raise ConfigurationError(
+            "fused sweep rows diverged from per-point dispatch; "
+            "refusing to report a speedup over wrong results"
+        )
+    points = sweep.size
+    return [
+        {
+            "kind": "micro",
+            "id": "sweep-fused-grid",
+            "backend": "lockstep",
+            "scale": "smoke",
+            "params": {
+                "points": points,
+                "trials": base.trials,
+                "horizon": base.horizon,
+                "seed": seed,
+            },
+            "wall_time_s": fused_s,
+            "slots_per_second": points * base.trials * base.horizon / fused_s,
+            "serial_wall_time_s": serial_s,
+            "fused_speedup": serial_s / fused_s,
+        }
+    ]
+
+
 def collect_bench(
     scale: str = "smoke",
     seed: int = 20210219,
@@ -564,9 +662,11 @@ def collect_bench(
         scale=scale, seed=seed, backends=backends, repeats=repeats
     )
     if backends is None:
-        # The service round trip is backend-independent; a --backends
-        # restriction means "time these kernels", so it is skipped there.
+        # The service round trip and the fused-dispatch grid are
+        # backend-independent; a --backends restriction means "time these
+        # kernels", so they are skipped there.
         benchmarks.extend(run_service_suite(seed=seed, repeats=repeats))
+        benchmarks.extend(run_fused_sweep_suite(seed=seed, repeats=repeats))
     if include_experiments:
         benchmarks.extend(run_experiment_suite(seed=seed))
     return {
@@ -636,7 +736,11 @@ def compare_bench(
             continue
         kind = key[0]
         if kind == "micro":
-            for metric in ("speedup_vs_reference", "speedup_vs_vectorized"):
+            for metric in (
+                "speedup_vs_reference",
+                "speedup_vs_vectorized",
+                "fused_speedup",
+            ):
                 if metric in record and metric in old:
                     before, after = float(old[metric]), float(record[metric])
                     if after < before * (1.0 - threshold):

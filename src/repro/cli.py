@@ -203,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="submit the grid to a running `repro serve` daemon instead of "
         "executing locally (thin client; rows stream back)",
     )
+    sweep_parser.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="disable fused multi-study dispatch and run every point "
+        "per-point (results are identical either way)",
+    )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
     serve_parser = subparsers.add_parser(
@@ -247,6 +253,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="per-shard byte budget; evict LRU-by-atime after each job "
         "(default: unlimited)",
+    )
+    serve_parser.add_argument(
+        "--no-fuse",
+        action="store_true",
+        help="dispatch every job individually instead of fusing compatible "
+        "queued jobs into one lockstep run",
     )
     serve_parser.set_defaults(func=_cmd_serve)
 
@@ -690,6 +702,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         retries=args.retries,
         journal=journal,
         resume=args.resume,
+        fuse=not args.no_fuse,
     )
     rows = sweep_rows(results)
     print(_render_sweep_rows(rows, args.format))
@@ -746,7 +759,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _daemon() -> None:
         server = SweepServer(
-            store, host=host, port=port, workers=workers, store_budget=budget
+            store,
+            host=host,
+            port=port,
+            workers=workers,
+            store_budget=budget,
+            fuse=not args.no_fuse,
         )
         await server.start()
         bound_host, bound_port = server.address

@@ -255,7 +255,31 @@ class CJZLockstepProgram(LockstepProgram):
     def _build_tables(self, horizon: int):
         """Stage counts and ``h``-batch tables shared with the compiled tier.
 
-        Stage counts clamp exactly as ``HBackoff._enter_stage`` does; the
+        Memoized process-wide by the spec-derived parameters and the horizon
+        (:mod:`repro.sim.artifacts`): the scalar probability calls dominate
+        dispatch cost for repeated sweep points over equivalent protocols,
+        and the tables are pure functions of ``(params, horizon)``.
+        Parameters outside the spec surface (``from_f``, hand-assembled
+        rates) have no stable identity and build uncached.  All consumers
+        treat the returned arrays as read-only.
+        """
+        from ..errors import SpecError
+        from ..sim import artifacts
+
+        try:
+            key = (
+                "cjz-tables",
+                artifacts.canonical_key(self._params.to_spec_params()),
+                horizon,
+            )
+        except SpecError:
+            return self._compute_tables(horizon)
+        return artifacts.cached_artifact(
+            key, lambda: self._compute_tables(horizon)
+        )
+
+    def _compute_tables(self, horizon: int):
+        """Stage counts clamp exactly as ``HBackoff._enter_stage`` does; the
         probability tables are built with the same scalar calls
         ``HBatch.probability`` would make, so both the columnar and the
         compiled `uniform < p` comparisons are float-identical.
@@ -274,18 +298,34 @@ class CJZLockstepProgram(LockstepProgram):
         return stage_counts, ctrl_table, data_table
 
     def compiled_tables(self, horizon: int) -> CompiledProgramTables:
-        stage_counts, ctrl_table, data_table = self._build_tables(horizon)
-        return CompiledProgramTables.build(
-            opcode=OP_CJZ,
-            # [phase, anchor1, anchor2, anchor3, stage, plan_ptr, next_planned]
-            int_state_width=7,
-            float_state_width=0,
-            prog_i=[1 if self._global_clock else 0],
-            plan_width=max(stage_counts) + 1,
-            stage_counts=stage_counts,
-            table_ctrl=ctrl_table,
-            table_data=data_table,
-        )
+        def build() -> CompiledProgramTables:
+            stage_counts, ctrl_table, data_table = self._build_tables(horizon)
+            return CompiledProgramTables.build(
+                opcode=OP_CJZ,
+                # [phase, anchor1, anchor2, anchor3, stage, plan_ptr,
+                #  next_planned]
+                int_state_width=7,
+                float_state_width=0,
+                prog_i=[1 if self._global_clock else 0],
+                plan_width=max(stage_counts) + 1,
+                stage_counts=stage_counts,
+                table_ctrl=ctrl_table,
+                table_data=data_table,
+            )
+
+        from ..errors import SpecError
+        from ..sim import artifacts
+
+        try:
+            key = (
+                "cjz-compiled-tables",
+                artifacts.canonical_key(self._params.to_spec_params()),
+                self._global_clock,
+                horizon,
+            )
+        except SpecError:
+            return build()
+        return artifacts.cached_artifact(key, build)
 
     def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:
         self._pool = pool

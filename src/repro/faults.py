@@ -30,6 +30,10 @@ Injection sites (the string each instrumented component asks about):
 ``serve-job``          a sweep-service job fails before execution (coords:
                        ``hash``, ``attempt``) — the server records the job
                        as failed and reports the error to waiting clients
+``fused-group``        a fused multi-study dispatch fails before execution
+                       (coords: ``points``) — every member falls back to
+                       per-point dispatch; nothing was stored, so sibling
+                       points are unaffected
 =====================  ======================================================
 
 Rules either name exact coordinates (``{"site": "worker-crash", "shard": 1,
@@ -78,6 +82,7 @@ KNOWN_SITES = (
     "sweep-point",
     "store-corrupt",
     "serve-job",
+    "fused-group",
 )
 
 

@@ -131,17 +131,32 @@ class WindowedBackoffLockstepProgram(LockstepProgram):
         self._pool = None
 
     def compiled_tables(self, horizon: int) -> CompiledProgramTables:
-        return CompiledProgramTables.build(
-            opcode=OP_WINDOWED,
-            # [window, failures, next_attempt]
-            int_state_width=3,
-            float_state_width=0,
-            prog_i=[
-                self._initial,
-                -1 if self._max is None else self._max,
-                0 if self._degree is None else 1,
-            ],
-            prog_f=[0.0 if self._degree is None else self._degree],
+        from ..sim import artifacts
+
+        # Memoized process-wide: the tables are a pure function of the
+        # window parameters (the horizon never shapes them, but it stays in
+        # the key so every compiled_tables cache shares one convention).
+        key = (
+            "windowed-tables",
+            self._initial,
+            self._max,
+            self._degree,
+            horizon,
+        )
+        return artifacts.cached_artifact(
+            key,
+            lambda: CompiledProgramTables.build(
+                opcode=OP_WINDOWED,
+                # [window, failures, next_attempt]
+                int_state_width=3,
+                float_state_width=0,
+                prog_i=[
+                    self._initial,
+                    -1 if self._max is None else self._max,
+                    0 if self._degree is None else 1,
+                ],
+                prog_f=[0.0 if self._degree is None else self._degree],
+            ),
         )
 
     def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:

@@ -124,12 +124,19 @@ class SawtoothLockstepProgram(LockstepProgram):
         self._pool = None
 
     def compiled_tables(self, horizon: int) -> CompiledProgramTables:
-        return CompiledProgramTables.build(
-            opcode=OP_SAWTOOTH,
-            # [window, phase_end]
-            int_state_width=2,
-            float_state_width=1,  # [probability]
-            prog_i=[self._initial, -1 if self._max is None else self._max],
+        from ..sim import artifacts
+
+        # Memoized process-wide: a pure function of the window parameters.
+        key = ("sawtooth-tables", self._initial, self._max, horizon)
+        return artifacts.cached_artifact(
+            key,
+            lambda: CompiledProgramTables.build(
+                opcode=OP_SAWTOOTH,
+                # [window, phase_end]
+                int_state_width=2,
+                float_state_width=1,  # [probability]
+                prog_i=[self._initial, -1 if self._max is None else self._max],
+            ),
         )
 
     def bind(self, trials: int, capacity: int, pool, horizon: int) -> None:

@@ -12,6 +12,12 @@ execution model:
 * Queued jobs wait in an ``asyncio.PriorityQueue`` (lower ``priority``
   first, FIFO within a priority) and are drained by ``workers`` dispatcher
   tasks, each running one job at a time in a thread of a bounded executor.
+  With ``fuse=True`` (the default) a dispatcher additionally drains queued
+  jobs sharing its lead job's :func:`~repro.sim.backends.fused.fusion_key`
+  and executes the whole group as one fused lockstep run — every job keeps
+  its own status row, health fields, dedupe entry and ``executed`` /
+  ``failed`` accounting, and a fused failure degrades each member to the
+  ordinary per-job path.
 * A job executes through ``StudySpec.run(store=...)`` — the exact same
   backend ladder, supervised worker pool (:class:`~repro.sim.runner.
   SupervisorPolicy` retries/backoff/degradation) and content-addressed
@@ -149,6 +155,7 @@ class SweepServer:
         port: int = 0,
         workers: int = 2,
         store_budget: Optional[int] = None,
+        fuse: bool = True,
     ) -> None:
         if workers < 1:
             raise ServeError("the sweep server needs at least one worker")
@@ -159,6 +166,7 @@ class SweepServer:
         self._port = int(port)
         self._workers = int(workers)
         self._budget = store_budget
+        self._fuse = bool(fuse)
         self._jobs: Dict[str, Job] = {}
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._seq = itertools.count()
@@ -284,23 +292,97 @@ class SweepServer:
             job = self._jobs.get(digest)
             if job is None or job.status != "queued":
                 continue  # stale queue entry (e.g. resubmitted meanwhile)
-            job.status = "running"
-            job.attempts += 1
+            group = [job]
+            if self._fuse:
+                group.extend(self._drain_fusable(job))
+            for member in group:
+                member.status = "running"
+                member.attempts += 1
             start = time.perf_counter()
+            if len(group) == 1:
+                try:
+                    payload, health = await loop.run_in_executor(
+                        self._executor, self._execute, job.spec, job.attempts - 1
+                    )
+                    job.payload = payload
+                    job.health = health
+                    job.status = "done"
+                    self._stats.executed += 1
+                except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.status = "failed"
+                    self._stats.failed += 1
+                job.run_seconds = time.perf_counter() - start
+                job.event.set()
+                continue
             try:
-                payload, health = await loop.run_in_executor(
-                    self._executor, self._execute, job.spec, job.attempts - 1
+                outcomes = await loop.run_in_executor(
+                    self._executor,
+                    self._execute_group,
+                    [(member.spec, member.attempts - 1) for member in group],
                 )
-                job.payload = payload
-                job.health = health
-                job.status = "done"
-                self._stats.executed += 1
             except Exception as exc:  # noqa: BLE001 — job isolation boundary
-                job.error = f"{type(exc).__name__}: {exc}"
-                job.status = "failed"
-                self._stats.failed += 1
-            job.run_seconds = time.perf_counter() - start
-            job.event.set()
+                outcomes = [
+                    ("failed", f"{type(exc).__name__}: {exc}", {})
+                    for _ in group
+                ]
+            elapsed = time.perf_counter() - start
+            total_trials = sum(member.spec.trials for member in group)
+            for member, (status, value, health) in zip(group, outcomes):
+                if status == "done":
+                    member.payload = value
+                    member.health = health
+                    member.status = "done"
+                    self._stats.executed += 1
+                else:
+                    member.error = value
+                    member.status = "failed"
+                    self._stats.failed += 1
+                member.run_seconds = (
+                    elapsed * member.spec.trials / max(1, total_trials)
+                )
+                member.event.set()
+
+    def _drain_fusable(self, lead: Job, cap: int = 16) -> List[Job]:
+        """Queued jobs fusable with ``lead``, pulled without blocking.
+
+        Runs synchronously on the event loop (no awaits), so the drain is
+        atomic with respect to the other dispatcher tasks.  Entries whose
+        jobs cannot fuse with the lead are re-queued with their original
+        ordering tuple; stale entries are dropped exactly as the dispatch
+        loop would drop them.  The group is bounded by ``cap`` jobs and the
+        fused block's trial budget.
+        """
+        from ..sim.backends.fused import fusion_budget, fusion_key
+
+        key = fusion_key(lead.spec)
+        if key is None:
+            return []
+        budget = fusion_budget(lead.spec.horizon)
+        trials = lead.spec.trials
+        if trials > budget:
+            return []
+        group: List[Job] = []
+        requeue: List[Tuple[int, int, str]] = []
+        while len(group) + 1 < cap:
+            try:
+                entry = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            candidate = self._jobs.get(entry[2])
+            if candidate is None or candidate.status != "queued":
+                continue  # stale queue entry
+            if (
+                candidate.spec.trials + trials <= budget
+                and fusion_key(candidate.spec) == key
+            ):
+                group.append(candidate)
+                trials += candidate.spec.trials
+            else:
+                requeue.append(entry)
+        for entry in requeue:
+            self._queue.put_nowait(entry)
+        return group
 
     def _execute(
         self, spec: StudySpec, attempt: int
@@ -316,6 +398,70 @@ class SweepServer:
             report = self._store.evict(self._budget)
             self._stats.evicted += len(report["evicted"])
         return study_payload(study), health_fields
+
+    def _execute_group(
+        self, items: Sequence[Tuple[StudySpec, int]]
+    ) -> List[Tuple[str, Any, Dict[str, float]]]:
+        """Run a fused job group in one executor thread; one outcome per job.
+
+        Every job keeps its own ``serve-job`` fault check, store row and
+        failure accounting.  The fused run covers only the jobs that pass
+        their fault check and miss the store; when it fails (or declines),
+        those jobs degrade one by one to the ordinary per-job execution
+        path, so a fused failure can never corrupt or lose a sibling job.
+        Outcomes are ``("done", payload, health)`` or
+        ``("failed", error_text, {})``, aligned with ``items``.
+        """
+        from ..sim.backends.fused import run_fused_group
+
+        outcomes: List[Optional[Tuple[str, Any, Dict[str, float]]]] = [
+            None
+        ] * len(items)
+        misses: List[int] = []
+        for pos, (spec, attempt) in enumerate(items):
+            try:
+                faults.active_plan().maybe_raise(
+                    "serve-job", hash=spec.spec_hash(), attempt=attempt
+                )
+            except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                outcomes[pos] = ("failed", f"{type(exc).__name__}: {exc}", {})
+                continue
+            cached = self._store_get(spec)
+            if cached is not None:
+                health = getattr(cached, "health", None)
+                fields = (
+                    dict(health.summary_fields()) if health is not None else {}
+                )
+                outcomes[pos] = ("done", study_payload(cached), fields)
+                continue
+            misses.append(pos)
+
+        studies = None
+        if len(misses) >= 2:
+            try:
+                studies = run_fused_group([items[pos][0] for pos in misses])
+            except Exception:  # noqa: BLE001 — degrade to per-job dispatch
+                studies = None
+        for offset, pos in enumerate(misses):
+            spec = items[pos][0]
+            try:
+                if studies is not None:
+                    study = studies[offset]
+                    if self._store is not None:
+                        self._store.put(spec, study)
+                else:
+                    study = spec.run(store=self._store)
+                health = getattr(study, "health", None)
+                fields = (
+                    dict(health.summary_fields()) if health is not None else {}
+                )
+                outcomes[pos] = ("done", study_payload(study), fields)
+            except Exception as exc:  # noqa: BLE001 — job isolation boundary
+                outcomes[pos] = ("failed", f"{type(exc).__name__}: {exc}", {})
+        if self._budget is not None and hasattr(self._store, "evict"):
+            report = self._store.evict(self._budget)
+            self._stats.evicted += len(report["evicted"])
+        return [outcome for outcome in outcomes if outcome is not None]
 
     # --------------------------------------------------------- connections
 
@@ -517,6 +663,7 @@ class BackgroundServer:
         virtual_nodes: Optional[int] = None,
         store_budget: Optional[int] = None,
         host: str = "127.0.0.1",
+        fuse: bool = True,
     ) -> None:
         self._store_root = store_root
         self._shards = shards
@@ -524,6 +671,7 @@ class BackgroundServer:
         self._virtual_nodes = virtual_nodes
         self._budget = store_budget
         self._host = host
+        self._fuse = fuse
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[SweepServer] = None
@@ -583,6 +731,7 @@ class BackgroundServer:
             port=0,
             workers=self._workers,
             store_budget=self._budget,
+            fuse=self._fuse,
         )
         await self._server.start()
         self._address = self._server.address

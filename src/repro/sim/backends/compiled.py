@@ -43,7 +43,8 @@ from ...adversary.columnar import (
 )
 from ...errors import ConfigurationError
 from ...protocols.base import LOCKSTEP_SENTINEL
-from ...rng import lockstep_streams_ok, pcg64_bulk_init
+from ...rng import pcg64_bulk_init
+from ..artifacts import streams_verified
 from ..health import note_demotion
 from ..results import SimulationResult
 from .lockstep import (
@@ -336,7 +337,7 @@ def _run_compiled(
     if tables is None:
         _demote("protocol program cannot lower to compiled tables")
         return None
-    if not lockstep_streams_ok() or not compiled_streams_ok(mode):
+    if not streams_verified() or not compiled_streams_ok(mode):
         _demote(
             f"RNG stream self-test failed for the {mode!r} interpreter mode"
         )
@@ -440,11 +441,15 @@ def _schedule_capacity(arr: np.ndarray, config, horizon: int) -> int:
 
 
 def _run_block(
-    kernels, mode, adversary_factory, config, plan, tables, protocol_name
+    kernels, mode, adversary_factory, config, plan, tables, protocol_name,
+    driver: Optional[LockstepAdversaryDriver] = None,
 ) -> Optional[List[SimulationResult]]:
     horizon = config.horizon
     trials = plan.trials
-    driver = build_lockstep_driver(adversary_factory, config, plan)
+    if driver is None:
+        # The fused dispatcher passes a pre-merged driver; the per-study
+        # path builds one from the factory as before.
+        driver = build_lockstep_driver(adversary_factory, config, plan)
     if driver is None:
         _demote("no columnar lockstep driver for this adversary")
         return None

@@ -56,7 +56,8 @@ from ...adversary.columnar import (
 )
 from ...errors import ConfigurationError
 from ...protocols.base import LockstepProgram
-from ...rng import NodeStreamPool, lockstep_streams_ok
+from ...rng import NodeStreamPool
+from ..artifacts import streams_verified
 from ..results import SimulationResult
 from .studysupport import (
     MAX_BLOCK_ELEMENTS,
@@ -129,7 +130,7 @@ class LockstepStudyKernel:
             )
         if config.horizon >= 2**31:
             return "lockstep supports horizons below 2**31 slots"
-        if not lockstep_streams_ok():
+        if not streams_verified():
             return (
                 "this numpy's generator internals diverge from the verified "
                 "lockstep RNG replication"
@@ -168,6 +169,9 @@ class LockstepStudyKernel:
         if trials >= _AUTO_TRIALS_FLOOR:
             return True
         if probe is None:
+            # The runner passes its dispatch-level probe; this fallback only
+            # serves direct callers, and the peak estimate itself is shared
+            # process-wide through the artifact cache for spec-built factories.
             probe = StudyProbe(lambda: None, adversary_factory)
         peak = probe.peak_arrivals(config.horizon)
         if peak is None:
@@ -195,7 +199,7 @@ class LockstepStudyKernel:
         start_time = time.perf_counter()
         if probe is None:
             probe = StudyProbe(protocol_factory, adversary_factory)
-        if probe.program is None or not lockstep_streams_ok():
+        if probe.program is None or not streams_verified():
             return None
         plan = SeedPlan.build(trial_trees)
         if not plan.fast:

@@ -127,6 +127,20 @@ class StudyProbe:
         """
         if horizon in self._peak:
             return self._peak[horizon]
+        spec = getattr(self._adversary_factory, "spec", None)
+        if spec is not None:
+            # Spec-built factories carry their AdversarySpec; the probe is a
+            # pure function of (spec, horizon), so share it process-wide.
+            from ..artifacts import cached_artifact, canonical_key
+
+            key = ("peak-arrivals", canonical_key(spec.to_dict()), horizon)
+            peak = cached_artifact(key, lambda: self._probe_peak(horizon))
+        else:
+            peak = self._probe_peak(horizon)
+        self._peak[horizon] = peak
+        return peak
+
+    def _probe_peak(self, horizon: int) -> Optional[int]:
         peak: Optional[int] = None
         probe = self._adversary_factory()
         if type(probe) is ComposedAdversary and not probe.arrivals.adaptive:
@@ -137,7 +151,6 @@ class StudyProbe:
                 arrivals = None
             if arrivals is not None:
                 peak = int(arrivals.max(initial=0))
-        self._peak[horizon] = peak
         return peak
 
 

@@ -196,6 +196,7 @@ class StudyPlan:
         retries: int = 1,
         journal: Optional[Union[str, Path, PlanJournal]] = None,
         resume: bool = False,
+        fuse: bool = True,
     ) -> List[PlanResult]:
         """Execute every point in order, consulting ``store`` first.
 
@@ -216,6 +217,13 @@ class StudyPlan:
         as it happens; ``resume=True`` then skips points the journal marks
         done (serving them from ``store`` when possible) and re-attempts
         only the failed/unseen ones.
+
+        ``fuse=True`` (default) batches compatible pending points into
+        single fused lockstep runs (see :mod:`repro.sim.backends.fused`)
+        before the per-point loop; results are seed-for-seed identical to
+        per-point dispatch, and a fused group that fails simply falls back
+        to per-point execution.  ``fuse=False`` restores strict per-point
+        dispatch (``repro sweep --no-fuse``).
         """
         if on_error not in ("raise", "skip", "retry"):
             raise SpecError(
@@ -237,6 +245,10 @@ class StudyPlan:
             else set()
         )
         attempts_allowed = 1 + (retries if on_error == "retry" else 0)
+        prefused: Dict[int, Any] = {}
+        fused_seconds: Dict[int, float] = {}
+        if fuse:
+            prefused, fused_seconds = self._prefuse(store)
         results: List[PlanResult] = []
         for index, (spec, overrides) in enumerate(
             zip(self._specs, self._overrides)
@@ -263,7 +275,8 @@ class StudyPlan:
                         plan.maybe_raise(
                             "sweep-point", point=index, attempt=attempt
                         )
-                        study = spec.run()
+                        fused = prefused.pop(index, None)
+                        study = fused if fused is not None else spec.run()
                         break
                     except Exception as exc:
                         error = f"{type(exc).__name__}: {exc}"
@@ -275,7 +288,10 @@ class StudyPlan:
                                     )
                                 )
                             raise
-                run_elapsed = time.perf_counter() - run_start
+                run_elapsed = (
+                    time.perf_counter() - run_start
+                    + fused_seconds.pop(index, 0.0)
+                )
                 if study is not None and store is not None:
                     publish_start = time.perf_counter()
                     store.put(spec, study)
@@ -305,6 +321,42 @@ class StudyPlan:
             if progress is not None:
                 progress(result)
         return results
+
+    def _prefuse(
+        self, store: Optional[Any]
+    ) -> Tuple[Dict[int, Any], Dict[int, float]]:
+        """Run compatible pending points as fused groups, keyed by index.
+
+        Only points the store cannot serve are considered.  A group that
+        raises (including injected ``fused-group`` faults) or turns out not
+        to be fusable contributes nothing — its members run per-point in
+        the main loop, so a fused failure can never corrupt or lose a
+        sibling point.  Returns per-index studies plus each point's share
+        of its group's wall time (pro-rated by trials).
+        """
+        from ..sim.backends.fused import plan_fusion_groups, run_fused_group
+
+        pending = []
+        for index, spec in enumerate(self._specs):
+            if store is not None and store.get(spec) is not None:
+                continue
+            pending.append((index, spec))
+        studies: Dict[int, Any] = {}
+        seconds: Dict[int, float] = {}
+        for group in plan_fusion_groups(pending):
+            start = time.perf_counter()
+            try:
+                fused = run_fused_group([spec for _, spec in group])
+            except Exception:
+                continue  # every member falls back to per-point dispatch
+            if fused is None:
+                continue
+            elapsed = time.perf_counter() - start
+            total = sum(spec.trials for _, spec in group)
+            for (index, spec), study in zip(group, fused):
+                studies[index] = study
+                seconds[index] = elapsed * spec.trials / max(1, total)
+        return studies, seconds
 
 
 def _journal_record(
