@@ -71,6 +71,7 @@ __all__ = [
     "run_experiment_suite",
     "run_fused_sweep_suite",
     "run_micro_suite",
+    "run_recovery_suite",
     "run_service_suite",
     "write_bench",
 ]
@@ -553,6 +554,85 @@ def run_service_suite(
     ]
 
 
+def run_recovery_suite(
+    seed: int = 20210219, repeats: int = 3
+) -> List[Dict[str, object]]:
+    """Time WAL replay: a restarted server absorbing a 64-job backlog.
+
+    Builds a :class:`~repro.serve.ServeJournal` of 64 ``accepted`` jobs
+    whose results already sit in the store — the post-crash shape where the
+    daemon died after finishing the work but before journaling it — and
+    times ``SweepServer.start()``, which replays the journal and answers
+    every backlog job from the store.  Best-of-``repeats`` wall time; one
+    ``micro`` record, ``id="service-recovery"``, absent from older
+    baselines (``--compare`` skips records the baseline lacks).
+    """
+    import asyncio
+    import tempfile
+
+    from .serve import ServeJournal, ShardedStudyStore, SweepServer
+    from .workloads import scenario_study
+
+    horizon = 128
+    trials = 1
+    jobs = 64
+    base = scenario_study("adversarial-jam").with_overrides(
+        {"trials": trials, "horizon": horizon}
+    )
+    specs = [base.with_overrides({"seed": seed + index}) for index in range(jobs)]
+    with tempfile.TemporaryDirectory(prefix="repro-bench-recovery-") as root:
+        store = ShardedStudyStore(Path(root) / "store", shards=2)
+        for spec in specs:
+            spec.run(store=store)
+
+        async def _replay(journal_path: Path) -> float:
+            server = SweepServer(
+                store, port=0, workers=2, journal=journal_path
+            )
+            start = time.perf_counter()
+            await server.start()
+            elapsed = time.perf_counter() - start
+            try:
+                stats = server.stats
+                if stats.recovered != jobs or stats.cache_hits != jobs:
+                    raise ConfigurationError(
+                        f"recovery bench expected {jobs} store-answered "
+                        f"jobs, recovered {stats.recovered} with "
+                        f"{stats.cache_hits} cache hits"
+                    )
+            finally:
+                await server.stop()
+            return elapsed
+
+        best = float("inf")
+        for repeat in range(max(1, repeats)):
+            journal_path = Path(root) / f"journal-{repeat}.jsonl"
+            journal = ServeJournal(journal_path)
+            for spec in specs:
+                journal.record(
+                    spec.spec_hash(), "accepted", spec=spec.to_dict()
+                )
+            best = min(best, asyncio.run(_replay(journal_path)))
+    return [
+        {
+            "kind": "micro",
+            "id": "service-recovery",
+            "backend": "serve",
+            "scale": "smoke",
+            "params": {
+                "jobs": jobs,
+                "trials": trials,
+                "horizon": horizon,
+                "seed": seed,
+            },
+            "wall_time_s": best,
+            "slots_per_second": jobs * trials * horizon / best,
+            "replay_s": best,
+            "jobs_per_second": jobs / best,
+        }
+    ]
+
+
 def run_fused_sweep_suite(
     seed: int = 20210219, repeats: int = 3
 ) -> List[Dict[str, object]]:
@@ -666,6 +746,7 @@ def collect_bench(
         # backend-independent; a --backends restriction means "time these
         # kernels", so they are skipped there.
         benchmarks.extend(run_service_suite(seed=seed, repeats=repeats))
+        benchmarks.extend(run_recovery_suite(seed=seed, repeats=repeats))
         benchmarks.extend(run_fused_sweep_suite(seed=seed, repeats=repeats))
     if include_experiments:
         benchmarks.extend(run_experiment_suite(seed=seed))

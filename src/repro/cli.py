@@ -260,6 +260,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="dispatch every job individually instead of fusing compatible "
         "queued jobs into one lockstep run",
     )
+    serve_parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="write-ahead journal of job transitions; a restarted server "
+        "re-queues accepted-but-unfinished jobs from it "
+        "(default: REPRO_SERVE_JOURNAL, else no journal)",
+    )
+    serve_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job execution deadline; overruns are re-queued then "
+        "failed (default: REPRO_SERVE_DEADLINE, else unlimited)",
+    )
+    serve_parser.add_argument(
+        "--requeues",
+        type=int,
+        default=None,
+        help="times a deadline/hang-hit job is re-queued before failing "
+        "(default: REPRO_SERVE_REQUEUES, else 1)",
+    )
     serve_parser.set_defaults(func=_cmd_serve)
 
     submit_parser = subparsers.add_parser(
@@ -316,9 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
     store_parser = subparsers.add_parser(
         "store",
         help="inspect and maintain a sharded study store "
-        "(stats / evict / rebalance)",
+        "(stats / evict / rebalance / scrub)",
     )
-    store_parser.add_argument("action", choices=["stats", "evict", "rebalance"])
+    store_parser.add_argument(
+        "action", choices=["stats", "evict", "rebalance", "scrub"]
+    )
     store_parser.add_argument(
         "--root",
         default=".repro-store",
@@ -413,8 +438,9 @@ def _add_server_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--timeout",
         type=float,
-        default=300.0,
-        help="client socket timeout in seconds (default 300)",
+        default=None,
+        help="client socket timeout in seconds "
+        "(default: REPRO_SERVE_TIMEOUT, else 300; 0 disables)",
     )
 
 
@@ -655,9 +681,11 @@ def _serve_address(args: argparse.Namespace) -> str:
 def _serve_client(args: argparse.Namespace):
     from .serve import ServeClient
 
-    return ServeClient.from_address(
-        _serve_address(args), timeout=getattr(args, "timeout", 300.0)
-    )
+    timeout = getattr(args, "timeout", None)
+    if timeout is None:
+        # Let the client resolve REPRO_SERVE_TIMEOUT (default 300 s).
+        return ServeClient.from_address(_serve_address(args))
+    return ServeClient.from_address(_serve_address(args), timeout=timeout)
 
 
 def _env_int(name: str, fallback: int) -> int:
@@ -668,6 +696,16 @@ def _env_int(name: str, fallback: int) -> int:
         return int(value)
     except ValueError as exc:
         raise SpecError(f"{name} must be an integer, got {value!r}") from exc
+
+
+def _env_float(name: str, fallback: Optional[float]) -> Optional[float]:
+    value = os.environ.get(name)
+    if value is None or value == "":
+        return fallback
+    try:
+        return float(value)
+    except ValueError as exc:
+        raise SpecError(f"{name} must be a number, got {value!r}") from exc
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -689,6 +727,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 + (f", {failed} failed" if failed else "")
                 + f") served by {_serve_address(args)}"
             )
+            # Identical health footer to the local branch: served studies
+            # carry their RunHealth over the wire.
+            unhealthy = [
+                r
+                for r in results
+                if r.study is not None
+                and getattr(r.study, "health", None) is not None
+                and not r.study.health.clean
+            ]
+            for r in unhealthy:
+                print(
+                    f"health [{r.spec.display_label}]: "
+                    f"{r.study.health.describe()}"
+                )
         return 1 if any(r.failed for r in results) else 0
     store = None if args.no_store else StudyStore(args.store)
     journal = args.journal
@@ -734,6 +786,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
+    import contextlib
+    import signal
 
     from .serve import ShardedStudyStore, SweepServer
 
@@ -753,6 +807,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     budget = args.store_budget
     if budget is None and os.environ.get("REPRO_STORE_BUDGET"):
         budget = _env_int("REPRO_STORE_BUDGET", 0)
+    journal = args.journal or os.environ.get("REPRO_SERVE_JOURNAL") or None
+    deadline = (
+        args.deadline
+        if args.deadline is not None
+        else _env_float("REPRO_SERVE_DEADLINE", None)
+    )
+    requeues = (
+        args.requeues
+        if args.requeues is not None
+        else _env_int("REPRO_SERVE_REQUEUES", 1)
+    )
     store = ShardedStudyStore(
         store_root, shards=shards, virtual_nodes=args.virtual_nodes
     )
@@ -765,12 +830,29 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=workers,
             store_budget=budget,
             fuse=not args.no_fuse,
+            journal=journal,
+            deadline=deadline,
+            requeues=requeues,
         )
         await server.start()
+        loop = asyncio.get_running_loop()
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            # SIGTERM = graceful drain: refuse new work, finish and journal
+            # the backlog, then exit 0.  (Unavailable on some platforms.)
+            loop.add_signal_handler(
+                signal.SIGTERM,
+                lambda: asyncio.ensure_future(server.drain()),
+            )
         bound_host, bound_port = server.address
+        extras = ""
+        if journal is not None:
+            extras = f", journal @ {journal}"
+            if server.stats.recovered:
+                extras += f", recovered {server.stats.recovered} jobs"
         print(
             f"repro serve: listening on {bound_host}:{bound_port} "
-            f"({workers} workers, {len(store.shards)} shards @ {store.root})",
+            f"({workers} workers, {len(store.shards)} shards @ {store.root}"
+            f"{extras})",
             flush=True,
         )
         await server.serve_until_shutdown()
@@ -866,6 +948,8 @@ def _cmd_store(args: argparse.Namespace) -> int:
         if args.budget is None:
             raise SpecError("repro store evict needs --budget BYTES")
         report = store.evict(args.budget)
+    elif args.action == "scrub":
+        report = store.scrub()
     else:  # rebalance
         report = store.rebalance(
             shards=args.shards, virtual_nodes=args.virtual_nodes
@@ -892,6 +976,16 @@ def _cmd_store(args: argparse.Namespace) -> int:
             f"{report['budget_bytes']:,} bytes/shard"
             + (f"; still over budget: {', '.join(over)}" if over else "")
         )
+    elif args.action == "scrub":
+        lost = report["lost_shards"]
+        print(
+            f"scrubbed {report['scanned']} entries: {report['ok']} verified, "
+            f"{report['legacy']} legacy (no checksum), "
+            f"{len(report['quarantined'])} quarantined"
+            + (f"; lost shards: {', '.join(lost)}" if lost else "")
+        )
+        for digest in report["quarantined"]:
+            print(f"  quarantined {digest}")
     else:
         print(
             f"rebalanced to {len(report['shards'])} shards "

@@ -70,6 +70,25 @@ class ServeError(ReproError):
     misbehaving servers, and failed jobs surfaced to a waiting client."""
 
 
+class ServeRetriable(ServeError):
+    """A transient service failure the client may safely retry.
+
+    Every service request is idempotent — jobs are deduped by spec hash —
+    so a request that timed out or lost its connection can be replayed
+    verbatim: the client's backoff loop catches exactly this type.
+    """
+
+
+class ServeTimeout(ServeRetriable):
+    """A socket operation against the sweep server exceeded its deadline
+    (``REPRO_SERVE_TIMEOUT`` / the client's ``timeout``)."""
+
+
+class ServeUnavailable(ServeRetriable):
+    """The sweep server could not be reached or dropped the connection
+    mid-request (refused, reset, or restarting)."""
+
+
 class AnalysisError(ReproError):
     """Raised when analysis routines receive unusable data."""
 

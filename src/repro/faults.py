@@ -34,6 +34,20 @@ Injection sites (the string each instrumented component asks about):
                        (coords: ``points``) — every member falls back to
                        per-point dispatch; nothing was stored, so sibling
                        points are unaffected
+``conn-drop``          the service client's TCP connection drops mid-request
+                       (coords: ``op``, ``attempt``) — the client must
+                       back off, reconnect and reattach by spec hash
+``wal-torn``           the serve journal's just-appended record is torn
+                       mid-line on disk, as if the daemon died mid-write
+                       (coords: ``hash``, ``status``) — recovery must
+                       tolerate the torn trailing line
+``dispatcher-hang``    a server dispatcher wedges after claiming a job
+                       (coords: ``hash``, ``worker``) — the watchdog must
+                       cancel it, requeue the job and spawn a replacement
+``shard-loss``         one shard of a sharded study store is unavailable
+                       (coords: ``shard``) — reads become misses and
+                       writes no-ops, each with a health event, never a
+                       crash
 =====================  ======================================================
 
 Rules either name exact coordinates (``{"site": "worker-crash", "shard": 1,
@@ -83,6 +97,10 @@ KNOWN_SITES = (
     "store-corrupt",
     "serve-job",
     "fused-group",
+    "conn-drop",
+    "wal-torn",
+    "dispatcher-hang",
+    "shard-loss",
 )
 
 

@@ -27,7 +27,13 @@ promotes it into a small serving subsystem, four layers deep:
   ``repro store stats|evict|rebalance`` maintenance commands.
 * **Client** (:mod:`repro.serve.client`) — :class:`ServeClient`, the
   synchronous library client behind ``repro submit`` / ``repro client``
-  and ``repro sweep --server host:port``.
+  and ``repro sweep --server host:port``: per-request socket timeouts and
+  capped-backoff retries by default, so a dead or restarting server can
+  never hang a sweep (idempotent reattach by ``spec_hash``).
+* **Write-ahead journal** (:mod:`repro.serve.wal`) — :class:`ServeJournal`,
+  the durable job-transition log behind ``repro serve --journal``: a
+  SIGKILLed server restarted over the same journal re-queues every
+  accepted-but-unfinished job and answers completed ones from the store.
 
 Everything is bit-identical to local execution: a served sweep returns
 seed-for-seed the same summaries as ``StudyPlan.run`` with a plain
@@ -39,13 +45,16 @@ from .protocol import PROTOCOL_VERSION, decode_line, encode_message
 from .ring import ConsistentHashRing
 from .server import BackgroundServer, ServerStats, SweepServer
 from .sharded import ShardedStudyStore
+from .wal import JOB_TERMINAL_STATES, ServeJournal
 
 __all__ = [
     "BackgroundServer",
     "ConsistentHashRing",
+    "JOB_TERMINAL_STATES",
     "JobOutcome",
     "PROTOCOL_VERSION",
     "ServeClient",
+    "ServeJournal",
     "ServerStats",
     "ShardedStudyStore",
     "SweepServer",

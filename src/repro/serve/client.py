@@ -8,20 +8,74 @@ and are rehydrated into :class:`~repro.sim.TrialStudy` objects
 (:func:`study_from_payload`), so everything downstream — ``summary_row()``,
 ``sweep_rows``, the analysis tables — works identically on served and
 local studies.
+
+The client is *resilient by default*: every socket operation carries a
+timeout (``REPRO_SERVE_TIMEOUT``, default 300 s — a dead server can never
+hang a sweep forever), and transient failures — connection refused or
+reset, a timeout, a server restarting mid-request — raise
+:class:`~repro.errors.ServeRetriable` subclasses and are retried with
+capped exponential backoff plus jitter (``REPRO_SERVE_RETRIES`` ×
+``REPRO_SERVE_BACKOFF``).  A retry simply re-sends the whole request:
+submissions are deduped server-side by ``spec_hash()``, so resubmitting is
+an idempotent *reattach* — jobs that finished meanwhile are answered from
+the server's table or store, which is what lets ``repro sweep --server``
+ride out a server restart mid-sweep.
 """
 
 from __future__ import annotations
 
+import os
+import random
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
-from ..errors import ServeError
+from .. import faults
+from ..errors import ServeError, ServeRetriable, ServeTimeout, ServeUnavailable
 from ..spec.study import StudySpec
 from ..spec.sweep import PlanResult, Sweep
 from .protocol import decode_line, encode_message
 
-__all__ = ["JobOutcome", "ServeClient", "study_from_payload"]
+__all__ = [
+    "DEFAULT_BACKOFF",
+    "DEFAULT_RETRIES",
+    "DEFAULT_TIMEOUT",
+    "JobOutcome",
+    "ServeClient",
+    "study_from_payload",
+]
+
+#: Socket timeout when neither the constructor nor the env overrides it.
+DEFAULT_TIMEOUT = 300.0
+#: Retries after the first attempt of a retriable request.
+DEFAULT_RETRIES = 4
+#: First backoff delay; doubles per retry up to :data:`BACKOFF_CAP`.
+DEFAULT_BACKOFF = 0.25
+BACKOFF_CAP = 5.0
+
+#: Sentinel: "not passed — resolve from the environment".
+_UNSET = object()
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ServeError(f"{name} must be a number, got {raw!r}") from None
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ServeError(f"{name} must be an integer, got {raw!r}") from None
 
 
 def study_from_payload(payload: Mapping[str, Any]):
@@ -87,15 +141,39 @@ class ServeClient:
         self,
         host: str = "127.0.0.1",
         port: int = 7421,
-        timeout: Optional[float] = 300.0,
+        timeout: Any = _UNSET,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
     ) -> None:
         self._host = host
         self._port = int(port)
-        self._timeout = timeout
+        if timeout is _UNSET:
+            timeout = _env_float("REPRO_SERVE_TIMEOUT", DEFAULT_TIMEOUT)
+        if timeout is not None and float(timeout) <= 0:
+            timeout = None  # 0 (or negative) disables the timeout entirely
+        self._timeout = None if timeout is None else float(timeout)
+        self._retries = (
+            _env_int("REPRO_SERVE_RETRIES", DEFAULT_RETRIES)
+            if retries is None
+            else int(retries)
+        )
+        if self._retries < 0:
+            raise ServeError("retries must be >= 0")
+        self._backoff = (
+            _env_float("REPRO_SERVE_BACKOFF", DEFAULT_BACKOFF)
+            if backoff is None
+            else float(backoff)
+        )
+        if self._backoff < 0:
+            raise ServeError("backoff must be >= 0 seconds")
 
     @classmethod
     def from_address(
-        cls, address: str, timeout: Optional[float] = 300.0
+        cls,
+        address: str,
+        timeout: Any = _UNSET,
+        retries: Optional[int] = None,
+        backoff: Optional[float] = None,
     ) -> "ServeClient":
         """Build from a ``host:port`` string (``:port`` → localhost)."""
         host, sep, port = address.rpartition(":")
@@ -103,7 +181,13 @@ class ServeClient:
             raise ServeError(
                 f"invalid server address {address!r}; expected host:port"
             )
-        return cls(host or "127.0.0.1", int(port), timeout=timeout)
+        return cls(
+            host or "127.0.0.1",
+            int(port),
+            timeout=timeout,
+            retries=retries,
+            backoff=backoff,
+        )
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -116,16 +200,32 @@ class ServeClient:
             return socket.create_connection(
                 (self._host, self._port), timeout=self._timeout
             )
+        except socket.timeout as exc:
+            raise ServeTimeout(
+                f"connecting to sweep server at {self._host}:{self._port} "
+                f"timed out after {self._timeout:g}s"
+            ) from exc
         except OSError as exc:
-            raise ServeError(
+            raise ServeUnavailable(
                 f"cannot reach sweep server at {self._host}:{self._port}: {exc}"
             ) from exc
 
-    def _request(self, message: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+    def _request(
+        self, message: Dict[str, Any], attempt: int = 0
+    ) -> Iterator[Dict[str, Any]]:
         """Send one request; yield the ack and then any streamed events."""
         conn = self._connect()
         try:
             conn.sendall(encode_message(message))
+            if faults.active_plan().fires(
+                "conn-drop", op=str(message.get("op", "")), attempt=attempt
+            ):
+                # Injected mid-request drop: the request may already be on
+                # the server's side (exactly the reattach-on-retry case).
+                raise ServeUnavailable(
+                    f"connection to sweep server at {self._host}:"
+                    f"{self._port} dropped (injected conn-drop)"
+                )
             reader = conn.makefile("rb")
             try:
                 for line in reader:
@@ -135,14 +235,15 @@ class ServeClient:
             finally:
                 reader.close()
         except socket.timeout as exc:
-            raise ServeError(
-                f"sweep server at {self._host}:{self._port} timed out"
+            raise ServeTimeout(
+                f"sweep server at {self._host}:{self._port} timed out "
+                f"after {self._timeout:g}s"
             ) from exc
         except OSError as exc:
             # Reset/refused mid-request (e.g. the server shut down between
-            # our write and its reply) is a protocol-level failure, not a
-            # programming error.
-            raise ServeError(
+            # our write and its reply) is transient, not a programming
+            # error: the caller may retry the whole request.
+            raise ServeUnavailable(
                 f"connection to sweep server at {self._host}:{self._port} "
                 f"failed: {exc}"
             ) from exc
@@ -150,12 +251,39 @@ class ServeClient:
             conn.close()
 
     def _collect(
-        self, message: Dict[str, Any], expect_stream: bool
+        self,
+        message: Dict[str, Any],
+        expect_stream: bool,
+        retriable: bool = True,
     ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
-        """The validated ack plus streamed events (up to ``end``)."""
+        """One request with retries: the validated ack plus streamed events.
+
+        Retriable failures (:class:`ServeRetriable`: refused, reset, timed
+        out, closed-without-answer) re-send the *whole* request after a
+        capped exponential backoff with jitter.  Server-side dedupe by
+        ``spec_hash()`` makes the re-send an idempotent reattach.
+        """
+        attempts = (self._retries + 1) if retriable else 1
+        delay = self._backoff
+        last: Optional[ServeRetriable] = None
+        for attempt in range(attempts):
+            try:
+                return self._collect_once(message, expect_stream, attempt)
+            except ServeRetriable as exc:
+                last = exc
+                if attempt + 1 >= attempts:
+                    break
+                time.sleep(delay * (0.5 + random.random()))
+                delay = min(delay * 2.0, BACKOFF_CAP)
+        assert last is not None
+        raise last
+
+    def _collect_once(
+        self, message: Dict[str, Any], expect_stream: bool, attempt: int
+    ) -> Tuple[Dict[str, Any], List[Dict[str, Any]]]:
         ack: Optional[Dict[str, Any]] = None
         events: List[Dict[str, Any]] = []
-        for received in self._request(message):
+        for received in self._request(message, attempt):
             if ack is None:
                 if not received.get("ok", False):
                     raise ServeError(
@@ -169,7 +297,7 @@ class ServeClient:
                 break
             events.append(received)
         if ack is None:
-            raise ServeError(
+            raise ServeUnavailable(
                 f"sweep server at {self._host}:{self._port} closed the "
                 "connection without answering"
             )
@@ -273,12 +401,16 @@ class ServeClient:
         }
 
     def shutdown(self) -> None:
-        self._collect({"op": "shutdown"}, expect_stream=False)
+        # Never retried: a lost ack is indistinguishable from a server that
+        # shut down before replying, and re-sending could kill a freshly
+        # restarted server.
+        self._collect({"op": "shutdown"}, expect_stream=False, retriable=False)
 
     def ping(self) -> bool:
-        """Whether a server answers at the address (no exception)."""
+        """Whether a server answers at the address *right now* — a liveness
+        probe, so no retries (no exception either way)."""
         try:
-            self.stats()
+            self._collect({"op": "stats"}, expect_stream=False, retriable=False)
             return True
         except ServeError:
             return False

@@ -22,7 +22,13 @@ order** and finishes with ``{"event": "end"}``.  Errors are
 
 Jobs are identified by ``StudySpec.spec_hash()``: submitting the same spec
 twice *is* the dedupe key, so job ids are stable across clients and
-restarts.
+restarts.  That stability is what makes client retries safe: re-sending a
+whole ``submit`` after a dropped connection or a server restart reattaches
+to (or re-creates) exactly the same jobs.  The ``stats`` reply carries
+``"draining": true`` while the server is in its graceful-shutdown window —
+new ``submit`` requests are refused with an error then — and
+``"journaled"`` reports whether a write-ahead journal backs the job table
+(``repro serve --journal``), i.e. whether accepted jobs survive a crash.
 """
 
 from __future__ import annotations

@@ -29,6 +29,19 @@ execution model:
   after every executed job (LRU-by-atime eviction; entries written during
   the current server session are never evicted).
 
+Crash safety (``journal=...``): every job transition is appended to a
+:class:`~repro.serve.wal.ServeJournal` write-ahead log *before* the client
+hears about it.  A server restarted over the same journal re-queues every
+accepted-but-unfinished job (:meth:`SweepServer.start` replays the WAL) and
+answers already-completed ones straight from the store, so a SIGKILL loses
+no acknowledged work.  Jobs additionally carry an execution ``deadline``:
+an overrun is re-queued up to ``requeues`` times and then failed, and a
+watchdog task replaces dispatchers that crash or hang outright (the
+execution thread is a per-job daemon thread, so a hung job leaks a thread
+instead of wedging a pool slot).  :meth:`SweepServer.drain` is the graceful
+counterpart to shutdown: refuse new submissions, finish and journal the
+backlog, then stop.
+
 :class:`BackgroundServer` runs the whole daemon on a private event loop in
 a daemon thread — the harness used by the test suite and the
 ``service-submit-roundtrip`` benchmark.
@@ -41,7 +54,6 @@ import contextlib
 import itertools
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -60,6 +72,7 @@ from .protocol import (
     error_message,
 )
 from .sharded import ShardedStudyStore
+from .wal import ServeJournal
 
 __all__ = [
     "BackgroundServer",
@@ -96,6 +109,7 @@ class Job:
     status: str = "queued"
     submitters: int = 1
     attempts: int = 0
+    requeued: int = 0
     error: str = ""
     run_seconds: float = 0.0
     payload: Optional[Dict[str, Any]] = None
@@ -115,6 +129,7 @@ class Job:
             "priority": self.priority,
             "submitters": self.submitters,
             "attempts": self.attempts,
+            "requeued": self.requeued,
             "run_seconds": self.run_seconds,
         }
         if self.error:
@@ -133,6 +148,9 @@ class ServerStats:
     executed: int = 0
     failed: int = 0
     evicted: int = 0
+    recovered: int = 0
+    requeued: int = 0
+    watchdog_restarts: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -142,6 +160,9 @@ class ServerStats:
             "executed": self.executed,
             "failed": self.failed,
             "evicted": self.evicted,
+            "recovered": self.recovered,
+            "requeued": self.requeued,
+            "watchdog_restarts": self.watchdog_restarts,
         }
 
 
@@ -156,24 +177,43 @@ class SweepServer:
         workers: int = 2,
         store_budget: Optional[int] = None,
         fuse: bool = True,
+        journal: Optional[Union[str, Path, ServeJournal]] = None,
+        deadline: Optional[float] = None,
+        requeues: int = 1,
+        watchdog_interval: float = 0.25,
     ) -> None:
         if workers < 1:
             raise ServeError("the sweep server needs at least one worker")
         if store_budget is not None and store_budget < 0:
             raise ServeError("store budget must be >= 0 bytes")
+        if deadline is not None and deadline <= 0:
+            raise ServeError("job deadline must be > 0 seconds")
+        if requeues < 0:
+            raise ServeError("requeue cap must be >= 0")
         self._store = store
         self._host = host
         self._port = int(port)
         self._workers = int(workers)
         self._budget = store_budget
         self._fuse = bool(fuse)
+        if isinstance(journal, (str, Path)):
+            journal = ServeJournal(journal)
+        self._journal = journal
+        self._deadline = None if deadline is None else float(deadline)
+        self._requeues = int(requeues)
+        self._watchdog_interval = float(watchdog_interval)
         self._jobs: Dict[str, Job] = {}
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._seq = itertools.count()
         self._stats = ServerStats()
         self._server: Optional[asyncio.AbstractServer] = None
-        self._executor: Optional[ThreadPoolExecutor] = None
         self._dispatchers: List[asyncio.Task] = []
+        self._watchdog: Optional[asyncio.Task] = None
+        # Per-dispatcher in-flight work, keyed by the dispatcher *task* (not
+        # its index — replacement tasks must never inherit a stale entry):
+        # task -> (monotonic start time, job group being executed).
+        self._busy: Dict[asyncio.Task, Tuple[float, List[Job]]] = {}
+        self._draining = False
         self._shutdown = asyncio.Event()
         self._started_at = 0.0
 
@@ -196,9 +236,6 @@ class SweepServer:
         return str(host), int(port)
 
     async def start(self) -> None:
-        self._executor = ThreadPoolExecutor(
-            max_workers=self._workers, thread_name_prefix="repro-serve"
-        )
         self._server = await asyncio.start_server(
             self._handle_connection,
             self._host,
@@ -206,10 +243,12 @@ class SweepServer:
             limit=MAX_LINE_BYTES,
         )
         self._started_at = time.monotonic()
+        self._recover_backlog()
         self._dispatchers = [
-            asyncio.create_task(self._dispatch_loop())
-            for _ in range(self._workers)
+            asyncio.create_task(self._dispatch_loop(index))
+            for index in range(self._workers)
         ]
+        self._watchdog = asyncio.create_task(self._watchdog_loop())
 
     async def serve_until_shutdown(self) -> None:
         """Block until a ``shutdown`` request (or :meth:`request_shutdown`)."""
@@ -219,17 +258,85 @@ class SweepServer:
     def request_shutdown(self) -> None:
         self._shutdown.set()
 
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish the backlog, stop.
+
+        The listener closes (no new connections), in-flight submissions are
+        rejected with a retriable error, and the method returns only after
+        every queued/running job reached a terminal, journaled state — the
+        SIGTERM path of ``repro serve``.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        while any(
+            job.status in ("queued", "running") for job in self._jobs.values()
+        ):
+            await asyncio.sleep(0.05)
+        self._shutdown.set()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for task in self._dispatchers:
+        # The watchdog dies first, or it would "recover" the dispatchers we
+        # are about to cancel.
+        tasks = list(self._dispatchers)
+        if self._watchdog is not None:
+            tasks.insert(0, self._watchdog)
+        for task in tasks:
             task.cancel()
-        for task in self._dispatchers:
+        for task in tasks:
             with contextlib.suppress(asyncio.CancelledError):
                 await task
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ----------------------------------------------------------- recovery
+
+    def _recover_backlog(self) -> int:
+        """Re-queue every journaled job that never reached a terminal state.
+
+        Runs before the dispatchers start.  Each backlog spec goes through
+        the ordinary :meth:`_submit_spec` path, so jobs whose results did
+        land in the store before the crash (the put-then-journal gap) are
+        answered as cache hits instead of re-executing.
+        """
+        if self._journal is None:
+            return 0
+        recovered = 0
+        for entry in self._journal.unfinished().values():
+            try:
+                spec = StudySpec.from_dict(entry["spec"])
+            except ReproError:
+                continue  # an unparseable journaled spec cannot be re-run
+            record = entry.get("record", {})
+            try:
+                priority = int(record.get("priority", 0))
+            except (TypeError, ValueError):
+                priority = 0
+            self._submit_spec(spec, priority)
+            recovered += 1
+        self._stats.recovered += recovered
+        return recovered
+
+    def _journal_record(
+        self,
+        digest: str,
+        status: str,
+        spec: Optional[Dict[str, Any]] = None,
+        **extra: Any,
+    ) -> None:
+        if self._journal is None:
+            return
+        try:
+            self._journal.record(digest, status, spec=spec, **extra)
+        except OSError:
+            # A sick journal disk costs durability of this one transition,
+            # not availability of the whole service.
+            pass
 
     # ---------------------------------------------------------- job intake
 
@@ -262,14 +369,22 @@ class SweepServer:
                 job.event.set()
                 self._jobs[digest] = job
                 self._stats.cache_hits += 1
+                # Terminal in the WAL too, or every restart would re-queue it.
+                self._journal_record(digest, "cached")
                 return job
             job = Job(spec=spec, digest=digest, priority=priority)
             self._jobs[digest] = job
         else:
             job.status = "queued"
             job.error = ""
+            job.requeued = 0
             job.priority = priority
             job.event = asyncio.Event()
+        # WAL before ack: once a client hears "accepted", a restarted server
+        # can always reconstruct the job from this record alone.
+        self._journal_record(
+            digest, "accepted", spec=spec.to_dict(), priority=priority
+        )
         self._queue.put_nowait((priority, next(self._seq), digest))
         return job
 
@@ -285,8 +400,73 @@ class SweepServer:
 
     # ------------------------------------------------------------ dispatch
 
-    async def _dispatch_loop(self) -> None:
+    def _run_in_thread(self, fn, *args) -> "asyncio.Future":
+        """Run ``fn(*args)`` in a fresh daemon thread; await the future.
+
+        One thread per job rather than a bounded pool: a job that hangs
+        forever leaks one daemon thread instead of permanently occupying a
+        pool slot, so dispatch capacity survives any number of hung jobs.
+        The resolver checks ``future.cancelled()`` because a deadline
+        overrun (``asyncio.wait_for``) cancels the future while the thread
+        is still running — its late result must be discarded, not crash.
+        """
         loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+
+        def resolve(result: Any, exc: Optional[BaseException]) -> None:
+            if future.cancelled():
+                return
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+        def runner() -> None:
+            try:
+                result = fn(*args)
+            except BaseException as exc:  # noqa: BLE001 — shipped to the loop
+                outcome: Tuple[Any, Optional[BaseException]] = (None, exc)
+            else:
+                outcome = (result, None)
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                loop.call_soon_threadsafe(resolve, *outcome)
+
+        threading.Thread(
+            target=runner, name="repro-serve-job", daemon=True
+        ).start()
+        return future
+
+    async def _await_deadline(self, future: "asyncio.Future") -> Any:
+        if self._deadline is None:
+            return await future
+        return await asyncio.wait_for(future, timeout=self._deadline)
+
+    def _requeue_or_fail(self, job: Job, reason: str) -> None:
+        """Deadline/hang recovery: re-queue up to the cap, then fail.
+
+        The job keeps its ``event`` across a requeue — waiters attached to
+        the first attempt must see the eventual outcome, whichever attempt
+        produces it.
+        """
+        if job.finished:
+            return
+        if job.requeued < self._requeues:
+            job.requeued += 1
+            job.status = "queued"
+            job.error = ""
+            self._stats.requeued += 1
+            self._journal_record(job.digest, "requeued", reason=reason)
+            self._queue.put_nowait(
+                (job.priority, next(self._seq), job.digest)
+            )
+            return
+        job.error = reason
+        job.status = "failed"
+        self._stats.failed += 1
+        self._journal_record(job.digest, "failed", error=reason)
+        job.event.set()
+
+    async def _dispatch_loop(self, worker: int = 0) -> None:
         while True:
             _priority, _seq, digest = await self._queue.get()
             job = self._jobs.get(digest)
@@ -298,50 +478,140 @@ class SweepServer:
             for member in group:
                 member.status = "running"
                 member.attempts += 1
-            start = time.perf_counter()
-            if len(group) == 1:
-                try:
-                    payload, health = await loop.run_in_executor(
-                        self._executor, self._execute, job.spec, job.attempts - 1
-                    )
-                    job.payload = payload
-                    job.health = health
-                    job.status = "done"
-                    self._stats.executed += 1
-                except Exception as exc:  # noqa: BLE001 — job isolation boundary
-                    job.error = f"{type(exc).__name__}: {exc}"
-                    job.status = "failed"
-                    self._stats.failed += 1
-                job.run_seconds = time.perf_counter() - start
-                job.event.set()
-                continue
+                self._journal_record(member.digest, "running")
+            task = asyncio.current_task()
+            assert task is not None
+            self._busy[task] = (time.monotonic(), group)
             try:
-                outcomes = await loop.run_in_executor(
-                    self._executor,
+                if faults.active_plan().fires(
+                    "dispatcher-hang", hash=digest, worker=worker
+                ):
+                    # Injected wedge: this dispatcher stops making progress
+                    # with its group marked running; only the watchdog can
+                    # recover the jobs.
+                    await asyncio.sleep(3600.0)
+                start = time.perf_counter()
+                if len(group) == 1:
+                    await self._dispatch_single(job, start)
+                else:
+                    await self._dispatch_group(group, start)
+            finally:
+                self._busy.pop(task, None)
+
+    async def _dispatch_single(self, job: Job, start: float) -> None:
+        try:
+            payload, health = await self._await_deadline(
+                self._run_in_thread(self._execute, job.spec, job.attempts - 1)
+            )
+        except asyncio.TimeoutError:
+            job.run_seconds = time.perf_counter() - start
+            self._requeue_or_fail(
+                job, f"deadline: exceeded {self._deadline:g}s"
+            )
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.status = "failed"
+            self._stats.failed += 1
+            self._journal_record(job.digest, "failed", error=job.error)
+        else:
+            job.payload = payload
+            job.health = health
+            job.status = "done"
+            self._stats.executed += 1
+            self._journal_record(job.digest, "done")
+        job.run_seconds = time.perf_counter() - start
+        job.event.set()
+
+    async def _dispatch_group(self, group: List[Job], start: float) -> None:
+        try:
+            outcomes = await self._await_deadline(
+                self._run_in_thread(
                     self._execute_group,
                     [(member.spec, member.attempts - 1) for member in group],
                 )
-            except Exception as exc:  # noqa: BLE001 — job isolation boundary
-                outcomes = [
-                    ("failed", f"{type(exc).__name__}: {exc}", {})
-                    for _ in group
-                ]
+            )
+        except asyncio.TimeoutError:
             elapsed = time.perf_counter() - start
-            total_trials = sum(member.spec.trials for member in group)
-            for member, (status, value, health) in zip(group, outcomes):
-                if status == "done":
-                    member.payload = value
-                    member.health = health
-                    member.status = "done"
-                    self._stats.executed += 1
-                else:
-                    member.error = value
-                    member.status = "failed"
-                    self._stats.failed += 1
-                member.run_seconds = (
-                    elapsed * member.spec.trials / max(1, total_trials)
+            for member in group:
+                member.run_seconds = elapsed
+                self._requeue_or_fail(
+                    member, f"deadline: exceeded {self._deadline:g}s"
                 )
-                member.event.set()
+            return
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 — job isolation boundary
+            outcomes = [
+                ("failed", f"{type(exc).__name__}: {exc}", {})
+                for _ in group
+            ]
+        elapsed = time.perf_counter() - start
+        total_trials = sum(member.spec.trials for member in group)
+        for member, (status, value, health) in zip(group, outcomes):
+            if status == "done":
+                member.payload = value
+                member.health = health
+                member.status = "done"
+                self._stats.executed += 1
+                self._journal_record(member.digest, "done")
+            else:
+                member.error = value
+                member.status = "failed"
+                self._stats.failed += 1
+                self._journal_record(member.digest, "failed", error=value)
+            member.run_seconds = (
+                elapsed * member.spec.trials / max(1, total_trials)
+            )
+            member.event.set()
+
+    # ------------------------------------------------------------ watchdog
+
+    async def _watchdog_loop(self) -> None:
+        """Replace dispatchers that die or stop making progress.
+
+        A *crashed* dispatcher (its task finished — only possible through a
+        bug or external cancellation) is replaced outright.  A *hung* one —
+        busy on the same job group past the job deadline plus two watchdog
+        intervals — is cancelled, its jobs re-queued through the ordinary
+        requeue-or-fail ladder, and a fresh dispatcher started in its slot.
+        Hang detection needs a ``deadline``; without one only crash
+        recovery is active (an unbounded job is indistinguishable from a
+        slow one).
+        """
+        interval = self._watchdog_interval
+        while True:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for index, task in enumerate(self._dispatchers):
+                if task.done():
+                    self._restart_dispatcher(index, task, "crashed")
+                    continue
+                if self._deadline is None:
+                    continue
+                entry = self._busy.get(task)
+                if entry is None:
+                    continue
+                started, _group = entry
+                if now - started > self._deadline + 2 * interval:
+                    task.cancel()
+                    self._restart_dispatcher(index, task, "hung")
+
+    def _restart_dispatcher(
+        self, index: int, task: asyncio.Task, why: str
+    ) -> None:
+        if not task.cancelled() and task.done():
+            task.exception()  # retrieve, or the loop logs it as unhandled
+        _started, group = self._busy.pop(task, (0.0, []))
+        for member in group:
+            if member.status == "running":
+                self._requeue_or_fail(member, f"dispatcher {why}")
+        self._stats.watchdog_restarts += 1
+        self._dispatchers[index] = asyncio.create_task(
+            self._dispatch_loop(index)
+        )
 
     def _drain_fusable(self, lead: Job, cap: int = 16) -> List[Job]:
         """Queued jobs fusable with ``lead``, pulled without blocking.
@@ -541,6 +811,11 @@ class SweepServer:
     async def _op_submit(
         self, message: Dict[str, Any], writer: asyncio.StreamWriter
     ) -> None:
+        if self._draining:
+            raise ServeError(
+                "server is draining: finishing its backlog and refusing new "
+                "submissions; retry against a restarted server"
+            )
         specs = self._specs_from_message(message)
         priority = int(message.get("priority", 0))
         jobs = [self._submit_spec(spec, priority) for spec in specs]
@@ -608,6 +883,8 @@ class SweepServer:
             "workers": self._workers,
             "uptime_seconds": time.monotonic() - self._started_at,
             "queue_depth": self._queue.qsize(),
+            "draining": self._draining,
+            "journaled": self._journal is not None,
             "jobs": by_state,
             **self._stats.to_dict(),
         }
@@ -664,6 +941,11 @@ class BackgroundServer:
         store_budget: Optional[int] = None,
         host: str = "127.0.0.1",
         fuse: bool = True,
+        journal: Optional[Union[str, Path]] = None,
+        deadline: Optional[float] = None,
+        requeues: int = 1,
+        port: int = 0,
+        watchdog_interval: float = 0.25,
     ) -> None:
         self._store_root = store_root
         self._shards = shards
@@ -672,6 +954,11 @@ class BackgroundServer:
         self._budget = store_budget
         self._host = host
         self._fuse = fuse
+        self._journal = journal
+        self._deadline = deadline
+        self._requeues = requeues
+        self._port = int(port)
+        self._watchdog_interval = float(watchdog_interval)
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._server: Optional[SweepServer] = None
@@ -728,10 +1015,14 @@ class BackgroundServer:
         self._server = SweepServer(
             store,
             host=self._host,
-            port=0,
+            port=self._port,
             workers=self._workers,
             store_budget=self._budget,
             fuse=self._fuse,
+            journal=self._journal,
+            deadline=self._deadline,
+            requeues=self._requeues,
+            watchdog_interval=self._watchdog_interval,
         )
         await self._server.start()
         self._address = self._server.address

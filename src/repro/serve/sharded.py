@@ -33,7 +33,9 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from .. import faults
 from ..errors import SpecError
+from ..sim import health
 from ..spec.store import StudyStore
 from ..spec.study import StudySpec
 from .ring import DEFAULT_VIRTUAL_NODES, ConsistentHashRing
@@ -164,12 +166,56 @@ class ShardedStudyStore:
     def __contains__(self, spec_or_hash: Union[StudySpec, str]) -> bool:
         return self.path_for(spec_or_hash).exists()
 
+    def _shard_lost(self, name: str) -> bool:
+        """Whether a shard is unavailable (injected fault or unreadable dir).
+
+        A shard directory that exists but cannot be listed (permissions,
+        yanked mount) is *lost*, not corrupt: its entries degrade to misses
+        and its writes to no-ops, each recorded as a ``shard-loss`` health
+        event — heavy traffic over a sick disk must not take the service
+        down.  A merely *absent* directory is a healthy empty shard.
+        """
+        if faults.active_plan().fires("shard-loss", shard=name):
+            return True
+        root = self._stores[name].root
+        try:
+            if root.exists():
+                next(iter(os.scandir(root)), None)
+        except OSError:
+            return True
+        return False
+
     def get(self, spec: StudySpec):
-        return self._stores[self.shard_for(spec)].get(spec)
+        name = self.shard_for(spec)
+        if self._shard_lost(name):
+            health.note(
+                "shard-loss", "store", f"{name} unavailable; reading as a miss"
+            )
+            return None
+        try:
+            return self._stores[name].get(spec)
+        except OSError as exc:
+            health.note(
+                "shard-loss", "store", f"{name} unreadable ({exc}); miss"
+            )
+            return None
 
     def put(self, spec: StudySpec, study) -> Path:
         digest = spec.spec_hash()
-        path = self._stores[self._ring.node_for(digest)].put(spec, study)
+        name = self._ring.node_for(digest)
+        path = self._stores[name].path_for(digest)
+        if self._shard_lost(name):
+            health.note(
+                "shard-loss", "store", f"{name} unavailable; result not cached"
+            )
+            return path
+        try:
+            path = self._stores[name].put(spec, study)
+        except OSError as exc:
+            health.note(
+                "shard-loss", "store", f"{name} unwritable ({exc}); not cached"
+            )
+            return path
         self._session_written.add(digest)
         return path
 
@@ -178,6 +224,39 @@ class ShardedStudyStore:
         for store in self._stores.values():
             merged.extend(store.entries())
         return sorted(merged)
+
+    def scrub(self) -> Dict[str, Any]:
+        """Checksum-verify every entry in every shard; quarantine bad ones.
+
+        Merges the per-shard :meth:`StudyStore.scrub` reports and lists
+        shards that could not be scanned at all under ``lost_shards`` —
+        a lost shard contributes nothing to the counts rather than
+        aborting the walk.
+        """
+        report: Dict[str, Any] = {
+            "scanned": 0,
+            "ok": 0,
+            "legacy": 0,
+            "quarantined": [],
+            "shards": {},
+            "lost_shards": [],
+        }
+        for name, store in self._stores.items():
+            if self._shard_lost(name):
+                report["lost_shards"].append(name)
+                continue
+            try:
+                shard_report = store.scrub()
+            except OSError:
+                report["lost_shards"].append(name)
+                continue
+            report["scanned"] += shard_report["scanned"]
+            report["ok"] += shard_report["ok"]
+            report["legacy"] += shard_report["legacy"]
+            report["quarantined"].extend(shard_report["quarantined"])
+            report["shards"][name] = shard_report
+        report["quarantined"].sort()
+        return report
 
     def corrupt_entries(self) -> List[str]:
         merged: List[str] = []

@@ -1,0 +1,112 @@
+"""Write-ahead journal of the sweep service.
+
+:class:`ServeJournal` is the durable, accountable log behind
+``repro serve --journal``: an append-only JSONL file recording every job
+transition (``accepted`` / ``running`` / ``requeued`` / ``done`` /
+``failed``) keyed by ``spec_hash()``.  Every *accepted* record carries the
+full spec JSON, so the journal alone is enough to reconstruct the backlog
+after a crash — :meth:`replay` returns the latest status per job plus the
+spec of every job whose spec was ever journaled, and the server re-queues
+whatever is not terminal (answering already-completed jobs from the study
+store).
+
+The file format is the torn-line-tolerant JSONL idiom of
+:class:`~repro.spec.sweep.PlanJournal` (which this class extends): a
+process killed mid-append leaves a torn trailing line that the next load
+simply drops.  The ``wal-torn`` fault site simulates exactly that tear
+deterministically for tests and the chaos CI leg.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Tuple
+
+from .. import faults
+from ..spec.sweep import PlanJournal
+
+__all__ = ["JOB_TERMINAL_STATES", "ServeJournal"]
+
+#: Journal statuses that need no recovery action on restart.
+JOB_TERMINAL_STATES = ("done", "failed", "cached")
+
+
+class ServeJournal(PlanJournal):
+    """Append-only WAL of job transitions, keyed by spec hash.
+
+    Last-record-wins per hash for the *status*; the *spec* payload is
+    remembered from whichever record carried it (normally the first
+    ``accepted`` record), so a later status-only append never erases the
+    information needed to re-queue the job.
+    """
+
+    def record(
+        self,
+        digest: str,
+        status: str,
+        spec: Mapping[str, Any] | None = None,
+        **extra: Any,
+    ) -> None:
+        """Append one transition; ``accepted`` records should carry ``spec``."""
+        payload: Dict[str, Any] = {"hash": str(digest), "status": str(status)}
+        if spec is not None:
+            payload["spec"] = dict(spec)
+        payload.update(extra)
+        self.append(payload)
+        if faults.active_plan().fires("wal-torn", hash=digest, status=status):
+            self._tear_trailing_line()
+
+    def replay(self) -> Tuple[Dict[str, Dict[str, Any]], Dict[str, Dict[str, Any]]]:
+        """(latest record per hash, spec payload per hash).
+
+        A hash whose latest status is not terminal and whose spec was
+        journaled is a job the restarted server must re-queue; a hash with
+        no surviving spec record (torn away mid-accept) never reached an
+        acknowledged state, so dropping it is correct — the client never
+        heard ``accepted`` and will resubmit.
+        """
+        state: Dict[str, Dict[str, Any]] = {}
+        specs: Dict[str, Dict[str, Any]] = {}
+        for record in self.records():
+            digest = record.get("hash")
+            if not digest:
+                continue
+            digest = str(digest)
+            state[digest] = record
+            spec = record.get("spec")
+            if isinstance(spec, dict):
+                specs[digest] = spec
+        return state, specs
+
+    def unfinished(self) -> Dict[str, Dict[str, Any]]:
+        """Spec payloads of accepted-but-unfinished jobs, with their records.
+
+        Returns ``{hash: {"spec": ..., "record": ...}}`` for every job the
+        journal accepted that never reached a terminal state.
+        """
+        state, specs = self.replay()
+        backlog: Dict[str, Dict[str, Any]] = {}
+        for digest, record in state.items():
+            if record.get("status") in JOB_TERMINAL_STATES:
+                continue
+            spec = specs.get(digest)
+            if spec is None:
+                continue
+            backlog[digest] = {"spec": spec, "record": record}
+        return backlog
+
+    def _tear_trailing_line(self) -> None:
+        """Injected ``wal-torn`` fault: truncate the file mid-final-line,
+        exactly what a daemon killed between ``write`` and the newline
+        reaching disk leaves behind.  Only the final record is damaged —
+        a real torn append never reaches back into earlier lines."""
+        try:
+            data = self._path.read_bytes()
+        except OSError:
+            return
+        if len(data) < 2:
+            return
+        body = data[:-1] if data.endswith(b"\n") else data
+        start = body.rfind(b"\n") + 1  # first byte of the final record
+        cut = max(start + 1, start + (len(body) - start) // 2)
+        with self._path.open("rb+") as handle:
+            handle.truncate(cut)

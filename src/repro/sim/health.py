@@ -46,7 +46,8 @@ class HealthEvent:
     pool reduced its concurrency), ``fallback`` (a shard ran in-process, or
     a transport fell back to pickle), ``demotion`` (a backend handed the
     study to a slower tier), ``quarantine`` (a corrupt store entry was
-    moved aside).
+    moved aside), ``shard-loss`` (a sharded-store shard was unreadable or
+    missing: reads degraded to misses, writes to no-ops).
     """
 
     kind: str
@@ -124,6 +125,10 @@ class RunHealth:
     @property
     def fallbacks(self) -> List[HealthEvent]:
         return [e for e in self.events if e.kind == "fallback"]
+
+    @property
+    def shard_losses(self) -> List[HealthEvent]:
+        return [e for e in self.events if e.kind == "shard-loss"]
 
     @property
     def degraded(self) -> bool:

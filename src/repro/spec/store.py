@@ -9,16 +9,22 @@ aggregation API of :class:`~repro.sim.TrialStudy` consumes; per-slot prefix
 arrays and traces are deliberately not cached (they are horizon-sized and
 only needed by bound-checking experiments, which run uncached).
 
-Layout: ``<root>/<hash[:2]>/<hash>.json``, written atomically.  An entry
-that exists but cannot be parsed is *corrupt*, not merely missing: it is
+Layout: ``<root>/<hash[:2]>/<hash>.json``, written atomically.  Every
+entry carries a **content checksum** (sha256 of its canonical payload)
+that is verified on read: an entry that exists but cannot be parsed — or
+parses but fails its checksum — is *corrupt*, not merely missing.  It is
 moved to ``<root>/corrupt/`` (with a warning and a ``quarantine`` event on
 any active :class:`~repro.sim.health.RunHealth`) so the evidence survives
 for diagnosis while the caller transparently re-runs the study.  A missing
-file stays a plain silent miss.
+file stays a plain silent miss; entries written before checksums existed
+verify as *legacy* (readable, unverifiable).  :meth:`StudyStore.scrub`
+walks every entry and applies the same classification proactively —
+``repro store scrub`` from the shell.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -33,9 +39,28 @@ from .. import faults
 from ..errors import SpecError
 from .study import StudySpec
 
-__all__ = ["CachedResult", "StudyStore", "record_result", "result_record"]
+__all__ = [
+    "CachedResult",
+    "StudyStore",
+    "payload_checksum",
+    "record_result",
+    "result_record",
+]
 
 _SCHEMA_VERSION = 1
+
+
+def payload_checksum(payload: Mapping[str, Any]) -> str:
+    """sha256 of an entry's canonical JSON, ``checksum`` field excluded.
+
+    The checksum is computed over the same sorted, compact serialization
+    for writer and verifier, so any on-disk bit damage inside an entry that
+    still parses as JSON (the failure mode a parse check cannot see) is
+    caught on read.
+    """
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    text = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 @dataclass
@@ -158,21 +183,14 @@ class StudyStore:
     def __contains__(self, spec_or_hash: Union[StudySpec, str]) -> bool:
         return self.path_for(spec_or_hash).exists()
 
-    def get(self, spec: StudySpec):
-        """The cached :class:`~repro.sim.TrialStudy`, or ``None`` on a miss.
+    def _load_payload(self, path: Path) -> Optional[Dict[str, Any]]:
+        """Read + verify one entry; quarantine and return ``None`` if corrupt.
 
-        A missing entry is a silent miss.  An entry that exists but cannot
-        be read or parsed is quarantined to ``<root>/corrupt/`` (warning +
-        health event) and then reads as a miss, so the caller re-runs and
-        overwrites it; the corrupt bytes stay on disk for diagnosis.
-        Schema-incompatible entries from older library versions are plain
-        misses — they are valid files, just stale.
+        The single classification used by :meth:`get` and :meth:`scrub`:
+        unreadable bytes, invalid JSON, a non-object payload and a checksum
+        mismatch are all corruption (quarantined); a checksum-less entry
+        from an older library version is legacy but valid.
         """
-        from ..sim.runner import TrialStudy
-
-        path = self.path_for(spec)
-        if not path.exists():
-            return None
         try:
             payload = json.loads(path.read_text())
         except OSError as exc:
@@ -184,6 +202,32 @@ class StudyStore:
         if not isinstance(payload, dict):
             self._quarantine(path, "entry is not a JSON object")
             return None
+        recorded = payload.get("checksum")
+        if recorded is not None and recorded != payload_checksum(payload):
+            self._quarantine(path, "checksum mismatch (content damaged)")
+            return None
+        return payload
+
+    def get(self, spec: StudySpec):
+        """The cached :class:`~repro.sim.TrialStudy`, or ``None`` on a miss.
+
+        A missing entry is a silent miss.  An entry that exists but cannot
+        be read or parsed — or whose content checksum no longer matches —
+        is quarantined to ``<root>/corrupt/`` (warning + health event) and
+        then reads as a miss, so the caller re-runs and overwrites it; the
+        corrupt bytes stay on disk for diagnosis.  Schema-incompatible
+        entries from older library versions are plain misses — they are
+        valid files, just stale.
+        """
+        from ..sim.health import RunHealth
+        from ..sim.runner import TrialStudy
+
+        path = self.path_for(spec)
+        if not path.exists():
+            return None
+        payload = self._load_payload(path)
+        if payload is None:
+            return None
         if payload.get("schema") != _SCHEMA_VERSION:
             return None
         study = TrialStudy(
@@ -191,6 +235,7 @@ class StudyStore:
             label=str(payload.get("label", "")),
             effective_workers=int(payload.get("effective_workers", 1)),
             from_cache=True,
+            health=RunHealth.from_dict(payload.get("health") or {}),
         )
         return study
 
@@ -209,6 +254,7 @@ class StudyStore:
         for result in study.results:
             if not hasattr(result, "latencies"):
                 raise SpecError("study results lack the summary surface to cache")
+        health = getattr(study, "health", None)
         payload = {
             "schema": _SCHEMA_VERSION,
             "hash": spec.spec_hash(),
@@ -216,7 +262,12 @@ class StudyStore:
             "label": study.label,
             "effective_workers": study.effective_workers,
             "results": [result_record(r) for r in study.results],
+            # Health rides along so cache hits keep their provenance — a
+            # sweep row served from the store shows the same
+            # health_retries/failures/demotions as the run that filled it.
+            "health": health.to_dict() if health is not None else {},
         }
+        payload["checksum"] = payload_checksum(payload)
         path = self.path_for(spec)
         path.parent.mkdir(parents=True, exist_ok=True)
         # Atomic publish: a concurrent reader sees either nothing or a
@@ -277,6 +328,41 @@ class StudyStore:
             stacklevel=3,
         )
         health.note("quarantine", "store", f"{path.name}: {reason}")
+
+    def scrub(self) -> Dict[str, Any]:
+        """Verify every entry; quarantine the corrupt ones; report.
+
+        Walks each stored entry through the same read path as :meth:`get`
+        (parse + checksum verification), so damage is found *before* a
+        sweep trips over it.  Returns ``{"scanned", "ok", "legacy",
+        "quarantined"}`` — ``ok`` counts checksum-verified entries,
+        ``legacy`` the readable-but-unverifiable ones predating checksums,
+        and ``quarantined`` lists the hashes moved to ``<root>/corrupt/``
+        by this scrub (``scanned`` is the sum of all three).
+        """
+        scanned = 0
+        ok = 0
+        legacy = 0
+        quarantined: List[str] = []
+        if self._root.exists():
+            for path in sorted(self._root.glob("*/*.json")):
+                if path.parent.name == "corrupt":
+                    continue
+                scanned += 1
+                payload = self._load_payload(path)
+                if payload is None:
+                    quarantined.append(path.stem)
+                    continue
+                if payload.get("checksum") is None:
+                    legacy += 1
+                else:
+                    ok += 1
+        return {
+            "scanned": scanned,
+            "ok": ok,
+            "legacy": legacy,
+            "quarantined": sorted(quarantined),
+        }
 
     def entries(self) -> List[str]:
         """Hashes of all stored studies (sorted; quarantined entries excluded)."""

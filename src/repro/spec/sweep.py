@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -136,16 +137,31 @@ class PlanJournal:
 
     def append(self, record: Mapping[str, Any]) -> None:
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        with self._path.open("a") as handle:
-            handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+        line = json.dumps(dict(record), sort_keys=True) + "\n"
+        with self._path.open("a+b") as handle:
+            # A crashed writer can leave a torn final line with no newline;
+            # appending straight after it would weld this record onto the
+            # tear and lose both.  Start on a fresh line instead.
+            if handle.seek(0, os.SEEK_END) > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.write(line.encode("utf-8"))
 
-    def load(self) -> Dict[str, Dict[str, Any]]:
-        """Latest record per spec hash (empty when the file doesn't exist)."""
-        state: Dict[str, Dict[str, Any]] = {}
+    def records(self) -> List[Dict[str, Any]]:
+        """Every parseable record in append order.
+
+        The torn-line-tolerant read shared by every JSONL journal in the
+        library (this one and the serve WAL): a missing file is an empty
+        journal, blank lines are skipped, and an unparseable line — a torn
+        trailing append from a crashed writer — is dropped rather than
+        poisoning the load.
+        """
+        records: List[Dict[str, Any]] = []
         try:
             lines = self._path.read_text().splitlines()
         except OSError:
-            return state
+            return records
         for line in lines:
             line = line.strip()
             if not line:
@@ -154,6 +170,14 @@ class PlanJournal:
                 record = json.loads(line)
             except json.JSONDecodeError:
                 continue  # torn trailing line from a crashed writer
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Latest record per spec hash (empty when the file doesn't exist)."""
+        state: Dict[str, Dict[str, Any]] = {}
+        for record in self.records():
             digest = record.get("hash")
             if digest:
                 state[str(digest)] = record

@@ -2,6 +2,7 @@
 
 import json
 import os
+import re
 import time
 
 import pytest
@@ -238,3 +239,118 @@ class TestRebalance:
         assert len(reopened.shards) == 3
         for spec in specs:
             assert reopened.get(spec) is not None
+
+
+class TestChecksumsAndScrub:
+    def test_put_writes_verifiable_checksum(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = fill(store, 1)[0]
+        payload = json.loads(store.path_for(spec).read_text())
+        from repro.spec.store import payload_checksum
+
+        assert payload["checksum"] == payload_checksum(payload)
+
+    def test_bit_damage_in_valid_json_is_quarantined_on_read(self, tmp_path):
+        """Damage that still parses as JSON — the case a parse check alone
+        can never catch — must be caught by the content checksum."""
+        store = StudyStore(tmp_path)
+        spec = fill(store, 1)[0]
+        path = store.path_for(spec)
+        text = path.read_text()
+        damaged = re.sub(
+            r'"successes": \d+', '"successes": 9999', text, count=1
+        )
+        assert damaged != text
+        path.write_text(damaged)
+        with pytest.warns(RuntimeWarning, match="checksum mismatch"):
+            assert store.get(spec) is None
+        assert f"{spec.spec_hash()}.json" in store.corrupt_entries()
+
+    def test_legacy_entry_without_checksum_still_reads(self, tmp_path):
+        store = StudyStore(tmp_path)
+        spec = fill(store, 1)[0]
+        path = store.path_for(spec)
+        payload = json.loads(path.read_text())
+        del payload["checksum"]
+        path.write_text(json.dumps(payload))
+        assert store.get(spec) is not None
+        report = store.scrub()
+        assert report == {
+            "scanned": 1,
+            "ok": 0,
+            "legacy": 1,
+            "quarantined": [],
+        }
+
+    def test_store_scrub_quarantines_only_damaged_entries(self, tmp_path):
+        store = StudyStore(tmp_path)
+        specs = fill(store, 3)
+        victim = store.path_for(specs[0])
+        victim.write_text(victim.read_text().replace(":", ";", 1))  # bad JSON
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            report = store.scrub()
+        assert report["scanned"] == 3
+        assert report["ok"] == 2
+        assert report["quarantined"] == [specs[0].spec_hash()]
+        for spec in specs[1:]:
+            assert store.get(spec) is not None
+
+    def test_sharded_scrub_merges_shard_reports(self, tmp_path):
+        store = ShardedStudyStore(tmp_path, shards=2)
+        specs = fill(store, 6)
+        victim = store.path_for(specs[0])
+        victim.write_text("not json at all")
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            report = store.scrub()
+        assert report["scanned"] == 6
+        assert report["ok"] == 5
+        assert report["quarantined"] == [specs[0].spec_hash()]
+        assert report["lost_shards"] == []
+        assert set(report["shards"]) == set(store.shards)
+
+
+class TestShardLoss:
+    def test_lost_shard_reads_as_miss_with_health_event(self, tmp_path):
+        from repro import faults
+        from repro.sim.health import RunHealth, collecting
+
+        store = ShardedStudyStore(tmp_path, shards=2)
+        specs = fill(store, 8)
+        lost = store.shard_for(specs[0])
+        health = RunHealth()
+        with faults.injected({"rules": [{"site": "shard-loss", "shard": lost}]}):
+            with collecting(health):
+                for spec in specs:
+                    survived = store.shard_for(spec) != lost
+                    assert (store.get(spec) is not None) == survived
+        assert health.shard_losses
+        assert all(e.kind == "shard-loss" for e in health.shard_losses)
+        # No fault: everything reads again (degradation, not damage).
+        for spec in specs:
+            assert store.get(spec) is not None
+
+    def test_lost_shard_write_degrades_to_noop(self, tmp_path):
+        from repro import faults
+        from repro.sim.health import RunHealth, collecting
+
+        store = ShardedStudyStore(tmp_path, shards=2)
+        spec = aloha_spec(seed=1234)
+        lost = store.shard_for(spec)
+        health = RunHealth()
+        with faults.injected({"rules": [{"site": "shard-loss", "shard": lost}]}):
+            with collecting(health):
+                path = store.put(spec, spec.run())
+        assert not path.exists()
+        assert health.shard_losses
+
+    def test_sharded_scrub_reports_lost_shards(self, tmp_path):
+        from repro import faults
+
+        store = ShardedStudyStore(tmp_path, shards=2)
+        fill(store, 6)
+        lost = store.shards[0]
+        with faults.injected({"rules": [{"site": "shard-loss", "shard": lost}]}):
+            report = store.scrub()
+        assert report["lost_shards"] == [lost]
+        assert lost not in report["shards"]
+        assert report["scanned"] < 6 or report["scanned"] == 6
